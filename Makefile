@@ -1,0 +1,30 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures examples calibrate clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro figures
+
+examples:
+	for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e; done
+
+calibrate:
+	$(PYTHON) -m repro calibrate
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

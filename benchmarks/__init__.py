@@ -1,0 +1,1 @@
+"""Benchmark suite: one bench per evaluation figure, plus ablations."""

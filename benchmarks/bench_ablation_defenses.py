@@ -1,0 +1,126 @@
+"""Defense ablation (paper §VI-B): attack x defense matrix.
+
+Validates the DEFENSE_COVERAGE table empirically:
+
+* fine-grained metering (TSC + process-aware interrupt accounting)
+  neutralises the scheduling and interrupt-flood inflation;
+* source-integrity attestation flags all three launch-time attacks and
+  stays silent on a pristine platform;
+* the execution-integrity monitor flags thrashing.
+"""
+
+import pytest
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    InterruptFloodAttack,
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from repro.config import default_config
+from repro.hw.machine import Machine
+from repro.metering.attestation import compare_to_golden, measure_platform
+from repro.metering.integrity import ExecutionIntegrityMonitor
+from repro.metering.properties import defense_coverage_table
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_ourprogram, make_whetstone
+
+from .conftest import bench_scale
+
+
+def test_fine_grained_metering_neutralises_sampling_attacks(benchmark):
+    scale = bench_scale()
+    loops = max(1, int(4_000 * scale))
+    forks = max(1, int(8_000 * scale))
+
+    def measure():
+        out = {}
+        for label, cfg in (
+                ("tick", default_config(accounting="tick")),
+                ("tsc+pa", default_config(
+                    accounting="tsc", process_aware_irq_accounting=True))):
+            base = run_experiment(make_whetstone(loops=loops), cfg=cfg)
+            sched = run_experiment(make_whetstone(loops=loops),
+                                   SchedulingAttack(nice=-20, forks=forks),
+                                   cfg=cfg)
+            flood_base = run_experiment(
+                make_ourprogram(iterations=max(1, int(2_000 * scale))),
+                cfg=cfg)
+            flood = run_experiment(
+                make_ourprogram(iterations=max(1, int(2_000 * scale))),
+                InterruptFloodAttack(rate_pps=25_000), cfg=cfg)
+            out[label] = {
+                "sched_inflation": sched.total_s / base.total_s,
+                "flood_stime_delta": flood.stime_s - flood_base.stime_s,
+            }
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(defense_coverage_table())
+    print()
+    for label, row in results.items():
+        print(f"  {label:>7}: sched x{row['sched_inflation']:.3f}  "
+              f"flood stime +{row['flood_stime_delta']:.4f}s")
+        benchmark.extra_info[f"{label}_sched_inflation"] = round(
+            row["sched_inflation"], 4)
+        benchmark.extra_info[f"{label}_flood_stime_delta"] = round(
+            row["flood_stime_delta"], 5)
+    assert results["tick"]["sched_inflation"] > 1.10
+    assert results["tsc+pa"]["sched_inflation"] < 1.03
+    assert results["tick"]["flood_stime_delta"] > 0.0
+    assert (results["tsc+pa"]["flood_stime_delta"]
+            < results["tick"]["flood_stime_delta"] / 5 + 0.001)
+
+
+def test_source_integrity_flags_launch_attacks(benchmark):
+    def measure():
+        program = make_ourprogram(iterations=10)
+        flagged = {}
+        for name, attack in (
+                ("pristine", None),
+                ("shell", ShellAttack(10_000_000)),
+                ("library-ctor", LibraryConstructorAttack(10_000_000)),
+                ("library-subst", LibrarySubstitutionAttack())):
+            machine = Machine(default_config())
+            install_standard_libraries(machine.kernel.libraries)
+            shell = machine.new_shell()
+            golden = measure_platform(machine, shell, program)
+            if attack is not None:
+                attack.install(machine, shell)
+            measured = measure_platform(machine, shell, program)
+            flagged[name] = compare_to_golden(measured, golden)
+        return flagged
+
+    flagged = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for name, problems in flagged.items():
+        print(f"  {name:>14}: {problems or 'clean'}")
+        benchmark.extra_info[f"{name}_flagged"] = bool(problems)
+    assert flagged["pristine"] == []
+    for name in ("shell", "library-ctor", "library-subst"):
+        assert flagged[name], f"{name} should have been detected"
+
+
+def test_execution_integrity_flags_thrashing(benchmark):
+    iterations = max(1, int(1_500 * bench_scale()))
+
+    def measure():
+        reference = run_experiment(make_ourprogram(iterations=iterations))
+        monitor = ExecutionIntegrityMonitor(reference)
+        clean = run_experiment(make_ourprogram(iterations=iterations))
+        attacked = run_experiment(make_ourprogram(iterations=iterations),
+                                  ThrashingAttack("i"))
+        return monitor.clean(clean), monitor.audit(attacked)
+
+    clean_ok, violations = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print("  clean run passes audit:", clean_ok)
+    for violation in violations:
+        print("  violation:", violation)
+    benchmark.extra_info["violations"] = len(violations)
+    assert clean_ok
+    assert violations

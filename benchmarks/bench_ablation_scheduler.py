@@ -1,0 +1,48 @@
+"""Scheduler ablation for the scheduling attack (DESIGN.md §5).
+
+Tick *accounting* is the enabling flaw, but how much of it an attacker can
+exploit depends on the scheduler's wakeup/placement policy.  Under our
+2.6.29-style CFS, START_DEBIT + child_runs_first pace the fork chain into
+tick-aligned sub-jiffy bursts (strong attack).  Under the modelled O(1)
+scheduler — which omits the interactivity bonus — a woken forker cannot
+preempt an equal-priority victim mid-slice, so the chain barely overlaps
+the victim and the attack collapses.  The bench records both, plus the
+round-robin control.
+"""
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import SchedulingAttack
+from repro.config import SchedulerConfig, default_config
+from repro.programs.workloads import make_whetstone
+
+from .conftest import bench_scale
+
+SCHEDULERS = ("cfs", "o1", "rr")
+
+
+def test_scheduling_attack_by_scheduler(benchmark):
+    scale = bench_scale()
+    loops = max(1, int(4_000 * scale))
+    forks = max(1, int(8_000 * scale))
+
+    def measure():
+        inflation = {}
+        for kind in SCHEDULERS:
+            cfg = default_config(scheduler=SchedulerConfig(kind=kind))
+            base = run_experiment(make_whetstone(loops=loops), cfg=cfg)
+            attacked = run_experiment(
+                make_whetstone(loops=loops),
+                SchedulingAttack(nice=-20, forks=forks), cfg=cfg)
+            inflation[kind] = attacked.total_s / base.total_s
+        return inflation
+
+    inflation = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for kind, x in inflation.items():
+        print(f"  scheduler={kind:>3}: victim inflated x{x:.3f}")
+        benchmark.extra_info[f"{kind}_inflation"] = round(x, 4)
+    # CFS's fork placement is what the attacker rides; the attack must be
+    # strongest there.
+    assert inflation["cfs"] > 1.10
+    assert inflation["cfs"] > inflation["o1"]
+    assert inflation["cfs"] > inflation["rr"]

@@ -1,0 +1,49 @@
+"""Regenerate the §V-C attack comparison and validate its qualitative
+claims against measured runs."""
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    InterruptFloodAttack,
+    ShellAttack,
+    ThrashingAttack,
+    comparison_matrix,
+)
+from repro.programs.workloads import make_ourprogram
+
+from .conftest import bench_scale
+
+
+def _o():
+    iterations = max(1, int(2_000 * bench_scale()))
+    return make_ourprogram(iterations=iterations)
+
+
+def test_comparison_matrix(benchmark):
+    """Print the matrix and verify the strength ordering empirically:
+    launch attacks (arbitrary) > thrashing (tunable) > irq flood (bounded),
+    measured as relative inflation on the same workload."""
+
+    def measure():
+        baseline = run_experiment(_o())
+        shell = run_experiment(_o(), ShellAttack(payload_cycles=506_000_000))
+        thrash = run_experiment(_o(), ThrashingAttack("i"))
+        flood = run_experiment(_o(), InterruptFloodAttack(rate_pps=20_000))
+        base = baseline.total_s
+        return {
+            "shell": shell.total_s / base,
+            "thrashing": thrash.total_s / base,
+            "irq-flood": flood.total_s / base,
+        }
+
+    inflation = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(comparison_matrix())
+    print()
+    print("measured inflation (x baseline):",
+          {k: round(v, 3) for k, v in inflation.items()})
+    for name, value in inflation.items():
+        benchmark.extra_info[f"inflation_{name}"] = round(value, 4)
+    # §V-C ordering: the unbounded launch attack dominates; the interrupt
+    # flood is the weakest.
+    assert inflation["shell"] > inflation["thrashing"] > 1.0
+    assert inflation["thrashing"] > inflation["irq-flood"]

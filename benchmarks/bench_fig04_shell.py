@@ -1,0 +1,11 @@
+"""Regenerate paper Fig. 4: the shell attack on O, P, W, B.
+
+Expected shape: every program's user time grows by the same constant (the
+injected payload); system time is untouched.
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig4_shell_attack(benchmark, scale):
+    run_figure_once(benchmark, "fig4", scale)

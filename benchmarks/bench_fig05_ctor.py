@@ -1,0 +1,11 @@
+"""Regenerate paper Fig. 5: the shared-library constructor attack.
+
+Expected shape: near-identical to Fig. 4 — "the same attacking code is
+executed at different locations".
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig5_ctor_attack(benchmark, scale):
+    run_figure_once(benchmark, "fig5", scale)

@@ -1,0 +1,13 @@
+"""Regenerate paper Fig. 6: the function-substitution attack (fake
+malloc/sqrt).
+
+Expected shape: all four programs' user time inflated, amplification
+proportional to each program's call count into the interposed functions
+(heaviest for Whetstone, which calls sqrt every cycle).
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig6_substitution_attack(benchmark, scale):
+    run_figure_once(benchmark, "fig6", scale)

@@ -1,0 +1,12 @@
+"""Regenerate paper Fig. 7: the process-scheduling attack on Whetstone.
+
+Expected shape: W's billed time rises monotonically with the attacker's
+priority, Fork's falls toward zero, and W+Fork stays roughly constant —
+the misattributed jiffies just move between accounts.
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig7_scheduling_attack_on_whetstone(benchmark, scale):
+    run_figure_once(benchmark, "fig7", scale)

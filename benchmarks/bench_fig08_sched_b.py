@@ -1,0 +1,11 @@
+"""Regenerate paper Fig. 8: the scheduling attack against Brute.
+
+Expected shape: ineffective — the multithreaded victim's accounting error
+"does not affect the overall time significantly".
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig8_scheduling_attack_on_brute(benchmark, scale):
+    run_figure_once(benchmark, "fig8", scale)

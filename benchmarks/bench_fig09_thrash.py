@@ -1,0 +1,12 @@
+"""Regenerate paper Fig. 9: the execution-thrashing attack.
+
+Expected shape: mostly *system*-time growth for every program, produced by
+one debug exception + SIGTRAP + two context switches per hot-variable
+access.
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig9_thrashing_attack(benchmark, scale):
+    run_figure_once(benchmark, "fig9", scale)

@@ -1,0 +1,11 @@
+"""Regenerate paper Fig. 10: the interrupt-flooding attack.
+
+Expected shape: a slight system-time increase only — the weakest attack,
+bounded by how cheap handlers are relative to user work.
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig10_interrupt_flood(benchmark, scale):
+    run_figure_once(benchmark, "fig10", scale)

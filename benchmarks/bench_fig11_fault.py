@@ -1,0 +1,12 @@
+"""Regenerate paper Fig. 11: the exception-flooding attack.
+
+Expected shape: system time up (direct reclaim, fault handling, swap-I/O
+completions) while the system thrashes; bounded by the OOM killer, which
+must *not* kill the victim.
+"""
+
+from .conftest import run_figure_once
+
+
+def test_fig11_exception_flood(benchmark, scale):
+    run_figure_once(benchmark, "fig11", scale)

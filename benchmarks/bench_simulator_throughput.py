@@ -1,0 +1,98 @@
+"""Simulator performance benchmarks (real pytest-benchmark timing).
+
+These track the host-side cost of the simulation itself so performance
+regressions in the engine/kernel hot paths are caught.  Unlike the figure
+benches (one pedantic round), these run multiple rounds and report real
+statistics.
+"""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_fork_attacker, make_whetstone
+
+
+def test_compute_bound_simulated_second(benchmark):
+    """Host cost of simulating one CPU-bound virtual second."""
+
+    def run():
+        machine = Machine(default_config())
+
+        def body(ctx):
+            yield Compute(machine.cfg.cpu_freq_hz)  # one virtual second
+
+        fn = GuestFunction("burn", body, Provenance.USER)
+        task = machine.kernel.spawn(fn, name="burn")
+        machine.run_until_exit([task], max_ns=5 * 10**9)
+        return machine.clock.now
+
+    wall_ns = benchmark(run)
+    assert wall_ns >= 10**9
+
+
+def test_syscall_heavy_throughput(benchmark):
+    """Host cost of 2 000 syscalls (engine frame push/pop hot path)."""
+
+    def run():
+        machine = Machine(default_config())
+
+        def body(ctx):
+            for _ in range(2_000):
+                yield Syscall("getpid")
+
+        fn = GuestFunction("sysspin", body, Provenance.USER)
+        task = machine.kernel.spawn(fn, name="sysspin")
+        machine.run_until_exit([task], max_ns=5 * 10**9)
+        return task.exit_code
+
+    assert benchmark(run) == 0
+
+
+def test_fork_storm_throughput(benchmark):
+    """Host cost of 500 fork/wait/exit cycles (scheduler + lifecycle)."""
+
+    def run():
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        task = shell.run_command(make_fork_attacker(forks=500))
+        machine.run_until_exit([task], max_ns=30 * 10**9)
+        return task.exit_code
+
+    assert benchmark(run) == 0
+
+
+def test_memory_fault_throughput(benchmark):
+    """Host cost of 2 000 minor faults (mm hot path)."""
+
+    def run():
+        machine = Machine(default_config())
+
+        def body(ctx):
+            addr = yield Syscall("mmap", (2_000,))
+            for page in range(2_000):
+                yield Mem(addr + page * 4096, write=True)
+
+        fn = GuestFunction("faults", body, Provenance.USER)
+        task = machine.kernel.spawn(fn, name="faults")
+        machine.run_until_exit([task], max_ns=30 * 10**9)
+        return task.minor_faults
+
+    assert benchmark(run) == 2_000
+
+
+def test_whetstone_oplevel_throughput(benchmark):
+    """Host cost of a mixed op stream (lib calls + mem + compute)."""
+
+    def run():
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        task = shell.run_command(make_whetstone(loops=1_000))
+        machine.run_until_exit([task], max_ns=30 * 10**9)
+        return task.exit_code
+
+    assert benchmark(run) == 0

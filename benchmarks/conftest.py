@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one evaluation figure (or ablation), asserts its
+shape checks, and records the headline numbers in ``extra_info`` so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction's
+verification harness.
+
+``REPRO_BENCH_SCALE`` (default 0.4) stretches workload sizes; 1.0 matches
+EXPERIMENTS.md's reference runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture
+def scale():
+    return bench_scale()
+
+
+def run_figure_once(benchmark, fig_id, scale, cfg=None):
+    """Run one figure regeneration under pytest-benchmark."""
+    from repro.analysis.figures import run_figure
+    from repro.analysis.report import figure_report
+
+    result = benchmark.pedantic(
+        lambda: run_figure(fig_id, scale=scale, cfg=cfg),
+        rounds=1, iterations=1)
+    print()
+    print(figure_report(result))
+    benchmark.extra_info["fig_id"] = fig_id
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["checks_passed"] = result.passed
+    for name, (normal, attacked) in result.pairs.items():
+        benchmark.extra_info[f"{name}_normal_s"] = round(normal.total_s, 4)
+        benchmark.extra_info[f"{name}_attacked_s"] = round(attacked.total_s, 4)
+    for label, victim, attacker in result.series:
+        key = label.replace(" ", "_")
+        benchmark.extra_info[f"{key}_victim_s"] = round(victim.total_s, 4)
+        benchmark.extra_info[f"{key}_attacker_s"] = round(attacker.total_s, 4)
+    assert result.passed, (
+        f"{fig_id} shape checks failed: "
+        + "; ".join(f"{c.name} ({c.detail})" for c in result.failed_checks()))
+    return result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Attack gallery: run all six attacks of the paper against one victim.
+
+For each attack the script reports the victim's billed time against the
+no-attack baseline, the split between user and system time, and the exact
+stolen time according to the oracle — a compact tour of Section IV.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    ExceptionFloodAttack,
+    InterruptFloodAttack,
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+    comparison_matrix,
+)
+from repro.config import MemoryConfig, default_config
+from repro.programs.workloads import make_ourprogram
+
+ITERATIONS = 2_500
+PAYLOAD = 506_000_000  # ~0.2 s at 2.53 GHz
+
+
+def victim():
+    return make_ourprogram(iterations=ITERATIONS)
+
+
+def main() -> None:
+    baseline = run_experiment(victim())
+    print(f"victim O baseline: {baseline.utime_s:.3f}u + "
+          f"{baseline.stime_s:.3f}s = {baseline.total_s:.3f} s\n")
+
+    gallery = [
+        ("shell attack (IV-A1)", ShellAttack(PAYLOAD), None),
+        ("library ctor (IV-A2)", LibraryConstructorAttack(PAYLOAD), None),
+        ("library subst (V-B2)",
+         LibrarySubstitutionAttack(cycles_per_call=300_000), None),
+        ("scheduling (IV-B1)", SchedulingAttack(nice=-20, forks=6_000), None),
+        ("thrashing (IV-B2)", ThrashingAttack("i"), None),
+        ("irq flood (IV-B3)", InterruptFloodAttack(rate_pps=25_000), None),
+        ("fault flood (IV-B4)", ExceptionFloodAttack(),
+         default_config(memory=MemoryConfig(ram_bytes=16 * 1024 * 1024,
+                                            swap_bytes=128 * 1024 * 1024))),
+    ]
+
+    header = (f"{'attack':<22} {'utime':>7} {'stime':>7} {'total':>7} "
+              f"{'vs base':>8} {'oracle theft':>12}")
+    print(header)
+    print("-" * len(header))
+    for name, attack, cfg in gallery:
+        base = baseline if cfg is None else run_experiment(victim(), cfg=cfg)
+        result = run_experiment(victim(), attack, cfg=cfg)
+        inflation = result.total_s / base.total_s if base.total_s else 1.0
+        theft = (result.oracle_seconds.get("injected", 0.0)
+                 + result.oracle_seconds.get("tracer", 0.0)
+                 + result.oracle_seconds.get("irq", 0.0))
+        print(f"{name:<22} {result.utime_s:>7.3f} {result.stime_s:>7.3f} "
+              f"{result.total_s:>7.3f} {inflation:>7.2f}x {theft:>11.3f}s")
+
+    print()
+    print("qualitative comparison (paper §V-C):")
+    print(comparison_matrix())
+
+
+if __name__ == "__main__":
+    main()

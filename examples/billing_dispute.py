@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Billing dispute: a user catches a dishonest provider.
+
+Walks the paper's trust story end to end:
+
+1. the user submits a job to a provider whose shell was tampered with;
+2. the provider bills the inflated metered time;
+3. the user replays the job on her own machine (the paper's §III-B
+   definition of trustworthiness) and disputes the bill;
+4. TPM-backed platform attestation pinpoints *what* was tampered with.
+
+Run:  python examples/billing_dispute.py
+"""
+
+from repro import Machine, default_config
+from repro.analysis.experiment import run_experiment
+from repro.attacks import ShellAttack
+from repro.metering.attestation import (
+    TrustedPlatformModule,
+    compare_to_golden,
+    measure_platform,
+    verify_quote,
+)
+from repro.metering.billing import PER_HOUR_PLAN, invoice_for
+from repro.metering.verification import BillVerifier
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_whetstone
+
+
+def main() -> None:
+    job = make_whetstone(loops=6_000)
+
+    # --- at the (dishonest) provider ------------------------------------
+    attack = ShellAttack(payload_cycles=1_265_000_000)  # steal ~0.5 s
+    provider_run = run_experiment(make_whetstone(loops=6_000), attack)
+    bill = invoice_for(job.name, provider_run.usage, PER_HOUR_PLAN)
+    print("provider's bill:")
+    print(bill.render())
+    print()
+
+    # --- at the user: replay on her own platform -------------------------
+    verifier = BillVerifier()
+    report = verifier.verify(job, provider_run.usage)
+    print("user-side verification (replay on her own machine):")
+    print(report.render())
+    print()
+
+    # --- attestation: find the tampering ---------------------------------
+    # Golden measurements were taken from a pristine platform at signup.
+    pristine = Machine(default_config())
+    install_standard_libraries(pristine.kernel.libraries)
+    golden = measure_platform(pristine, pristine.new_shell(), job)
+
+    # The provider must attest its current platform before the next job.
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+    shell = machine.new_shell()
+    attack_again = ShellAttack(payload_cycles=1_265_000_000)
+    attack_again.install(machine, shell)
+
+    measured = measure_platform(machine, shell, job)
+    tpm = TrustedPlatformModule(b"provider-machine-key")
+    quote = tpm.quote(measured, nonce="dispute-7781")
+    verify_quote(quote, measured, "dispute-7781", tpm.verify_key())
+    print("attestation quote verified (the TPM is trusted; the log is "
+          "genuine)")
+
+    problems = compare_to_golden(measured, golden)
+    if problems:
+        print("source-integrity violations found:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("platform measures clean — the overcharge must be a runtime "
+              "attack (scheduling/thrashing/flooding)")
+
+
+if __name__ == "__main__":
+    main()

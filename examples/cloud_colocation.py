@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cloud co-location: the paper's future-work scenario, concretely.
+
+Alice rents an instance; the provider co-locates its own root instance on
+the same core and compares three worlds:
+
+1. **uptime billing** (EC2-style instance-hours): plain co-located load
+   doubles Alice's bill — turnaround time is not a trustworthy metric,
+   exactly the paper's §III-B point;
+2. **CPU metering, tick-sampled**: plain load is billed fairly, but the
+   Fork scheduling attack inflates Alice's metered CPU;
+3. **CPU metering, fine-grained (TSC)**: the attack is neutralised.
+
+Run:  python examples/cloud_colocation.py
+"""
+
+from repro.cloud import CloudProvider
+from repro.config import default_config
+from repro.programs.workloads import (
+    make_busyloop,
+    make_fork_attacker,
+    make_ourprogram,
+)
+
+VICTIM_ITERATIONS = 2_500
+
+
+def run_world(accounting: str, co_located=None, nice=None):
+    provider = CloudProvider(default_config(accounting=accounting))
+    alice = provider.launch_instance("i-alice", "alice")
+    job = alice.run(make_ourprogram(iterations=VICTIM_ITERATIONS))
+    if co_located is not None:
+        evil = provider.launch_instance("i-provider", "provider",
+                                        provider_owned=True)
+        evil.run(co_located, nice=nice)
+    alice.wait_all(max_ns=600 * 10**9)
+    provider.terminate_instance("i-alice")
+    return provider, alice
+
+
+def main() -> None:
+    print(f"{'world':<42} {'uptime bill':>12} {'cpu bill':>10}")
+    print("-" * 68)
+    rows = [
+        ("tick accounting, idle neighbour", "tick", None, None),
+        ("tick accounting, busy neighbour", "tick",
+         make_busyloop(total_cycles=4_000_000_000), None),
+        ("tick accounting, Fork attack @ nice -20", "tick",
+         make_fork_attacker(forks=10_000, nice=-20), None),
+        ("TSC accounting, Fork attack @ nice -20", "tsc",
+         make_fork_attacker(forks=10_000, nice=-20), None),
+    ]
+    for label, accounting, neighbour, nice in rows:
+        provider, alice = run_world(accounting, neighbour, nice)
+        uptime_s = alice.uptime_ns / 1e9
+        cpu_s = alice.cpu_usage().total_seconds
+        print(f"{label:<42} {uptime_s:>10.3f}s {cpu_s:>9.3f}s")
+    print()
+    print("uptime billing pays for the *neighbour's* load; tick-sampled CPU")
+    print("metering pays for the scheduling attack; fine-grained metering")
+    print("pays only for Alice's own work.")
+
+
+if __name__ == "__main__":
+    main()

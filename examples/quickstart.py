@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a simulated machine, run a job, read its bill.
+
+Covers the core public API in ~40 lines:
+
+* build a machine from the default (paper-testbed) configuration,
+* install the standard shared libraries,
+* launch a workload through the shell, exactly as a provider would,
+* read the kernel's billing view and the simulator's ground-truth oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, default_config
+from repro.metering.billing import invoice_for
+from repro.metering.oracle import oracle_report
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_pi
+
+
+def main() -> None:
+    # A DELL OptiPlex 755 flavour machine: one 2.53 GHz core, HZ=250 ticks,
+    # tick-sampled CPU accounting — the commodity setup the paper studies.
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+
+    # The user submits a job; the provider's shell launches it.
+    shell = machine.new_shell()
+    job = make_pi(chunks=120)
+    task = shell.run_command(job)
+
+    machine.run_until_exit([task], max_ns=60_000_000_000)
+
+    usage = machine.kernel.accounting.usage(task)
+    print(f"job {job.name!r} finished at t={machine.clock.now_seconds:.3f}s "
+          f"(simulated)")
+    print(f"  billed utime : {usage.utime_seconds:.3f} s")
+    print(f"  billed stime : {usage.stime_seconds:.3f} s")
+    print(f"  ticks sampled: {task.acct_ticks}")
+    print()
+    print(invoice_for(job.name, usage).render())
+    print()
+
+    # The simulator's omniscient view: exact attribution by provenance.
+    report = oracle_report(machine, task)
+    print("ground truth (oracle):")
+    for provenance, seconds in sorted(report.by_provenance.items()):
+        print(f"  {provenance:>9}: {seconds:.4f} s")
+    print(f"  honest bill would be {report.honest_s:.3f} s; "
+          f"billed {report.billed_s:.3f} s "
+          f"({report.overcharge_s:+.3f} s sampling error)")
+
+
+if __name__ == "__main__":
+    main()

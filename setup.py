@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (legacy editable installs go
+through ``setup.py develop``, which needs only setuptools).
+"""
+
+from setuptools import setup
+
+setup()

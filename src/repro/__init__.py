@@ -1,0 +1,75 @@
+"""repro — reproduction of Liu & Ding, "On Trustworthiness of CPU Usage
+Metering and Accounting" (ICDCSW 2010).
+
+A deterministic discrete-event OS simulator (scheduler, tick accounting,
+signals, ptrace, demand paging, dynamic linker, shell and devices), the
+paper's six CPU-time metering attacks, trustworthy-metering defenses, and an
+experiment harness regenerating every evaluation figure.
+
+Quickstart::
+
+    from repro import Machine, default_config
+    from repro.programs.stdlib import install_standard_libraries
+    from repro.programs.workloads import make_pi
+
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+    shell = machine.new_shell()
+    task = shell.run_command(make_pi(iterations=20_000))
+    machine.run_until_exit([task])
+    print(machine.kernel.accounting.usage(task))
+"""
+
+from .config import (
+    CostModel,
+    DiskConfig,
+    MachineConfig,
+    MemoryConfig,
+    NS_PER_SEC,
+    SchedulerConfig,
+    default_config,
+)
+from .errors import ReproError, SimulationError, KernelError
+from .hw.machine import Machine
+from .kernel.accounting import CpuUsage
+from .kernel.process import Task, TaskState
+from .programs.base import GuestContext, GuestFunction, Program
+from .programs.ops import (
+    CallLib,
+    CallNext,
+    Compute,
+    Invoke,
+    Mem,
+    Provenance,
+    Syscall,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DiskConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "NS_PER_SEC",
+    "SchedulerConfig",
+    "default_config",
+    "ReproError",
+    "SimulationError",
+    "KernelError",
+    "Machine",
+    "CpuUsage",
+    "Task",
+    "TaskState",
+    "GuestContext",
+    "GuestFunction",
+    "Program",
+    "CallLib",
+    "CallNext",
+    "Compute",
+    "Invoke",
+    "Mem",
+    "Provenance",
+    "Syscall",
+    "__version__",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure <fig4..fig11> [--scale S]`` — regenerate one evaluation figure
+  and print the chart plus its shape checks (exit 1 if any check fails);
+* ``figures [--scale S]`` — regenerate all eight;
+* ``gallery`` — run every attack against one victim (summary table);
+* ``calibrate`` — measure the simulated primitive costs;
+* ``comparison`` — print the §V-C attack matrix and the §VI-B defense
+  coverage table;
+* ``top [--seconds T]`` — boot a machine with the paper's four workloads
+  and print a procfs top snapshot after T simulated seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .analysis.figures import FIGURES, run_figure
+    from .analysis.report import figure_report
+
+    fig_ids = sorted(FIGURES) if args.fig_id == "all" else [args.fig_id]
+    ok = True
+    for fig_id in fig_ids:
+        fig = run_figure(fig_id, scale=args.scale)
+        print(figure_report(fig))
+        print()
+        ok = ok and fig.passed
+    return 0 if ok else 1
+
+
+def _cmd_gallery(args: argparse.Namespace) -> int:
+    from .analysis.experiment import run_experiment
+    from .attacks import (
+        InterruptFloodAttack,
+        LibraryConstructorAttack,
+        LibrarySubstitutionAttack,
+        SchedulingAttack,
+        ShellAttack,
+        ThrashingAttack,
+    )
+    from .programs.workloads import make_ourprogram
+
+    def victim():
+        return make_ourprogram(iterations=int(2_500 * args.scale))
+
+    baseline = run_experiment(victim())
+    print(f"baseline: {baseline.total_s:.3f} s")
+    rows = [
+        ("shell", ShellAttack(506_000_000)),
+        ("library-ctor", LibraryConstructorAttack(506_000_000)),
+        ("library-subst", LibrarySubstitutionAttack(cycles_per_call=300_000)),
+        ("scheduling", SchedulingAttack(nice=-20, forks=6_000)),
+        ("thrashing", ThrashingAttack("i")),
+        ("irq-flood", InterruptFloodAttack(rate_pps=25_000)),
+    ]
+    for name, attack in rows:
+        result = run_experiment(victim(), attack)
+        print(f"  {name:<14} {result.utime_s:.3f}u + {result.stime_s:.3f}s "
+              f"(x{result.total_s / baseline.total_s:.2f})")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .analysis.calibration import calibrate
+
+    print(calibrate(iterations=args.iterations).render())
+    return 0
+
+
+def _cmd_comparison(args: argparse.Namespace) -> int:
+    from .attacks import comparison_matrix
+    from .metering.properties import defense_coverage_table
+
+    print(comparison_matrix())
+    print()
+    print(defense_coverage_table())
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .hw.machine import Machine
+    from .config import default_config
+    from .kernel import procfs
+    from .programs.stdlib import install_standard_libraries
+    from .analysis.figures import paper_workloads
+
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+    shell = machine.new_shell()
+    for program in paper_workloads(scale=1.0).values():
+        shell.run_command(program)
+    machine.run_for(int(args.seconds * 1e9))
+    print(procfs.top(machine.kernel))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On Trustworthiness of CPU Usage "
+                    "Metering and Accounting' (Liu & Ding, ICDCSW 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("fig_id", choices=[f"fig{n}" for n in range(4, 12)])
+    fig.add_argument("--scale", type=float, default=0.4)
+    fig.set_defaults(func=_cmd_figure)
+
+    figs = sub.add_parser("figures", help="regenerate all figures")
+    figs.add_argument("--scale", type=float, default=0.4)
+    figs.set_defaults(func=_cmd_figure, fig_id="all")
+
+    gallery = sub.add_parser("gallery", help="run every attack once")
+    gallery.add_argument("--scale", type=float, default=1.0)
+    gallery.set_defaults(func=_cmd_gallery)
+
+    calib = sub.add_parser("calibrate", help="measure primitive costs")
+    calib.add_argument("--iterations", type=int, default=200)
+    calib.set_defaults(func=_cmd_calibrate)
+
+    comparison = sub.add_parser("comparison",
+                                help="attack matrix + defense coverage")
+    comparison.set_defaults(func=_cmd_comparison)
+
+    top = sub.add_parser("top", help="procfs snapshot of a loaded machine")
+    top.add_argument("--seconds", type=float, default=0.5)
+    top.set_defaults(func=_cmd_top)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

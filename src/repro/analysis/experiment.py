@@ -1,0 +1,168 @@
+"""Run one victim program on one machine, with or without an attack.
+
+``run_experiment`` is the workhorse behind every figure: boot a fresh
+machine, tamper per the attack, launch the victim through the shell the way
+the paper does, run to completion, and collect *both* views of the truth —
+the kernel's billing view (what the user is charged) and the oracle's
+provenance-exact view (what actually happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..attacks.base import Attack, NoAttack
+from ..config import MachineConfig, default_config
+from ..hw.machine import Machine
+from ..kernel.accounting import CpuUsage
+from ..kernel.process import Task
+from ..programs.base import Program
+from ..programs.stdlib import install_standard_libraries
+
+#: Generous per-run ceiling; a run that hits it is a harness bug.
+DEFAULT_MAX_NS = 3_000 * 1_000_000_000
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured from one victim run."""
+
+    program: str
+    attack: str
+    #: Billing view: thread-group utime/stime as getrusage reports them.
+    usage: CpuUsage
+    #: Attacker's own billed usage (self + reaped children), if any.
+    attacker_usage: Optional[CpuUsage]
+    #: Wall-clock (simulated) time at victim exit.
+    wall_ns: int
+    #: Final getrusage dict the victim logged at exit (None if it was
+    #: killed before reaching it).
+    rusage: Optional[Dict[str, object]]
+    #: Ground truth: seconds by provenance, summed over the thread group.
+    oracle_seconds: Dict[str, float]
+    #: Assorted counters.
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utime_s(self) -> float:
+        return self.usage.utime_seconds
+
+    @property
+    def stime_s(self) -> float:
+        return self.usage.stime_seconds
+
+    @property
+    def total_s(self) -> float:
+        return self.usage.total_seconds
+
+    @property
+    def wall_s(self) -> float:
+        return self.wall_ns / 1e9
+
+    def oracle_own_s(self) -> float:
+        """Ground-truth seconds of legitimate work (user + lib + kernel
+        service for them) — what an honest bill would charge."""
+        legit = (self.oracle_seconds.get("user", 0.0)
+                 + self.oracle_seconds.get("lib", 0.0)
+                 + self.oracle_seconds.get("system", 0.0))
+        return legit
+
+    def oracle_injected_s(self) -> float:
+        return self.oracle_seconds.get("injected", 0.0)
+
+
+def _group_usage(machine: Machine, task: Task) -> CpuUsage:
+    usage = CpuUsage()
+    for member in machine.kernel.thread_group(task):
+        usage = usage + machine.kernel.accounting.usage(member)
+    return usage
+
+
+def _group_oracle_seconds(machine: Machine, task: Task) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for member in machine.kernel.thread_group(task):
+        for (_user, prov), ns in member.oracle_ns.items():
+            totals[prov.value] = totals.get(prov.value, 0.0) + ns / 1e9
+    return totals
+
+
+def run_experiment(program: Program,
+                   attack: Optional[Attack] = None,
+                   cfg: Optional[MachineConfig] = None,
+                   run_attacker_to_completion: Optional[bool] = None,
+                   max_ns: int = DEFAULT_MAX_NS,
+                   extra_libraries=(),
+                   trace=()) -> ExperimentResult:
+    """Execute ``program`` under ``attack`` on a fresh machine.
+
+    ``extra_libraries`` installs additional shared objects (e.g. a plugin
+    the program dlopens) before the attack's ``install`` hook runs, so
+    attacks may tamper with them.
+    """
+    attack = attack or NoAttack()
+    machine = Machine(cfg or default_config(), trace=trace)
+    install_standard_libraries(machine.kernel.libraries)
+    for library in extra_libraries:
+        machine.kernel.libraries.install(library, replace=True)
+    shell = machine.new_shell()
+
+    attack.install(machine, shell)
+    attack.pre_launch(machine, shell)
+    victim = shell.run_command(program)
+    attack.engage(machine, victim)
+
+    machine.run_until_exit([victim], max_ns=max_ns)
+    victim_wall_ns = machine.clock.now
+
+    # The scheduling experiments report the attacker's own CPU time at its
+    # exit (Fig. 7/8 plot both bars), so optionally let it finish.
+    if run_attacker_to_completion is None:
+        run_attacker_to_completion = attack.wait_for_attacker
+    if run_attacker_to_completion and attack.attacker_tasks:
+        live = [t for t in attack.attacker_tasks if t.alive]
+        if live:
+            machine.run_until_exit(live, max_ns=max_ns)
+    attack.cleanup(machine)
+
+    attacker_usage: Optional[CpuUsage] = None
+    if attack.attacker_tasks:
+        attacker_usage = CpuUsage()
+        for atask in attack.attacker_tasks:
+            own = machine.kernel.accounting.usage(atask)
+            attacker_usage = attacker_usage + own + CpuUsage(
+                atask.acct_cutime_ns, atask.acct_cstime_ns)
+
+    rusage = None
+    if victim.guest_ctx is not None:
+        logged = victim.guest_ctx.shared.get("rusage")
+        if isinstance(logged, dict):
+            rusage = logged
+
+    group = machine.kernel.thread_group(victim)
+    stats = {
+        "minor_faults": sum(t.minor_faults for t in group),
+        "major_faults": sum(t.major_faults for t in group),
+        "voluntary_switches": sum(t.voluntary_switches for t in group),
+        "involuntary_switches": sum(t.involuntary_switches for t in group),
+        "debug_exceptions": sum(t.debug_exceptions for t in group),
+        "signals_received": sum(t.signals_received for t in group),
+        "context_switches_total": machine.kernel.context_switches,
+        "ticks": machine.kernel.timekeeper.jiffies,
+        "swap_ins": machine.kernel.mm.swap_ins,
+        "swap_outs": machine.kernel.mm.swap_outs,
+        "oom_kills": machine.kernel.mm.oom_kills,
+        "nic_packets": machine.nic.packets_received,
+        "exit_code": victim.exit_code,
+    }
+
+    return ExperimentResult(
+        program=program.name,
+        attack=attack.name,
+        usage=_group_usage(machine, victim),
+        attacker_usage=attacker_usage,
+        wall_ns=victim_wall_ns,
+        rusage=rusage,
+        oracle_seconds=_group_oracle_seconds(machine, victim),
+        stats=stats,
+    )

@@ -1,0 +1,453 @@
+"""Regeneration of the paper's evaluation figures (Figs. 4-11).
+
+Workloads are scaled to ~1/200 of the paper's run lengths (DESIGN.md §2);
+every check is on *shape* — who gets inflated, utime vs stime, ordering
+across programs, monotonicity in nice, sum conservation — never absolute
+seconds.  ``PAPER_REFERENCE`` records values eyeballed from the published
+figures for side-by-side context in EXPERIMENTS.md; they are approximate by
+nature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..attacks import (
+    Attack,
+    ExceptionFloodAttack,
+    InterruptFloodAttack,
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from ..config import MachineConfig, default_config
+from ..programs.base import Program
+from ..programs.workloads import (
+    make_brute,
+    make_ourprogram,
+    make_pi,
+    make_whetstone,
+    watched_variable,
+)
+from .experiment import ExperimentResult, run_experiment
+
+#: The injected payload for the launch-time attacks: the scaled analogue of
+#: the paper's ~34-second loop (~0.34 s at 2.53 GHz).
+LAUNCH_PAYLOAD_CYCLES = 860_000_000
+
+#: Per-call theft for the function-substitution attack (~0.24 ms).
+SUBST_CYCLES_PER_CALL = 600_000
+
+#: Packet rate for the interrupt flood.
+FLOOD_RATE_PPS = 20_000.0
+
+#: Nice sweep of Figs. 7-8 ("no attack" first, then rising priority).
+NICE_SWEEP: Tuple[Optional[int], ...] = (0, -5, -10, -15, -20)
+
+#: Fork-chain length for the scheduling figures.
+SCHED_FORKS = 16_000
+
+
+def paper_workloads(scale: float = 1.0) -> Dict[str, Program]:
+    """The four evaluation programs at the standard scaled sizes.
+
+    ``scale`` stretches run lengths (1.0 ≈ paper/200); iteration counts
+    also set the thrashing-attack hit counts, mirroring the paper's
+    per-variable access counts.
+    """
+
+    def n(x: int) -> int:
+        return max(1, int(x * scale))
+
+    return {
+        "O": make_ourprogram(iterations=n(5_000), cycles_per_iter=430_000,
+                             mallocs=n(400)),
+        "P": make_pi(chunks=n(50), y_touches_per_chunk=400,
+                     cycles_per_chunk=9_000_000),
+        "W": make_whetstone(loops=n(8_000)),
+        "B": make_brute(threads=8, candidates_per_thread=n(1_300),
+                        per_thread_tries=1),
+    }
+
+
+@dataclass
+class Bar:
+    """One (utime, stime) bar of a figure."""
+
+    label: str
+    utime_s: float
+    stime_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.utime_s + self.stime_s
+
+
+@dataclass
+class Check:
+    """One shape assertion, with its observed evidence."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: bars/series plus shape checks."""
+
+    fig_id: str
+    title: str
+    #: For the per-program figures: program → (normal bar, attacked bar).
+    pairs: Dict[str, Tuple[Bar, Bar]] = field(default_factory=dict)
+    #: For the sweep figures: label → (victim bar, attacker bar).
+    series: List[Tuple[str, Bar, Bar]] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> List[Check]:
+        return [c for c in self.checks if not c.passed]
+
+
+def _bar(label: str, res: ExperimentResult) -> Bar:
+    return Bar(label, res.utime_s, res.stime_s)
+
+
+def _run_pairs(fig_id: str, title: str,
+               attack_factory: Callable[[str], Attack],
+               scale: float, cfg: Optional[MachineConfig],
+               programs: Optional[List[str]] = None) -> FigureResult:
+    """Run normal + attacked for each paper program; no checks yet."""
+    workloads = paper_workloads(scale)
+    fig = FigureResult(fig_id=fig_id, title=title)
+    for name in (programs or list(workloads)):
+        program = workloads[name]
+        normal = run_experiment(program, cfg=cfg)
+        attacked = run_experiment(program, attack=attack_factory(name),
+                                  cfg=cfg)
+        fig.pairs[name] = (_bar("normal", normal), _bar("attacked", attacked))
+        fig.results[f"{name}:normal"] = normal
+        fig.results[f"{name}:attacked"] = attacked
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# shape checks
+# ---------------------------------------------------------------------------
+
+def _check_launch_attack_shape(fig: FigureResult,
+                               payload_s: float) -> None:
+    """Figs. 4/5: utime grows by ~the payload for every program; stime
+    unaffected."""
+    deltas = []
+    for name, (normal, attacked) in fig.pairs.items():
+        du = attacked.utime_s - normal.utime_s
+        ds = attacked.stime_s - normal.stime_s
+        deltas.append(du)
+        fig.checks.append(Check(
+            f"{name}: utime inflated by ~payload",
+            0.7 * payload_s <= du <= 1.5 * payload_s,
+            f"delta_utime={du:.3f}s payload={payload_s:.3f}s"))
+        fig.checks.append(Check(
+            f"{name}: stime unaffected",
+            abs(ds) <= max(0.1 * normal.total_s, 0.02),
+            f"delta_stime={ds:.3f}s"))
+    if deltas:
+        spread = max(deltas) - min(deltas)
+        fig.checks.append(Check(
+            "equal growth across programs",
+            spread <= 0.35 * max(deltas),
+            f"deltas={['%.3f' % d for d in deltas]}"))
+
+
+def _check_all_inflated(fig: FigureResult, min_rel: float,
+                        component: str) -> None:
+    for name, (normal, attacked) in fig.pairs.items():
+        if component == "total":
+            before, after = normal.total_s, attacked.total_s
+        elif component == "utime":
+            before, after = normal.utime_s, attacked.utime_s
+        else:
+            before, after = normal.stime_s, attacked.stime_s
+        grew = after - before
+        fig.checks.append(Check(
+            f"{name}: {component} inflated",
+            grew >= min_rel * max(normal.total_s, 1e-9),
+            f"{component}: {before:.3f} -> {after:.3f} (+{grew:.3f})"))
+
+
+# ---------------------------------------------------------------------------
+# the figures
+# ---------------------------------------------------------------------------
+
+def figure4(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 4: the shell attack on O, P, W, B."""
+    fig = _run_pairs(
+        "fig4", "Shell attack",
+        lambda name: ShellAttack(payload_cycles=LAUNCH_PAYLOAD_CYCLES),
+        scale, cfg)
+    payload_s = LAUNCH_PAYLOAD_CYCLES / (cfg or default_config()).cpu_freq_hz
+    _check_launch_attack_shape(fig, payload_s)
+    fig.meta["payload_seconds"] = payload_s
+    return fig
+
+
+def figure5(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 5: the shared-library constructor attack."""
+    fig = _run_pairs(
+        "fig5", "Shared-library constructor attack",
+        lambda name: LibraryConstructorAttack(
+            payload_cycles=LAUNCH_PAYLOAD_CYCLES),
+        scale, cfg)
+    payload_s = LAUNCH_PAYLOAD_CYCLES / (cfg or default_config()).cpu_freq_hz
+    _check_launch_attack_shape(fig, payload_s)
+    fig.meta["payload_seconds"] = payload_s
+    return fig
+
+
+def figure6(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 6: the function-substitution attack (fake malloc/sqrt).
+
+    Inflation is proportional to each program's call count into the
+    interposed functions — the amplification the paper highlights.
+    """
+    fig = _run_pairs(
+        "fig6", "Library function-substitution attack",
+        lambda name: LibrarySubstitutionAttack(
+            symbols=("malloc", "sqrt"),
+            cycles_per_call=SUBST_CYCLES_PER_CALL),
+        scale, cfg)
+    _check_all_inflated(fig, min_rel=0.03, component="utime")
+    for name, (normal, attacked) in fig.pairs.items():
+        ds = attacked.stime_s - normal.stime_s
+        fig.checks.append(Check(
+            f"{name}: stime unaffected",
+            abs(ds) <= max(0.1 * normal.total_s, 0.02),
+            f"delta_stime={ds:.3f}s"))
+    # Amplification: W (sqrt every cycle) must gain more than the launch
+    # payload would give it, and more than any lighter caller.
+    gains = {name: attacked.utime_s - normal.utime_s
+             for name, (normal, attacked) in fig.pairs.items()}
+    fig.checks.append(Check(
+        "amplified for the heaviest caller (W)",
+        gains.get("W", 0.0) >= max(g for n, g in gains.items() if n != "W"),
+        f"gains={ {n: round(g, 3) for n, g in gains.items()} }"))
+    fig.meta["cycles_per_call"] = SUBST_CYCLES_PER_CALL
+    return fig
+
+
+def _sched_figure(fig_id: str, title: str, victim_name: str,
+                  victim: Program, scale: float,
+                  cfg: Optional[MachineConfig]) -> FigureResult:
+    fig = FigureResult(fig_id=fig_id, title=title)
+    forks = max(1, int(SCHED_FORKS * scale))
+    # "No attack": victim and Fork each run alone (the leftmost bar pair).
+    from ..programs.attackers import make_fork_attacker
+
+    baseline = run_experiment(victim, cfg=cfg)
+    alone = run_experiment(make_fork_attacker(forks=forks), cfg=cfg)
+    # Fork's bar includes its reaped children, as time(1) would report.
+    cutime = (alone.rusage or {}).get("cutime_ns", 0) / 1e9
+    cstime = (alone.rusage or {}).get("cstime_ns", 0) / 1e9
+    fig.series.append(("no attack",
+                       _bar(victim_name, baseline),
+                       Bar("Fork", alone.utime_s + cutime,
+                           alone.stime_s + cstime)))
+    fig.results["baseline"] = baseline
+    fig.results["fork-alone"] = alone
+
+    for nice in NICE_SWEEP:
+        label = f"nice {nice}"
+        attack = SchedulingAttack(nice=nice, forks=forks)
+        res = run_experiment(victim, attack=attack, cfg=cfg)
+        atk = res.attacker_usage
+        fig.series.append((label,
+                           _bar(victim_name, res),
+                           Bar("Fork", atk.utime_seconds, atk.stime_seconds)))
+        fig.results[label] = res
+    return fig
+
+
+def figure7(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 7: the process-scheduling attack on Whetstone.
+
+    Expected shape: W's billed time rises monotonically as the attacker's
+    priority rises, the Fork program's falls, and W+Fork stays roughly
+    constant (the miscounted time moves between accounts).
+    """
+    victim = paper_workloads(scale)["W"]
+    fig = _sched_figure("fig7", "Process scheduling attack on Whetstone",
+                        "W", victim, scale, cfg)
+    baseline = fig.series[0][1].total_s
+    victim_totals = [v.total_s for _label, v, _f in fig.series[1:]]
+    fork_totals = [f.total_s for _label, _v, f in fig.series[1:]]
+    fig.checks.append(Check(
+        "victim time rises with attacker priority",
+        victim_totals[-1] > victim_totals[0] >= baseline - 0.05,
+        f"victim totals={['%.3f' % v for v in victim_totals]}"))
+    fig.checks.append(Check(
+        "attacker time falls with its priority",
+        fork_totals[-1] < fork_totals[0],
+        f"fork totals={['%.3f' % v for v in fork_totals]}"))
+    fig.checks.append(Check(
+        "strong inflation at nice -20",
+        victim_totals[-1] >= 1.15 * baseline,
+        f"baseline={baseline:.3f} at-20={victim_totals[-1]:.3f}"))
+    sums = [v.total_s + f.total_s for _l, v, f in fig.series[1:]]
+    fig.checks.append(Check(
+        "victim+attacker sum roughly conserved",
+        max(sums) <= 1.25 * min(sums),
+        f"sums={['%.3f' % s for s in sums]}"))
+    return fig
+
+
+def figure8(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 8: the scheduling attack on Brute — ineffective on the
+    multi-threaded victim."""
+    victim = paper_workloads(scale)["B"]
+    fig = _sched_figure("fig8", "Process scheduling attack on Brute",
+                        "B", victim, scale, cfg)
+    baseline = fig.series[0][1].total_s
+    victim_totals = [v.total_s for _label, v, _f in fig.series[1:]]
+    worst_rel = max(victim_totals) / baseline if baseline else 1.0
+    fig.checks.append(Check(
+        "attack ineffective on the multi-threaded victim",
+        worst_rel <= 1.30,
+        f"baseline={baseline:.3f} worst={max(victim_totals):.3f} "
+        f"(x{worst_rel:.2f})"))
+    fig.meta["worst_relative_inflation"] = worst_rel
+    return fig
+
+
+def figure9(scale: float = 1.0,
+            cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 9: the execution-thrashing attack — mostly stime growth."""
+    fig = _run_pairs(
+        "fig9", "Execution thrashing attack",
+        lambda name: ThrashingAttack(watch_symbol=watched_variable(name)),
+        scale, cfg)
+    for name, (normal, attacked) in fig.pairs.items():
+        du = attacked.utime_s - normal.utime_s
+        ds = attacked.stime_s - normal.stime_s
+        fig.checks.append(Check(
+            f"{name}: stime inflated",
+            ds > max(0.02, abs(du)),
+            f"delta_stime={ds:.3f}s delta_utime={du:.3f}s"))
+        hits = fig.results[f"{name}:attacked"].stats["debug_exceptions"]
+        fig.checks.append(Check(
+            f"{name}: watchpoint fired per hot-variable access",
+            hits > 0,
+            f"debug_exceptions={hits}"))
+    return fig
+
+
+def figure10(scale: float = 1.0,
+             cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 10: the interrupt-flooding attack — slight stime increase."""
+    fig = _run_pairs(
+        "fig10", "Interrupt flooding attack",
+        lambda name: InterruptFloodAttack(rate_pps=FLOOD_RATE_PPS),
+        scale, cfg)
+    for name, (normal, attacked) in fig.pairs.items():
+        ds = attacked.stime_s - normal.stime_s
+        du = attacked.utime_s - normal.utime_s
+        fig.checks.append(Check(
+            f"{name}: stime slightly inflated",
+            ds > 0.0,
+            f"delta_stime={ds:.3f}s"))
+        fig.checks.append(Check(
+            f"{name}: weak attack (bounded effect)",
+            ds + max(du, 0.0) <= 0.35 * normal.total_s,
+            f"relative={100 * (ds + max(du, 0)) / max(normal.total_s, 1e-9):.1f}%"))
+    return fig
+
+
+def fig11_config() -> MachineConfig:
+    """Machine for the exception flood: scaled-down RAM so the hog's
+    eviction sweep period relates to the victims' run lengths the way the
+    paper's 2 GiB does to its ~minutes-long runs."""
+    from ..config import MemoryConfig
+
+    return default_config(memory=MemoryConfig(
+        ram_bytes=16 * 1024 * 1024, swap_bytes=128 * 1024 * 1024))
+
+
+def figure11(scale: float = 1.0,
+             cfg: Optional[MachineConfig] = None) -> FigureResult:
+    """Fig. 11: the exception-flooding attack — stime up from direct
+    reclaim, fault handling and swap-I/O completions."""
+    fig = _run_pairs(
+        "fig11", "Exception flooding attack",
+        lambda name: ExceptionFloodAttack(),
+        scale, cfg or fig11_config())
+    for name, (normal, attacked) in fig.pairs.items():
+        ds = attacked.stime_s - normal.stime_s
+        res = fig.results[f"{name}:attacked"]
+        fig.checks.append(Check(
+            f"{name}: stime inflated",
+            ds > 0.0,
+            f"delta_stime={ds:.3f}s"))
+        fig.checks.append(Check(
+            f"{name}: system thrashing during the run",
+            res.stats["swap_outs"] > 200,
+            f"swap_outs={res.stats['swap_outs']} "
+            f"swap_ins={res.stats['swap_ins']}"))
+    fig.checks.append(Check(
+        "no OOM kill of the victim",
+        all(r.stats["exit_code"] == 0
+            for key, r in fig.results.items() if key.endswith(":attacked")),
+        "exit codes: " + str({k: r.stats["exit_code"]
+                              for k, r in fig.results.items()})))
+    return fig
+
+
+#: fig id → generator.
+FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+}
+
+
+def run_figure(fig_id: str, scale: float = 1.0,
+               cfg: Optional[MachineConfig] = None) -> FigureResult:
+    try:
+        generator = FIGURES[fig_id]
+    except KeyError:
+        raise KeyError(f"unknown figure {fig_id!r}; have {sorted(FIGURES)}")
+    return generator(scale=scale, cfg=cfg)
+
+
+#: Values eyeballed from the published figures, for context only (seconds).
+#: Never used in checks — the reproduction matches shape, not absolutes.
+PAPER_REFERENCE: Dict[str, Dict[str, object]] = {
+    "fig4": {"growth_all_programs_s": 34,
+             "note": "utime +~34 s for O/P/W/B; stime unchanged"},
+    "fig5": {"growth_all_programs_s": 34,
+             "note": "near-identical to Fig. 4"},
+    "fig6": {"note": "amplified growth, proportional to call counts"},
+    "fig7": {"W_normal_s": 150, "W_at_nice_minus20_s": 400,
+             "note": "sum W+Fork ~constant; monotone in priority"},
+    "fig8": {"note": "ineffective on multi-threaded Brute"},
+    "fig9": {"note": "mostly system-time growth, ordered by hit count"},
+    "fig10": {"note": "slight stime increase only"},
+    "fig11": {"note": "moderate stime increase; capped by OOM"},
+}

@@ -1,0 +1,37 @@
+"""The paper's six attacks on CPU-time metering (Section IV).
+
+Every attack implements the :class:`~repro.attacks.base.Attack` interface:
+``install`` tampers with the platform before the victim launches (shell,
+libraries, environment), ``engage`` starts active machinery once the victim
+is running (tracer, flood, hog, fork chain), ``cleanup`` quiesces the
+machine afterwards.
+"""
+
+from .base import Attack, AttackTraits, NoAttack
+from .combined import CompositeAttack
+from .shell_attack import ShellAttack
+from .library_ctor import LibraryConstructorAttack
+from .library_runtime import RuntimeLibraryAttack
+from .library_subst import LibrarySubstitutionAttack
+from .sched_attack import SchedulingAttack
+from .thrashing import ThrashingAttack
+from .irq_flood import InterruptFloodAttack
+from .fault_flood import ExceptionFloodAttack
+from .comparison import ALL_ATTACK_TRAITS, comparison_matrix
+
+__all__ = [
+    "Attack",
+    "AttackTraits",
+    "NoAttack",
+    "CompositeAttack",
+    "ShellAttack",
+    "LibraryConstructorAttack",
+    "LibrarySubstitutionAttack",
+    "RuntimeLibraryAttack",
+    "SchedulingAttack",
+    "ThrashingAttack",
+    "InterruptFloodAttack",
+    "ExceptionFloodAttack",
+    "ALL_ATTACK_TRAITS",
+    "comparison_matrix",
+]

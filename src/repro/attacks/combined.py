@@ -1,0 +1,66 @@
+"""Composite attacks.
+
+The paper's §I notes that "more sophisticated attacks can also be mounted
+by [a] real-world service provider to maximize its benefits" — in practice
+a provider would stack attacks: an LD_PRELOAD theft *and* a scheduling
+attack, say.  :class:`CompositeAttack` runs any set of attacks through one
+lifecycle so their effects combine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .base import Attack, AttackTraits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+    from ..kernel.shell import Shell
+
+
+class CompositeAttack(Attack):
+    """Mount several attacks against the same victim run."""
+
+    traits = AttackTraits(
+        name="composite",
+        paper_section="I (discussion)",
+        inflates="utime+stime",
+        vulnerability="all of the constituents' vulnerabilities",
+        strength="arbitrary",
+        side_effects="union of the constituents'",
+        requires_root=False,  # refined per instance below
+    )
+
+    def __init__(self, attacks: Sequence[Attack]) -> None:
+        super().__init__()
+        if not attacks:
+            raise ValueError("composite of zero attacks")
+        self.attacks = list(attacks)
+        self.wait_for_attacker = any(a.wait_for_attacker for a in attacks)
+
+    @property
+    def name(self) -> str:
+        return "+".join(attack.name for attack in self.attacks)
+
+    @property
+    def requires_root(self) -> bool:
+        return any(a.traits.requires_root for a in self.attacks)
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        for attack in self.attacks:
+            attack.install(machine, shell)
+
+    def pre_launch(self, machine: "Machine", shell: "Shell") -> None:
+        for attack in self.attacks:
+            attack.pre_launch(machine, shell)
+
+    def engage(self, machine: "Machine", victim: "Task") -> None:
+        super().engage(machine, victim)
+        for attack in self.attacks:
+            attack.engage(machine, victim)
+            self.attacker_tasks.extend(attack.attacker_tasks)
+
+    def cleanup(self, machine: "Machine") -> None:
+        for attack in reversed(self.attacks):
+            attack.cleanup(machine)

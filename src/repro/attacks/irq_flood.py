@@ -1,0 +1,53 @@
+"""The interrupt-flooding attack (paper §IV-B3, Fig. 10).
+
+A second machine blasts junk IP packets at the server's NIC.  Each packet
+raises an interrupt whose handler time is billed to whichever process is
+running — on a dedicated utility-computing platform, the victim.  The
+paper notes this is among the *weakest* attacks: handlers are cheap
+relative to user work, and the victim only pays for interrupts that land
+while it happens to be on the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..hw.nic import PacketFlood
+from .base import Attack, AttackTraits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+    from ..kernel.shell import Shell
+
+DEFAULT_RATE_PPS = 20_000.0
+
+
+class InterruptFloodAttack(Attack):
+    """Flood the NIC with junk packets from an external host."""
+
+    traits = AttackTraits(
+        name="irq-flood",
+        paper_section="IV-B3",
+        inflates="stime",
+        vulnerability="handler time billed to the interrupted process",
+        strength="bounded",
+        side_effects="denial-of-service pressure on the whole system",
+        requires_root=False,  # mounted from outside the box entirely
+    )
+
+    def __init__(self, rate_pps: float = DEFAULT_RATE_PPS,
+                 jitter: bool = False) -> None:
+        super().__init__()
+        self.rate_pps = rate_pps
+        self.jitter = jitter
+        self.flood: Optional[PacketFlood] = None
+
+    def engage(self, machine: "Machine", victim: "Task") -> None:
+        super().engage(machine, victim)
+        self.flood = machine.packet_flood(self.rate_pps, jitter=self.jitter)
+        self.flood.start()
+
+    def cleanup(self, machine: "Machine") -> None:
+        if self.flood is not None:
+            self.flood.stop()

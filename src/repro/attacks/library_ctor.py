@@ -1,0 +1,66 @@
+"""The shared-library constructor attack (paper §IV-A2, Fig. 5).
+
+A library's ``__attribute__((constructor))`` routine runs before ``main()``
+(and its destructor after exit), inside the victim process, billed to the
+victim.  The provider compiles the payload into a library and points
+``LD_PRELOAD`` at it — the paper declares ``test_init_t``/``test_fini_t``
+exactly this way.  The result is "almost identical to Fig. 4: in essence,
+the same attacking code is executed at different locations."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..kernel.loader.library import SharedLibrary
+from ..programs.ops import Provenance
+from .base import Attack, AttackTraits
+from .payloads import DEFAULT_PAYLOAD_CYCLES, cpu_burn_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.shell import Shell
+
+ATTACK_LIB_NAME = "libattack_ctor"
+
+
+class LibraryConstructorAttack(Attack):
+    """LD_PRELOAD a library whose constructor burns attacker-chosen cycles."""
+
+    traits = AttackTraits(
+        name="library-ctor",
+        paper_section="IV-A2",
+        inflates="utime",
+        vulnerability="loader runs library ctors/dtors in the victim's account",
+        strength="arbitrary",
+        side_effects="every program loading the library pays",
+        requires_root=False,
+    )
+
+    def __init__(self, payload_cycles: int = DEFAULT_PAYLOAD_CYCLES,
+                 use_destructor: bool = False) -> None:
+        super().__init__()
+        self.payload_cycles = payload_cycles
+        self.use_destructor = use_destructor
+        self.library: SharedLibrary = None
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        ctor_cycles = self.payload_cycles
+        dtor_cycles = 0
+        if self.use_destructor:
+            # Split the payload across both hooks, like implementing
+            # test_init_t and test_fini_t.
+            ctor_cycles = self.payload_cycles // 2
+            dtor_cycles = self.payload_cycles - ctor_cycles
+        self.library = SharedLibrary(
+            ATTACK_LIB_NAME,
+            symbols={},
+            constructor=cpu_burn_payload(ctor_cycles, "test_init_t"),
+            destructor=(cpu_burn_payload(dtor_cycles, "test_fini_t")
+                        if dtor_cycles else None),
+            provenance=Provenance.INJECTED,
+        )
+        machine.kernel.libraries.install(self.library, replace=True)
+        preload = shell.env.get("LD_PRELOAD", "")
+        shell.set_env("LD_PRELOAD",
+                      f"{ATTACK_LIB_NAME} {preload}".strip())

@@ -1,0 +1,88 @@
+"""Runtime (dlopen-path) library attack — the §IV-A2 dynamic-loading case.
+
+Instead of preloading a new library, the provider *overwrites an installed
+one* that the victim loads on demand.  The tampered copy keeps the genuine
+symbols working (each wrapped to burn attacker cycles first, the genuine
+body invoked underneath with its own provenance) and gains a constructor
+payload that runs inside ``dlopen`` — all billed to the caller, exactly as
+the loader-billing analysis of §III-C predicts for runtime loading.
+
+Note the difference from :class:`~repro.attacks.library_subst.
+LibrarySubstitutionAttack`: no ``LD_PRELOAD`` fingerprint is left in the
+environment; the attack lives purely in the (provider-controlled) library
+file, and only measurement of the file itself can catch it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..kernel.loader.library import SharedLibrary
+from ..programs.base import GuestContext, GuestFunction
+from ..programs.ops import Compute, Invoke, Provenance
+from .base import Attack, AttackTraits
+from .payloads import cpu_burn_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.shell import Shell
+
+DEFAULT_CTOR_CYCLES = 120_000_000   # ~47 ms per dlopen
+DEFAULT_PER_CALL_CYCLES = 60_000    # ~24 us per wrapped call
+
+
+def _wrap_symbol(symbol: str, genuine: GuestFunction,
+                 steal_cycles: int) -> GuestFunction:
+    """A tampered export: burn cycles, then run the genuine body.
+
+    The genuine body is pushed as its own frame so its work keeps the
+    library provenance — the oracle bills only the theft to the attack.
+    """
+
+    def body(ctx: GuestContext, *args):
+        yield Compute(steal_cycles)
+        result = yield Invoke(genuine, args)
+        return result
+
+    return GuestFunction(f"tampered_{symbol}", body, Provenance.INJECTED)
+
+
+class RuntimeLibraryAttack(Attack):
+    """Overwrite a dlopen'd library with a tampered copy."""
+
+    traits = AttackTraits(
+        name="library-runtime",
+        paper_section="IV-A2 (dynamic loading)",
+        inflates="utime",
+        vulnerability="dlopen runs ctors and plugin code in the victim's "
+                      "account; the library file is provider-controlled",
+        strength="arbitrary",
+        side_effects="every program loading the library pays",
+        requires_root=False,
+    )
+
+    def __init__(self, target_lib: str,
+                 ctor_payload_cycles: int = DEFAULT_CTOR_CYCLES,
+                 per_call_cycles: int = DEFAULT_PER_CALL_CYCLES) -> None:
+        super().__init__()
+        self.target_lib = target_lib
+        self.ctor_payload_cycles = ctor_payload_cycles
+        self.per_call_cycles = per_call_cycles
+        self.tampered: SharedLibrary = None
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        genuine = machine.kernel.libraries.lookup(self.target_lib)
+        symbols: Dict[str, GuestFunction] = {
+            name: _wrap_symbol(name, fn, self.per_call_cycles)
+            for name, fn in genuine.symbols.items()
+        }
+        self.tampered = SharedLibrary(
+            genuine.name,
+            symbols=symbols,
+            constructor=cpu_burn_payload(self.ctor_payload_cycles,
+                                         f"{genuine.name}.evil_ctor"),
+            destructor=genuine.destructor,
+            provenance=Provenance.INJECTED,
+            version=genuine.version,  # the file claims the same version
+        )
+        machine.kernel.libraries.install(self.tampered, replace=True)

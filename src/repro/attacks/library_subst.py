@@ -1,0 +1,73 @@
+"""The shared-library function-substitution attack (paper §V-B2, Fig. 6).
+
+The provider preloads fake ``malloc()`` and ``sqrt()`` that "first execute
+the attacking code and then call the genuine" function.  Program semantics
+are preserved (the genuine call still happens, via RTLD_NEXT delegation)
+but every call steals cycles, so the inflation is *amplified* by the call
+count — the difference from the constructor attack the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from ..kernel.loader.library import SharedLibrary
+from ..programs.base import GuestContext, GuestFunction
+from ..programs.ops import CallNext, Compute, Provenance
+from .base import Attack, AttackTraits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.shell import Shell
+
+ATTACK_LIB_NAME = "libattack_subst"
+
+#: Default per-call theft: ~40 us at 2.53 GHz.
+DEFAULT_CYCLES_PER_CALL = 100_000
+
+
+def make_interposer(symbol: str, steal_cycles: int) -> GuestFunction:
+    """A fake ``symbol`` that burns cycles then delegates to the genuine one."""
+
+    def body(ctx: GuestContext, *args):
+        yield Compute(steal_cycles)
+        result = yield CallNext(symbol, args)
+        return result
+
+    return GuestFunction(f"fake_{symbol}", body, Provenance.INJECTED)
+
+
+class LibrarySubstitutionAttack(Attack):
+    """LD_PRELOAD interposers for hot library functions."""
+
+    traits = AttackTraits(
+        name="library-subst",
+        paper_section="V-B2",
+        inflates="utime",
+        vulnerability="LD_PRELOAD symbol interposition inside the victim",
+        strength="arbitrary",
+        side_effects="every program calling the functions pays",
+        requires_root=False,
+    )
+
+    def __init__(self, symbols: Sequence[str] = ("malloc", "sqrt"),
+                 cycles_per_call: int = DEFAULT_CYCLES_PER_CALL) -> None:
+        super().__init__()
+        self.symbols = tuple(symbols)
+        self.cycles_per_call = cycles_per_call
+        self.library: SharedLibrary = None
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        interposers: Dict[str, GuestFunction] = {
+            symbol: make_interposer(symbol, self.cycles_per_call)
+            for symbol in self.symbols
+        }
+        self.library = SharedLibrary(
+            ATTACK_LIB_NAME,
+            symbols=interposers,
+            provenance=Provenance.INJECTED,
+        )
+        machine.kernel.libraries.install(self.library, replace=True)
+        preload = shell.env.get("LD_PRELOAD", "")
+        shell.set_env("LD_PRELOAD",
+                      f"{ATTACK_LIB_NAME} {preload}".strip())

@@ -1,0 +1,30 @@
+"""Injected attack payloads.
+
+The paper's launch-time attacks all splice the *same* CPU-bound code into
+the victim ("about 2^34 times of loops ... therefore is CPU bound"); the
+figures then show every program's user time growing by the same constant.
+The payload here is a plain cycle burner tagged with the ``INJECTED``
+provenance so the ground-truth oracle can price the theft exactly.
+"""
+
+from __future__ import annotations
+
+from ..programs.base import GuestContext, GuestFunction
+from ..programs.ops import Compute, Provenance
+
+#: Default payload: ~0.4 simulated seconds at 2.53 GHz — the scaled
+#: analogue of the paper's ~34-second injected loop.
+DEFAULT_PAYLOAD_CYCLES = 1_000_000_000
+
+
+def cpu_burn_payload(cycles: int = DEFAULT_PAYLOAD_CYCLES,
+                     name: str = "attack-payload") -> GuestFunction:
+    """A CPU-bound injected payload of exactly ``cycles`` cycles."""
+    if cycles < 0:
+        raise ValueError("payload cycles must be non-negative")
+
+    def body(ctx: GuestContext):
+        yield Compute(cycles)
+        return None
+
+    return GuestFunction(name, body, Provenance.INJECTED)

@@ -1,0 +1,60 @@
+"""The process-scheduling attack (paper §IV-B1, Figs. 7-8).
+
+The ``Fork`` program repeatedly forks a do-nothing child and waits for it.
+Parent and children each burn only microseconds before voluntarily leaving
+the CPU, so they are almost never the running task when the timer interrupt
+samples — the victim is, and gets billed whole jiffies that the attacker
+partly consumed.  Raising the attacker's priority (lowering nice, which
+needs root) shrinks the CFS fork debit and packs more hidden fork cycles
+into each jiffy, strengthening the attack exactly as Fig. 7 shows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..programs.attackers import make_fork_attacker
+from .base import Attack, AttackTraits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+    from ..kernel.shell import Shell
+
+
+class SchedulingAttack(Attack):
+    """Run the Fork program concurrently with the victim."""
+
+    wait_for_attacker = True
+
+    traits = AttackTraits(
+        name="scheduling",
+        paper_section="IV-B1",
+        inflates="utime",
+        vulnerability="whole-jiffy sampling at the timer interrupt",
+        strength="tunable",
+        side_effects="none on other processes; outcome depends on load",
+        requires_root=True,  # to raise the attacker's priority
+    )
+
+    def __init__(self, nice: Optional[int] = -20, forks: int = 1 << 14) -> None:
+        super().__init__()
+        self.nice = nice
+        self.forks = forks
+        self.fork_task: Optional["Task"] = None
+        self._shell: Optional["Shell"] = None
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        self._shell = shell
+
+    def engage(self, machine: "Machine", victim: "Task") -> None:
+        super().engage(machine, victim)
+        program = make_fork_attacker(forks=self.forks, nice=self.nice)
+        # Run as root so setpriority(-n) succeeds (paper §V-C notes the
+        # privilege prerequisite).
+        self.fork_task = self._shell.run_command(program, uid=0)
+        self.attacker_tasks.append(self.fork_task)
+
+    def cleanup(self, machine: "Machine") -> None:
+        if self.fork_task is not None and self.fork_task.alive:
+            machine.kernel.do_exit(self.fork_task, 0)

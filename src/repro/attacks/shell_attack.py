@@ -1,0 +1,44 @@
+"""The shell attack (paper §IV-A1, evaluated in Fig. 4).
+
+The kernel starts metering a process at ``fork()``, but the program's code
+only runs after ``execve()``.  A provider who patches the shell — the paper
+modified bash's ``execute_disk_command()`` between ``make_child()`` and
+``shell_execve()`` — gets arbitrary code billed to the user's process, with
+no root requirement beyond owning the shell binary the session uses.
+
+Effect: every program's *user* time grows by the same constant (the payload
+runs once, before ``main``); system time is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import Attack, AttackTraits
+from .payloads import DEFAULT_PAYLOAD_CYCLES, cpu_burn_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.shell import Shell
+
+
+class ShellAttack(Attack):
+    """Inject a CPU-bound payload between fork() and execve()."""
+
+    traits = AttackTraits(
+        name="shell",
+        paper_section="IV-A1",
+        inflates="utime",
+        vulnerability="metering starts at fork, before the user's code loads",
+        strength="arbitrary",
+        side_effects="every program started from the tampered shell pays",
+        requires_root=False,
+    )
+
+    def __init__(self, payload_cycles: int = DEFAULT_PAYLOAD_CYCLES) -> None:
+        super().__init__()
+        self.payload_cycles = payload_cycles
+
+    def install(self, machine: "Machine", shell: "Shell") -> None:
+        shell.post_fork_payload = cpu_burn_payload(
+            self.payload_cycles, name="shell-attack-payload")

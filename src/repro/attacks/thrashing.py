@@ -1,0 +1,114 @@
+"""The execution-thrashing attack (paper §IV-B2, Fig. 9).
+
+A tracer process ``ptrace``-attaches to the victim and plants a hardware
+watchpoint (DR0/DR7) on a frequently-accessed variable.  Every hit raises a
+debug exception, delivers SIGTRAP, stops the victim, wakes the tracer, and
+costs two context switches before the tracer resumes the victim with
+``ptrace(CONT)`` — all of it billed to the victim, mostly as system time.
+
+The paper watched: O's loop counter, Pi's ``y`` (~1e7 hits), Whetstone's
+``T1`` (~2e5 hits) and Brute's ``count`` in ``crack_len()`` (~895k hits at
+``PER_THREAD_TRIES = 50``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import SimulationError
+from ..hw.cpu import Watchpoint
+from ..programs.base import GuestContext, GuestFunction
+from ..programs.ops import Compute, Provenance, Syscall
+from .base import Attack, AttackTraits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+    from ..kernel.shell import Shell
+
+
+def tracer_body(ctx: GuestContext, victim_pid: int, watch_vaddr: int,
+                watch_len: int):
+    """The tracer loop, entirely through real ptrace/waitpid syscalls.
+
+    Hardware debug registers are per-thread state, so the tracer polls
+    ``/proc/<pid>/task`` for new threads (Brute spawns its workers after
+    launch), attaches to each, plants the watchpoint, and then services
+    SIGTRAP stops with ``ptrace(CONT)``.
+    """
+    attached = set()
+    while True:
+        tids = yield Syscall("proc_threads", (victim_pid,))
+        if isinstance(tids, int):
+            return 0  # ESRCH: the victim (and its group) are gone
+        for tid in tids:
+            if tid in attached:
+                continue
+            result = yield Syscall("ptrace", ("attach", tid))
+            if isinstance(result, int) and result < 0:
+                continue  # raced with thread exit
+            attached.add(tid)
+            result = yield Syscall("waitpid", (tid,))
+            if isinstance(result, int) and result < 0:
+                continue
+            yield Syscall("ptrace", ("pokeuser_dr", tid, 0,
+                                     Watchpoint(watch_vaddr, watch_len)))
+            yield Syscall("ptrace", ("cont", tid))
+
+        result = yield Syscall("waitpid", (-1, True))  # WNOHANG
+        if isinstance(result, int):
+            if result < 0:
+                return 0  # ECHILD: no tracees left
+            # Nothing stopped right now; nap briefly, then rescan for new
+            # threads (the poll costs the *tracer*, not the victim).
+            yield Syscall("nanosleep", (200_000,))
+            continue
+        pid, (kind, _info) = result
+        if kind == "stopped":
+            # A watchpoint SIGTRAP: bookkeeping, then resume the tracee.
+            yield Compute(800)
+            yield Syscall("ptrace", ("cont", pid))
+
+
+class ThrashingAttack(Attack):
+    """ptrace + hardware watchpoint on a hot victim variable."""
+
+    traits = AttackTraits(
+        name="thrashing",
+        paper_section="IV-B2",
+        inflates="stime",
+        vulnerability="trace stops/resumes cost kernel time in the victim",
+        strength="tunable",
+        side_effects="least side effects: aims exactly at the victim",
+        requires_root=True,  # LSM-gated ptrace (paper §V-C)
+    )
+
+    def __init__(self, watch_symbol: str, watch_len: int = 8,
+                 tracer_uid: int = 0) -> None:
+        super().__init__()
+        self.watch_symbol = watch_symbol
+        self.watch_len = watch_len
+        self.tracer_uid = tracer_uid
+        self.tracer_task: Optional["Task"] = None
+
+    def engage(self, machine: "Machine", victim: "Task") -> None:
+        super().engage(machine, victim)
+        # The victim must have exec'd before the symbol has an address; let
+        # the simulation run through the launch phase.
+        machine.run_until(
+            lambda: (not victim.alive)
+            or (victim.guest_ctx is not None
+                and victim.guest_ctx.has_symbol(self.watch_symbol)),
+            max_ns=10_000_000_000)
+        if not victim.alive:
+            raise SimulationError("victim exited before the tracer attached")
+        vaddr = victim.guest_ctx.addr(self.watch_symbol)
+        fn = GuestFunction("thrash-tracer", tracer_body, Provenance.TRACER)
+        self.tracer_task = machine.kernel.spawn(
+            fn, args=(victim.pid, vaddr, self.watch_len),
+            name="tracer", uid=self.tracer_uid)
+        self.attacker_tasks.append(self.tracer_task)
+
+    def cleanup(self, machine: "Machine") -> None:
+        if self.tracer_task is not None and self.tracer_task.alive:
+            machine.kernel.do_exit(self.tracer_task, 0)

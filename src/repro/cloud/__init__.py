@@ -1,0 +1,20 @@
+"""Utility-computing instance layer (the paper's §VII future work).
+
+The paper closes with "in the future, more attacks on virtual machine
+model will be studied."  This package extends the reproduction in that
+direction: customers rent *instances* (billing domains of tasks sharing
+one physical machine) and are billed either per instance-hour of uptime
+(Amazon EC2's model, §II) or per metered CPU-second.  The attacks transfer:
+
+* under CPU metering, the Section IV attacks inflate the instance's bill
+  exactly as they inflate a process's;
+* under uptime billing, *any* co-located contention the provider creates
+  stretches the victim's wall-clock time — no accounting subversion is
+  even needed, which is why uptime billing is the least trustworthy metric
+  of all (it equals turnaround time, which §III-B already rejects).
+"""
+
+from .instance import Instance, InstanceState
+from .provider import CloudProvider
+
+__all__ = ["Instance", "InstanceState", "CloudProvider"]

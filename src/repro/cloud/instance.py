@@ -1,0 +1,88 @@
+"""Instances: billing domains of tasks on a shared machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional
+
+from ..errors import SimulationError
+from ..kernel.accounting import CpuUsage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+    from ..kernel.shell import Shell
+
+
+class InstanceState(enum.Enum):
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+class Instance:
+    """One rented instance: a shell session plus everything it spawned."""
+
+    def __init__(self, name: str, owner: str, machine: "Machine",
+                 shell: "Shell", uid: int, launched_ns: int) -> None:
+        self.name = name
+        self.owner = owner
+        self.machine = machine
+        self.shell = shell
+        self.uid = uid
+        self.launched_ns = launched_ns
+        self.terminated_ns: Optional[int] = None
+        self.state = InstanceState.RUNNING
+        self.tasks: List["Task"] = []
+
+    # -- job control ---------------------------------------------------------
+
+    def run(self, program, nice: Optional[int] = None) -> "Task":
+        """Launch a job inside this instance."""
+        if self.state is not InstanceState.RUNNING:
+            raise SimulationError(f"instance {self.name} is terminated")
+        task = self.shell.run_command(program, uid=self.uid, nice=nice)
+        self.tasks.append(task)
+        return task
+
+    def wait_all(self, max_ns: Optional[int] = None) -> None:
+        """Run the machine until every job of this instance exited."""
+        self.machine.run_until_exit(self.tasks, max_ns=max_ns)
+
+    def terminate(self) -> None:
+        if self.state is InstanceState.TERMINATED:
+            return
+        self.state = InstanceState.TERMINATED
+        self.terminated_ns = self.machine.clock.now
+        kernel = self.machine.kernel
+        for task in self.tasks:
+            if task.alive:
+                kernel.do_exit(task, 137)
+
+    # -- metering views ---------------------------------------------------------
+
+    @property
+    def uptime_ns(self) -> int:
+        """Wall-clock uptime: what EC2-style instance-hours bill."""
+        end = (self.terminated_ns if self.terminated_ns is not None
+               else self.machine.clock.now)
+        return end - self.launched_ns
+
+    def cpu_usage(self) -> CpuUsage:
+        """Metered CPU over every task (and thread) of the instance."""
+        kernel = self.machine.kernel
+        usage = CpuUsage()
+        seen = set()
+        for task in self.tasks:
+            for member in kernel.thread_group(task):
+                if member.pid in seen:
+                    continue
+                seen.add(member.pid)
+                usage = usage + kernel.accounting.usage(member)
+            # Children reaped by the job (e.g. its own forks) accumulate
+            # in cutime/cstime.
+            usage = usage + CpuUsage(task.acct_cutime_ns, task.acct_cstime_ns)
+        return usage
+
+    def __repr__(self) -> str:
+        return (f"Instance({self.name!r}, owner={self.owner!r}, "
+                f"{self.state.value})")

@@ -1,0 +1,87 @@
+"""The cloud provider: one physical machine, many instances, two tariffs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..config import MachineConfig, default_config
+from ..errors import SimulationError
+from ..hw.machine import Machine
+from ..kernel.accounting import CpuUsage
+from ..metering.billing import (
+    PER_HOUR_PLAN,
+    PER_SECOND_PLAN,
+    Invoice,
+    PricePlan,
+)
+from ..programs.stdlib import install_standard_libraries
+from .instance import Instance
+
+#: uid pool for customers; the provider itself operates as root (uid 0).
+_FIRST_CUSTOMER_UID = 5_000
+
+
+class CloudProvider:
+    """Hosts customer instances on one simulated machine."""
+
+    def __init__(self, cfg: Optional[MachineConfig] = None,
+                 machine: Optional[Machine] = None) -> None:
+        self.machine = machine or Machine(cfg or default_config())
+        install_standard_libraries(self.machine.kernel.libraries)
+        self.instances: Dict[str, Instance] = {}
+        self._next_uid = _FIRST_CUSTOMER_UID
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def launch_instance(self, name: str, owner: str,
+                        provider_owned: bool = False) -> Instance:
+        """Provision an instance (its own shell session and uid).
+
+        ``provider_owned`` instances run as root — the co-location vector
+        for the privileged attacks.
+        """
+        if name in self.instances:
+            raise SimulationError(f"instance name {name!r} already in use")
+        if provider_owned:
+            uid = 0
+        else:
+            uid = self._next_uid
+            self._next_uid += 1
+        shell = self.machine.new_shell()
+        instance = Instance(name, owner, self.machine, shell, uid,
+                            launched_ns=self.machine.clock.now)
+        self.instances[name] = instance
+        return instance
+
+    def terminate_instance(self, name: str) -> None:
+        self.instances[name].terminate()
+
+    # -- billing ------------------------------------------------------------------
+
+    def invoice_uptime(self, name: str,
+                       plan: PricePlan = PER_HOUR_PLAN) -> Invoice:
+        """EC2-style: bill wall-clock uptime, partial units rounded up."""
+        instance = self.instances[name]
+        # Uptime billing has no utime/stime split; file it all as utime.
+        return Invoice(job_name=f"{name} (uptime)", plan=plan,
+                       usage=CpuUsage(instance.uptime_ns, 0))
+
+    def invoice_cpu(self, name: str,
+                    plan: PricePlan = PER_SECOND_PLAN) -> Invoice:
+        """Metered-CPU tariff: bill the kernel-accounted CPU time."""
+        instance = self.instances[name]
+        return Invoice(job_name=f"{name} (cpu)", plan=plan,
+                       usage=instance.cpu_usage())
+
+    # -- reporting --------------------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = ["instances:"]
+        for name, instance in sorted(self.instances.items()):
+            usage = instance.cpu_usage()
+            lines.append(
+                f"  {name:<12} owner={instance.owner:<10} "
+                f"{instance.state.value:<10} "
+                f"uptime={instance.uptime_ns / 1e9:8.3f}s "
+                f"cpu={usage.total_seconds:8.3f}s")
+        return "\n".join(lines)

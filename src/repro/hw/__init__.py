@@ -1,0 +1,24 @@
+"""Hardware model: CPU, interrupt controller, timer, NIC, disk, RAM, machine."""
+
+from .cpu import CPU, CPUMode, DebugRegisters, Watchpoint
+from .irq import IRQ_DISK, IRQ_NIC, IRQ_TIMER, InterruptController
+from .memory import PhysicalMemory
+from .timer import TimerDevice
+from .nic import NetworkCard, PacketFlood
+from .disk import Disk
+
+__all__ = [
+    "CPU",
+    "CPUMode",
+    "DebugRegisters",
+    "Watchpoint",
+    "InterruptController",
+    "IRQ_TIMER",
+    "IRQ_NIC",
+    "IRQ_DISK",
+    "PhysicalMemory",
+    "TimerDevice",
+    "NetworkCard",
+    "PacketFlood",
+    "Disk",
+]

@@ -1,0 +1,144 @@
+"""The machine: hardware assembly plus the main simulation loop.
+
+The loop alternates between two activities:
+
+1. firing due events (timer ticks, packet arrivals, disk completions) —
+   each may consume handler time and request a reschedule;
+2. running the current task's op stream up to the next event time.
+
+Because the engine stops *exactly* at event boundaries, a timer tick always
+observes the true instantaneous state of the CPU — which task is current
+and in which mode — making tick-sampled accounting behave exactly as it
+does on real hardware, free of host-interpreter jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..config import MachineConfig, default_config
+from ..errors import DeadlockError, SimulationError
+from ..kernel.kernel import Kernel
+from ..kernel.process import Task, TaskState
+from ..kernel.shell import Shell
+from ..sim.clock import Clock
+from ..sim.events import EventQueue
+from ..sim.rng import DeterministicRng
+from ..sim.tracing import TraceLog
+from .cpu import CPU
+from .disk import Disk
+from .irq import InterruptController
+from .nic import NetworkCard, PacketFlood
+from .timer import TimerDevice
+
+#: Budget used when no event is pending (cannot happen with the timer on,
+#: but keeps the loop total even if a test stops the timer).
+_IDLE_SLICE_NS = 10_000_000
+
+
+class Machine:
+    """A complete simulated computer."""
+
+    def __init__(self, cfg: Optional[MachineConfig] = None,
+                 trace: Iterable[str] = ()) -> None:
+        self.cfg = cfg or default_config()
+        self.cfg.validate()
+        self.clock = Clock()
+        self.events = EventQueue()
+        self.rng = DeterministicRng(self.cfg.seed)
+        self.trace_log = TraceLog(enabled=trace)
+        self.cpu = CPU(self.cfg.cpu_freq_hz)
+        self.pic = InterruptController()
+        self.timer = TimerDevice(self.cfg.tick_ns, self.clock, self.events,
+                                 self.pic)
+        self.nic = NetworkCard(self.pic)
+        self.disk = Disk(self.cfg.disk, self.clock, self.events, self.pic)
+        self.kernel = Kernel(self.cfg, self.clock, self.events, self.cpu,
+                             self.pic, self.disk, self.nic, self.rng,
+                             self.trace_log)
+        self.timer.start()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    def new_shell(self, env: Optional[dict] = None) -> Shell:
+        return Shell(self.kernel, env=env)
+
+    def packet_flood(self, rate_pps: float, jitter: bool = False) -> PacketFlood:
+        return PacketFlood(self.nic, self.clock, self.events, rate_pps,
+                           rng=self.rng, jitter=jitter)
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def _drain_due_events(self) -> None:
+        while True:
+            next_time = self.events.next_time()
+            if next_time is None or next_time > self.clock.now:
+                return
+            self.events.run_due(self.clock.now)
+
+    def step(self) -> bool:
+        """One loop iteration.  Returns False when nothing can progress."""
+        if self.clock.now > self.cfg.max_time_ns:
+            raise SimulationError(
+                f"simulation exceeded max_time_ns at {self.clock.now}ns")
+        self._drain_due_events()
+
+        kernel = self.kernel
+        current = kernel.current
+        if (kernel.need_resched or current is None
+                or current.state is not TaskState.RUNNING):
+            kernel.schedule()
+            current = kernel.current
+
+        next_time = self.events.next_time()
+        if current is None:
+            if next_time is None:
+                return False  # fully idle, nothing scheduled
+            self.clock.advance_to(next_time)
+            return True
+
+        budget = (next_time - self.clock.now
+                  if next_time is not None else _IDLE_SLICE_NS)
+        if budget <= 0:
+            return True  # events due right now; drained next iteration
+        kernel.engine.run(current, budget)
+        return True
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance virtual time by ``duration_ns``."""
+        deadline = self.clock.now + duration_ns
+        while self.clock.now < deadline:
+            if not self.step():
+                self.clock.advance_to(deadline)
+                return
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_ns: Optional[int] = None) -> None:
+        """Run until ``predicate()`` holds.  Raises on deadline/deadlock."""
+        deadline = (self.clock.now + max_ns) if max_ns is not None else None
+        while not predicate():
+            if deadline is not None and self.clock.now >= deadline:
+                raise SimulationError(
+                    f"run_until deadline exceeded at {self.clock.now}ns")
+            if not self.step():
+                raise DeadlockError(
+                    "nothing can progress but the predicate is unsatisfied")
+
+    def run_until_exit(self, tasks: Sequence[Task],
+                       max_ns: Optional[int] = None) -> None:
+        """Run until every task in ``tasks`` has exited."""
+        targets = list(tasks)
+
+        def done() -> bool:
+            return all(t.state in (TaskState.ZOMBIE, TaskState.DEAD)
+                       for t in targets)
+
+        self.run_until(done, max_ns=max_ns)
+
+    def run_to_completion(self, max_ns: Optional[int] = None) -> None:
+        """Run until no task is alive."""
+        self.run_until(self.kernel.all_finished, max_ns=max_ns)

@@ -1,0 +1,86 @@
+"""Network adapter and external traffic generation.
+
+The interrupt-flooding attack (paper §IV-B3) sends junk IP packets from a
+second PC; every received packet raises an IRQ whose handler time is billed
+to whatever process happens to be running.  :class:`PacketFlood` plays the
+role of the second PC: an event source delivering packets at a configurable
+rate with optional exponential jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import NS_PER_SEC
+from ..errors import ConfigError
+from ..sim.clock import Clock
+from ..sim.events import EventHandle, EventQueue
+from ..sim.rng import DeterministicRng
+from .irq import IRQ_NIC, InterruptController
+
+
+class NetworkCard:
+    """A NIC that raises IRQ 11 per received packet."""
+
+    def __init__(self, pic: InterruptController) -> None:
+        self._pic = pic
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def receive_packet(self, size_bytes: int = 1500) -> None:
+        """Deliver one packet from the wire (called by traffic sources)."""
+        self.packets_received += 1
+        self.bytes_received += size_bytes
+        self._pic.raise_irq(IRQ_NIC)
+
+
+class PacketFlood:
+    """External host blasting packets at the NIC at ``rate_pps``."""
+
+    def __init__(self, nic: NetworkCard, clock: Clock, events: EventQueue,
+                 rate_pps: float, rng: Optional[DeterministicRng] = None,
+                 jitter: bool = False, packet_bytes: int = 1500) -> None:
+        if rate_pps <= 0:
+            raise ConfigError("flood rate must be positive")
+        self._nic = nic
+        self._clock = clock
+        self._events = events
+        self._mean_gap_ns = NS_PER_SEC / rate_pps
+        self._rng = rng
+        self._jitter = jitter and rng is not None
+        self._packet_bytes = packet_bytes
+        self._next: Optional[EventHandle] = None
+        self._running = False
+        self.packets_sent = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+
+    def _gap_ns(self) -> int:
+        if self._jitter:
+            return self._rng.expovariate_ns("nic-flood", self._mean_gap_ns)
+        return max(1, int(self._mean_gap_ns))
+
+    def _schedule_next(self) -> None:
+        self._next = self._events.schedule(
+            self._clock.now + self._gap_ns(), self._fire, name="nic-packet")
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.packets_sent += 1
+        self._nic.receive_packet(self._packet_bytes)
+        self._schedule_next()

@@ -1,0 +1,66 @@
+"""Programmable interval timer: the source of the accounting jiffy.
+
+Fires IRQ 0 every ``tick_ns`` of virtual time.  Ticks are anchored to
+absolute multiples of the period (boot-relative), so even if a handler runs
+late the schedule never drifts — exactly the property the tick-sampling
+accounting scheme depends on, and the one the scheduling attack games.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+from ..sim.clock import Clock
+from ..sim.events import EventHandle, EventQueue
+from .irq import IRQ_TIMER, InterruptController
+
+
+class TimerDevice:
+    """Periodic tick generator."""
+
+    def __init__(self, tick_ns: int, clock: Clock, events: EventQueue,
+                 pic: InterruptController) -> None:
+        if tick_ns <= 0:
+            raise ConfigError("tick_ns must be positive")
+        self.tick_ns = int(tick_ns)
+        self._clock = clock
+        self._events = events
+        self._pic = pic
+        self._next_tick: Optional[EventHandle] = None
+        self.ticks_fired = 0
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next_tick is not None:
+            self._next_tick.cancel()
+            self._next_tick = None
+
+    def next_tick_time(self) -> Optional[int]:
+        return self._next_tick.time_ns if self._next_tick is not None else None
+
+    def _schedule_next(self) -> None:
+        # Anchor to the absolute grid: the next multiple of tick_ns strictly
+        # after "now", regardless of how late the previous handler ran.
+        now = self._clock.now
+        next_time = (now // self.tick_ns + 1) * self.tick_ns
+        self._next_tick = self._events.schedule(
+            next_time, self._fire, name="timer-tick")
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.ticks_fired += 1
+        self._pic.raise_irq(IRQ_TIMER)
+        self._schedule_next()

@@ -1,0 +1,41 @@
+"""The simulated operating-system kernel.
+
+Subpackages/modules:
+
+* ``accounting``  — CPU-time accounting schemes (tick-sampled vs TSC-precise,
+  with optional process-aware interrupt accounting).
+* ``process``     — task control blocks, states, credentials.
+* ``sched``       — CFS, O(1)-style and round-robin run-queue schedulers.
+* ``mm``          — address spaces, demand paging, reclaim, swap, OOM.
+* ``signals``     — minimal POSIX signal semantics.
+* ``ptrace``      — tracing, traced stops, debug-register pokes.
+* ``loader``      — executables, shared libraries, the dynamic linker.
+* ``engine``      — the op-stream execution engine (the "CPU core loop").
+* ``syscalls``    — the system-call table.
+* ``timekeeping`` — jiffies and the timer-tick handler.
+* ``shell``       — the command shell (fork + execve, with the attack hook).
+* ``kernel``      — the facade tying everything together.
+"""
+
+from .accounting import (
+    AccountingScheme,
+    CpuUsage,
+    DualAccounting,
+    TickAccounting,
+    TscAccounting,
+    make_accounting,
+)
+from .process import Task, TaskState
+from .kernel import Kernel
+
+__all__ = [
+    "AccountingScheme",
+    "CpuUsage",
+    "DualAccounting",
+    "TickAccounting",
+    "TscAccounting",
+    "make_accounting",
+    "Task",
+    "TaskState",
+    "Kernel",
+]

@@ -1,0 +1,481 @@
+"""The op-stream execution engine: the simulated CPU core loop.
+
+Drives one task's generator frames, converting ops into exactly-timed
+slices of simulated work.  Everything the paper's attacks depend on happens
+here, at its natural architectural point:
+
+* ``Compute`` blocks are divisible, so a timer tick preempts mid-block at
+  the exact nanosecond — tick *sampling* is therefore exact, unlike a pure
+  Python timing harness (the calibration concern);
+* ``Mem`` accesses consult the page table (minor/major faults) and the
+  debug registers (watchpoint → debug exception → SIGTRAP), the thrashing
+  and exception-flooding machinery;
+* ``Syscall`` pushes a kernel-mode frame whose cycles are charged as system
+  time attributed to the *calling code's provenance*, so injected code's
+  syscalls are visible to the oracle;
+* signals are delivered at the return-to-user boundary, costing kernel time
+  in the target's context, as on real hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+from ..errors import (
+    FileNotFound,
+    OutOfMemory,
+    SimulationError,
+)
+from ..hw.cpu import CPUMode
+from ..programs.base import GuestFunction
+from ..programs.ops import (
+    CallLib,
+    CallNext,
+    Compute,
+    Invoke,
+    Mem,
+    Op,
+    Provenance,
+    Syscall,
+)
+from .accounting import ChargeKind
+from .mm.manager import FaultKind
+from .signals import SIGSEGV, SIGTRAP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+    from .process import Task
+
+
+class StopReason(enum.Enum):
+    """Why the engine stopped running a task."""
+
+    #: The time budget (distance to the next event) was used up.
+    BUDGET = "budget"
+    #: The kernel requested a reschedule (tick preemption, yield, wakeup).
+    PREEMPTED = "preempted"
+    #: The task blocked (wait, sleep, disk I/O).
+    BLOCKED = "blocked"
+    #: The task was stopped by a signal or a traced stop.
+    STOPPED = "stopped"
+    #: The task exited (or was killed).
+    EXITED = "exited"
+
+
+class Block(Op):
+    """Kernel-internal op: park the task on ``channel`` until woken.
+
+    Only kernel frames yield this.  The value passed to
+    :meth:`Kernel.wake` is sent back into the yielding generator.
+    """
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: str) -> None:
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return f"Block({self.channel!r})"
+
+
+class ReplaceImage(Op):
+    """Kernel-internal op: execve point-of-no-return.
+
+    The engine discards the whole frame stack (including the syscall frame
+    that yielded this) and installs the new process image.
+    """
+
+    __slots__ = ("program",)
+
+    def __init__(self, program) -> None:
+        self.program = program
+
+    def __repr__(self) -> str:
+        return f"ReplaceImage({self.program!r})"
+
+
+class Frame:
+    """One entry of a task's execution stack."""
+
+    __slots__ = ("gen", "provenance", "name", "lib", "user_mode", "started")
+
+    def __init__(self, gen, provenance: Provenance, name: str,
+                 lib=None, user_mode: bool = True) -> None:
+        self.gen = gen
+        self.provenance = provenance
+        self.name = name
+        self.lib = lib
+        self.user_mode = user_mode
+        self.started = False
+
+    def __repr__(self) -> str:
+        mode = "user" if self.user_mode else "kernel"
+        return f"Frame({self.name!r}, {self.provenance.value}, {mode})"
+
+
+class Segment:
+    """A chunk of pending timed work (divisible)."""
+
+    __slots__ = ("cycles_left", "user_mode", "provenance", "kind", "on_done")
+
+    def __init__(self, cycles: int, user_mode: bool, provenance: Provenance,
+                 kind: ChargeKind,
+                 on_done: Optional[Callable[[], None]] = None) -> None:
+        self.cycles_left = int(cycles)
+        self.user_mode = user_mode
+        self.provenance = provenance
+        self.kind = kind
+        self.on_done = on_done
+
+
+class PendingMem:
+    """A memory access in progress (possibly mid-fault or mid-trap)."""
+
+    __slots__ = ("op", "remaining")
+
+    def __init__(self, op: Mem) -> None:
+        self.op = op
+        self.remaining = op.repeat
+
+
+class ExecState:
+    """Per-task execution machinery."""
+
+    __slots__ = ("frames", "segments", "send_value", "pending_mem",
+                 "blocked_frame")
+
+    def __init__(self) -> None:
+        self.frames: List[Frame] = []
+        self.segments: Deque[Segment] = deque()
+        self.send_value: object = None
+        self.pending_mem: Optional[PendingMem] = None
+        #: Frame that yielded a Block, awaiting the wake payload.
+        self.blocked_frame: Optional[Frame] = None
+
+    def push_frame(self, frame: Frame) -> None:
+        self.frames.append(frame)
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+
+class ExecutionEngine:
+    """Runs tasks' op streams against the kernel and hardware."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # -- public entry point ------------------------------------------------
+
+    def run(self, task: "Task", budget_ns: int) -> Tuple[int, StopReason]:
+        """Run ``task`` for at most ``budget_ns``; returns (consumed, why).
+
+        The clock is advanced as work is consumed.  The engine stops at the
+        first of: budget exhaustion, a kernel resched request, the task
+        blocking/stopping/exiting.
+        """
+        kernel = self.kernel
+        consumed = 0
+        st = task.exec_state
+        if st is None:
+            raise SimulationError(f"task {task.pid} has no exec state")
+        while True:
+            if not task.runnable:
+                return consumed, self._reason_for_state(task)
+            if kernel.need_resched:
+                return consumed, StopReason.PREEMPTED
+            if consumed >= budget_ns:
+                return consumed, StopReason.BUDGET
+
+            if st.segments:
+                consumed += self._run_segment(task, st, budget_ns - consumed)
+                continue
+
+            # Return-to-user boundary: deliver pending signals first.
+            if task.pending_signals:
+                kernel.deliver_signals(task)
+                continue
+
+            if st.pending_mem is not None:
+                self._continue_mem(task, st)
+                continue
+
+            self._pull_op(task, st)
+
+    # -- segment execution ----------------------------------------------------
+
+    def _run_segment(self, task: "Task", st: ExecState, budget_ns: int) -> int:
+        kernel = self.kernel
+        cpu = kernel.cpu
+        seg = st.segments[0]
+        cpu.mode = CPUMode.USER if seg.user_mode else CPUMode.KERNEL
+
+        if seg.cycles_left == 0:
+            st.segments.popleft()
+            if seg.on_done is not None:
+                seg.on_done()
+            return 0
+
+        avail_cycles = cpu.ns_to_cycles(budget_ns)
+        if avail_cycles <= 0:
+            # Sub-cycle remainder: burn it as zero-work time so the clock
+            # reaches the next event and the machine can make progress.
+            kernel.consume(task, budget_ns, 0, seg.user_mode,
+                           seg.provenance, seg.kind)
+            return budget_ns
+
+        run = min(seg.cycles_left, avail_cycles)
+        ns = cpu.cycles_to_ns(run)
+        seg.cycles_left -= run
+        kernel.consume(task, ns, run, seg.user_mode, seg.provenance, seg.kind)
+        if seg.cycles_left == 0:
+            st.segments.popleft()
+            if seg.on_done is not None:
+                seg.on_done()
+        return ns
+
+    # -- op dispatch --------------------------------------------------------------
+
+    def _pull_op(self, task: "Task", st: ExecState) -> None:
+        kernel = self.kernel
+        if not st.frames:
+            # The root generator ran off its end without exit(): exit(0).
+            kernel.do_exit(task, 0)
+            return
+        frame = st.frames[-1]
+        value, st.send_value = st.send_value, None
+        try:
+            if frame.started:
+                op = frame.gen.send(value)
+            else:
+                frame.started = True
+                op = frame.gen.send(None)
+        except StopIteration as stop:
+            st.frames.pop()
+            st.send_value = stop.value
+            if not st.frames and task.alive:
+                # Root frame finished without exit(): implicit exit(status).
+                code = stop.value if isinstance(stop.value, int) else 0
+                kernel.do_exit(task, code)
+            return
+        self._dispatch(task, st, frame, op)
+
+    def _dispatch(self, task: "Task", st: ExecState, frame: Frame,
+                  op: Op) -> None:
+        kernel = self.kernel
+        if isinstance(op, Compute):
+            kind = ChargeKind.USER if frame.user_mode else ChargeKind.SYSCALL
+            st.segments.append(Segment(op.cycles, frame.user_mode,
+                                       frame.provenance, kind))
+            return
+        if isinstance(op, Mem):
+            if not frame.user_mode:
+                raise SimulationError("kernel frames may not yield Mem ops")
+            st.pending_mem = PendingMem(op)
+            return
+        if isinstance(op, Syscall):
+            self._start_syscall(task, st, frame, op)
+            return
+        if isinstance(op, Invoke):
+            fn: GuestFunction = op.fn
+            gen = fn.instantiate(task.guest_ctx, *op.args)
+            st.push_frame(Frame(gen, fn.provenance, fn.name,
+                                user_mode=frame.user_mode))
+            return
+        if isinstance(op, CallLib):
+            self._call_lib(task, st, frame, op.symbol, op.args, after=None)
+            return
+        if isinstance(op, CallNext):
+            if frame.lib is None:
+                raise SimulationError(
+                    "CallNext outside a library function frame")
+            self._call_lib(task, st, frame, op.symbol, op.args,
+                           after=frame.lib)
+            return
+        if isinstance(op, Block):
+            if frame.user_mode:
+                raise SimulationError("user frames may not yield Block ops")
+            st.blocked_frame = frame
+            kernel.block_current(task, op.channel)
+            return
+        if isinstance(op, ReplaceImage):
+            kernel.install_image(task, op.program)
+            return
+        raise SimulationError(f"unknown op {op!r}")
+
+    def _call_lib(self, task: "Task", st: ExecState, frame: Frame,
+                  symbol: str, args, after) -> None:
+        kernel = self.kernel
+        link_map = task.guest_ctx.shared.get("_link_map") if task.guest_ctx else None
+        if link_map is None:
+            raise SimulationError(
+                f"task {task.pid} has no link map (not exec'd?)")
+        try:
+            if after is None:
+                lib, fn = link_map.resolve(symbol)
+            else:
+                lib, fn = link_map.resolve_after(symbol, after)
+        except FileNotFound:
+            # Undefined symbol at call time: the process dies like a
+            # lazy-binding failure would.
+            kernel.trace("link", f"undefined symbol {symbol}", task.pid)
+            kernel.do_exit(task, 127)
+            return
+        gen = fn.instantiate(task.guest_ctx, *args)
+        callee = Frame(gen, fn.provenance, f"{lib.name}:{symbol}", lib=lib)
+        # Small PLT-call overhead charged to the caller, then enter callee.
+        st.segments.append(Segment(
+            kernel.costs.lib_call_cycles, True, frame.provenance,
+            ChargeKind.USER, on_done=lambda: st.push_frame(callee)))
+
+    # -- syscalls ------------------------------------------------------------------
+
+    def _start_syscall(self, task: "Task", st: ExecState, caller: Frame,
+                       op: Syscall) -> None:
+        kernel = self.kernel
+        gen = kernel.syscalls.frame(task, op.name, op.args, caller.provenance)
+        st.push_frame(Frame(gen, caller.provenance, f"sys_{op.name}",
+                            user_mode=False))
+
+    # -- memory ---------------------------------------------------------------------
+
+    def _continue_mem(self, task: "Task", st: ExecState) -> None:
+        kernel = self.kernel
+        pending = st.pending_mem
+        op = pending.op
+        mm = kernel.mm
+        space = task.mm
+        if space is None:
+            raise SimulationError(f"task {task.pid} has no address space")
+
+        kind = mm.classify(space, op.vaddr)
+        if kind is FaultKind.SEGV:
+            st.pending_mem = None
+            kernel.trace("fault", f"SIGSEGV at 0x{op.vaddr:x}", task.pid)
+            kernel.post_signal(task, SIGSEGV)
+            return
+        if kind is FaultKind.MINOR:
+            self._start_minor_fault(task, st, op)
+            return
+        if kind is FaultKind.MAJOR:
+            self._start_major_fault(task, st, op)
+            return
+
+        # Present page.
+        frame_prov = st.frames[-1].provenance if st.frames else Provenance.USER
+        watched = task.debug.armed and task.debug.hit(op.vaddr, op.write) is not None
+        mm.note_access(space, op.vaddr, op.write)
+        cost = kernel.costs.mem_access_cycles
+        if not watched:
+            # Fast path: all remaining repeats as one divisible segment.
+            repeats = pending.remaining
+            st.pending_mem = None
+
+            def done_plain() -> None:
+                st.send_value = None
+
+            st.segments.append(Segment(cost * repeats, True, frame_prov,
+                                       ChargeKind.USER, on_done=done_plain))
+            return
+
+        # Watched access: one access, then the debug exception fires.
+        pending.remaining -= 1
+        last = pending.remaining == 0
+
+        def done_watched() -> None:
+            if last:
+                st.pending_mem = None
+                st.send_value = None
+            self._debug_exception(task, st)
+
+        st.segments.append(Segment(cost, True, frame_prov, ChargeKind.USER,
+                                   on_done=done_watched))
+
+    def _debug_exception(self, task: "Task", st: ExecState) -> None:
+        """A hardware watchpoint fired: exception, then SIGTRAP."""
+        kernel = self.kernel
+        kernel.trace("debug", "watchpoint hit", task.pid)
+        task.debug_exceptions += 1
+
+        def done() -> None:
+            kernel.post_signal(task, SIGTRAP)
+
+        st.segments.append(Segment(
+            kernel.costs.debug_exception_cycles, False, Provenance.TRACER,
+            ChargeKind.SYSCALL, on_done=done))
+
+    def _start_minor_fault(self, task: "Task", st: ExecState, op: Mem) -> None:
+        kernel = self.kernel
+        task.minor_faults += 1
+        frame_prov = st.frames[-1].provenance if st.frames else Provenance.USER
+
+        def done() -> None:
+            try:
+                wrote_back = kernel.mm.complete_minor_fault(task.mm, op.vaddr)
+            except OutOfMemory:
+                if not kernel.oom_kill(requester=task):
+                    raise
+                if not task.alive:
+                    return
+                wrote_back = kernel.mm.complete_minor_fault(task.mm, op.vaddr)
+            self._charge_reclaim(task, st, frame_prov)
+            if wrote_back:
+                kernel.swap_writeback(task)
+
+        st.segments.append(Segment(
+            kernel.costs.minor_fault_cycles +
+            kernel.costs.page_zero_cycles, False, frame_prov,
+            ChargeKind.SYSCALL, on_done=done))
+
+    def _start_major_fault(self, task: "Task", st: ExecState, op: Mem) -> None:
+        kernel = self.kernel
+        task.major_faults += 1
+        frame_prov = st.frames[-1].provenance if st.frames else Provenance.USER
+
+        def done() -> None:
+            try:
+                frame, wrote_back = kernel.mm.begin_major_fault(task.mm, op.vaddr)
+            except OutOfMemory:
+                if not kernel.oom_kill(requester=task):
+                    raise
+                if not task.alive:
+                    return
+                frame, wrote_back = kernel.mm.begin_major_fault(task.mm, op.vaddr)
+            self._charge_reclaim(task, st, frame_prov)
+            if wrote_back:
+                kernel.swap_writeback(task)
+            kernel.begin_swap_in(task, op.vaddr, frame)
+
+        st.segments.append(Segment(
+            kernel.costs.major_fault_cycles, False, frame_prov,
+            ChargeKind.SYSCALL, on_done=done))
+
+    def _charge_reclaim(self, task: "Task", st: ExecState,
+                        provenance: Provenance) -> None:
+        """Charge direct-reclaim scan work performed by the last allocation."""
+        kernel = self.kernel
+        scanned = kernel.mm.last_reclaim_scanned
+        if not scanned:
+            return
+        kernel.mm.last_reclaim_scanned = 0
+        cycles = scanned * kernel.costs.reclaim_scan_cycles_per_frame
+        st.segments.append(Segment(cycles, False, provenance,
+                                   ChargeKind.SYSCALL))
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _reason_for_state(task: "Task") -> StopReason:
+        from .process import TaskState
+
+        if task.state is TaskState.WAITING:
+            return StopReason.BLOCKED
+        if task.state is TaskState.STOPPED:
+            return StopReason.STOPPED
+        if task.state in (TaskState.ZOMBIE, TaskState.DEAD):
+            return StopReason.EXITED
+        raise SimulationError(
+            f"engine stopped with task in state {task.state}")

@@ -1,0 +1,738 @@
+"""The kernel facade: task lifecycle, scheduling glue, signals, IRQs, OOM.
+
+Owns every cross-cutting operation the engine, syscalls and machine loop
+need.  The accounting-relevant paths are deliberately explicit:
+
+* :meth:`consume` — every slice of executed work lands here once, with its
+  mode, provenance and charge kind (billing scheme + ground-truth oracle);
+* :meth:`_timer_irq` — the per-jiffy sampling point (paper §III-A);
+* :meth:`context switch <schedule>` — switch cost charged to prev or next
+  per configuration;
+* interrupt handlers — handler time charged to whoever is running.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..config import MachineConfig
+from ..errors import SimulationError
+from ..hw.cpu import CPU, CPUMode
+from ..hw.disk import Disk
+from ..hw.irq import IRQ_DISK, IRQ_NIC, IRQ_TIMER, InterruptController
+from ..hw.nic import NetworkCard
+from ..programs.base import GuestContext, GuestFunction, Program
+from ..programs.ops import Provenance, Syscall
+from ..sim.clock import Clock
+from ..sim.events import EventQueue
+from ..sim.rng import DeterministicRng
+from ..sim.tracing import TraceLog
+from .accounting import AccountingScheme, ChargeKind, CpuUsage, make_accounting
+from .engine import ExecState, ExecutionEngine, Frame
+from .loader.linker import LinkMap, build_link_map, process_body
+from .loader.registry import LibraryRegistry
+from .mm.manager import MemoryManager
+from .mm.vm import DATA_BASE
+from .process import Task, TaskState
+from .sched import make_scheduler
+from .signals import (
+    SIGCHLD,
+    SIGCONT,
+    SIGKILL,
+    SIGSTOP,
+    SIGTRAP,
+    SignalAction,
+    default_action,
+    signal_name,
+)
+from .syscalls import SyscallTable
+from .timekeeping import TimeKeeper
+
+#: Sentinel distinguishing "no wake arrived while stopped" from payload None.
+_NO_WAKE = object()
+
+
+def _close_frames(frames) -> None:
+    """Close and drop every frame generator.
+
+    A generator that is *currently executing* (the syscall frame whose
+    handler invoked exit/execve) cannot be closed from within itself; it is
+    simply dropped — the engine never resumes a frame once the stack is
+    cleared, and GC finalises it.
+    """
+    for frame in frames:
+        if not getattr(frame.gen, "gi_running", False):
+            frame.gen.close()
+    frames.clear()
+
+
+class Kernel:
+    """The simulated operating system."""
+
+    def __init__(self, cfg: MachineConfig, clock: Clock, events: EventQueue,
+                 cpu: CPU, pic: InterruptController, disk: Disk,
+                 nic: NetworkCard, rng: DeterministicRng,
+                 trace_log: TraceLog) -> None:
+        self.cfg = cfg
+        self.costs = cfg.costs
+        self.clock = clock
+        self.events = events
+        self.cpu = cpu
+        self.pic = pic
+        self.disk = disk
+        self.nic = nic
+        self.rng = rng
+        self.trace_log = trace_log
+
+        self.accounting: AccountingScheme = make_accounting(cfg)
+        self.scheduler = make_scheduler(cfg)
+        self.mm = MemoryManager(cfg.memory)
+        self.libraries = LibraryRegistry()
+        self.syscalls = SyscallTable(self)
+        self.engine = ExecutionEngine(self)
+        self.timekeeper = TimeKeeper(cfg.tick_ns)
+
+        self.tasks: Dict[int, Task] = {}
+        self._next_pid = 1
+        self.current: Optional[Task] = None
+        self.need_resched = False
+        #: LSM-style policy: may non-root users ptrace their own processes?
+        self.policy_allow_user_ptrace = True
+
+        #: Wait queues: channel → tasks parked on it.
+        self._wait_queues: Dict[str, List[Task]] = {}
+
+        #: Handler-time ns that fired while the CPU was idle.
+        self.idle_irq_ns = 0
+        self.context_switches = 0
+        #: Window [start, end) of the most recent interrupt handler, used to
+        #: sample deferred ticks as system time (see _timer_irq).
+        self._irq_window = (0, 0)
+
+        pic.register(IRQ_TIMER, self._timer_irq)
+        pic.register(IRQ_NIC, self._nic_irq)
+        pic.register(IRQ_DISK, self._disk_irq)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    def trace(self, category: str, message: str,
+              pid: Optional[int] = None, **data) -> None:
+        self.trace_log.emit(self.clock.now, category, message, pid, **data)
+
+    # ------------------------------------------------------------------
+    # time consumption (the single charging point)
+    # ------------------------------------------------------------------
+
+    def consume(self, task: Task, ns: int, cycles: int, user_mode: bool,
+                provenance: Provenance, kind: ChargeKind) -> None:
+        """Advance time for work executed by ``task``."""
+        self.clock.advance(ns)
+        self.cpu.retire_cycles(cycles)
+        mode = CPUMode.USER if user_mode else CPUMode.KERNEL
+        self.accounting.charge(task, mode, ns, kind)
+        task.oracle_charge(user_mode, provenance, ns)
+
+    def consume_irq(self, cycles: int, provenance: Provenance) -> None:
+        """Advance time for an interrupt handler, billed to the current task
+        (the commodity behaviour the flooding attack exploits)."""
+        ns = self.cpu.cycles_to_ns(cycles)
+        start = self.clock.now
+        self.clock.advance(ns)
+        self._irq_window = (start, self.clock.now)
+        self.cpu.retire_cycles(cycles)
+        self.accounting.charge(self.current, CPUMode.KERNEL, ns, ChargeKind.IRQ)
+        if self.current is not None:
+            self.current.oracle_charge(False, provenance, ns)
+        else:
+            self.idle_irq_ns += ns
+
+    # ------------------------------------------------------------------
+    # IRQ handlers
+    # ------------------------------------------------------------------
+
+    def _timer_irq(self, line: int) -> None:
+        # Sample the interrupted context *first* (as account_process_tick
+        # does), then pay the handler cost.
+        current = self.current
+        mode = self.cpu.mode if current is not None else CPUMode.KERNEL
+        # A tick whose nominal (grid) instant fell inside a device-handler
+        # window was deferred by that handler: on hardware its saved regs
+        # would point into the handler, so it samples as system time.  This
+        # is how the interrupt flood turns into victim stime (Fig. 10).
+        nominal = (self.clock.now // self.cfg.tick_ns) * self.cfg.tick_ns
+        window_start, window_end = self._irq_window
+        if window_start <= nominal < window_end:
+            mode = CPUMode.KERNEL
+        self.timekeeper.tick(current is not None, mode is CPUMode.USER)
+        self.accounting.on_tick(current, mode)
+        if current is not None:
+            self._update_curr(current)
+            if self.scheduler.task_tick(current):
+                self.need_resched = True
+        # The periodic tick is benign system overhead, not device traffic:
+        # the oracle files it under SYSTEM so only genuinely external
+        # interrupts (NIC, disk) count as attack-relevant IRQ time.
+        self.consume_irq(self.costs.timer_handler_cycles, Provenance.SYSTEM)
+
+    def _nic_irq(self, line: int) -> None:
+        self.consume_irq(self.costs.nic_handler_cycles, Provenance.IRQ)
+
+    def _disk_irq(self, line: int) -> None:
+        self.consume_irq(self.costs.disk_handler_cycles, Provenance.IRQ)
+        completion = self.disk.take_completion()
+        if completion is not None:
+            completion()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def request_resched(self) -> None:
+        self.need_resched = True
+
+    def _update_curr(self, task: Task) -> None:
+        delta = self.clock.now - task.last_dispatch_ns
+        if delta > 0:
+            self.scheduler.update_curr(task, delta)
+        task.last_dispatch_ns = self.clock.now
+
+    def schedule(self) -> None:
+        """__schedule(): pick the next task, paying the switch cost."""
+        prev = self.current
+        if prev is not None:
+            self._update_curr(prev)
+            if prev.state is TaskState.RUNNING:
+                prev.state = TaskState.READY
+            if prev.state is TaskState.READY:
+                prev.involuntary_switches += 1
+                self.scheduler.put_prev(prev)
+
+        nxt = self.scheduler.pick_next()
+        self.need_resched = False
+        if nxt is None:
+            self.current = None
+            self.cpu.mode = CPUMode.KERNEL
+            # Unload the previous task's debug registers.  A fresh object:
+            # cpu.debug aliases the *task's* register file while it runs,
+            # so clearing in place would wipe the task's watchpoints.
+            from ..hw.cpu import DebugRegisters
+
+            self.cpu.debug = DebugRegisters()
+            return
+
+        if nxt is not prev:
+            self.context_switches += 1
+            self._charge_switch(prev, nxt)
+        self.current = nxt
+        nxt.state = TaskState.RUNNING
+        nxt.last_dispatch_ns = self.clock.now
+        self.scheduler.on_pick(nxt)
+        # Load the task's debug registers (per-thread DR state).
+        self.cpu.debug = nxt.debug
+
+    def _charge_switch(self, prev: Optional[Task], nxt: Task) -> None:
+        cycles = self.costs.context_switch_cycles + self.costs.schedule_pick_cycles
+        ns = self.cpu.cycles_to_ns(cycles)
+        target = prev if self.cfg.charge_switch_to == "prev" else nxt
+        if target is None or not target.alive:
+            target = nxt
+        self.clock.advance(ns)
+        self.cpu.retire_cycles(cycles)
+        self.accounting.charge(target, CPUMode.KERNEL, ns, ChargeKind.SWITCH)
+        target.oracle_charge(False, Provenance.SYSTEM, ns)
+
+    # ------------------------------------------------------------------
+    # blocking and waking
+    # ------------------------------------------------------------------
+
+    def block_current(self, task: Task, channel: str) -> None:
+        """Park the current task on ``channel`` (engine Block op path)."""
+        if task is not self.current:
+            raise SimulationError("only the current task can block")
+        self._update_curr(task)
+        task.state = TaskState.WAITING
+        task.wait_channel = channel
+        task.voluntary_switches += 1
+        self._wait_queues.setdefault(channel, []).append(task)
+
+    def block_on(self, task: Task, channel: str) -> None:
+        """Park the current task on ``channel`` from non-frame kernel code
+        (page-fault swap-in path)."""
+        self.block_current(task, channel)
+
+    def _unpark(self, task: Task) -> None:
+        """Remove a task from its wait queue, if any."""
+        channel = task.wait_channel
+        if channel is None:
+            return
+        queue = self._wait_queues.get(channel)
+        if queue and task in queue:
+            queue.remove(task)
+            if not queue:
+                del self._wait_queues[channel]
+        task.wait_channel = None
+
+    def wake(self, task: Task, payload: object = None) -> bool:
+        """Make a parked task runnable; returns True if a wake happened."""
+        if not task.alive:
+            return False
+        if task.state is TaskState.WAITING:
+            self._unpark(task)
+            st = task.exec_state
+            if st is not None:
+                st.send_value = payload
+                st.blocked_frame = None
+            task.state = TaskState.READY
+            self.scheduler.enqueue(task, wakeup=True)
+            self._maybe_preempt(task)
+            return True
+        if task.state is TaskState.STOPPED and task.wait_channel is not None:
+            # The wake arrived while the task was stopped: remember it so
+            # SIGCONT resumes straight to READY.
+            self._unpark(task)
+            task._pending_wake = payload  # type: ignore[attr-defined]
+            return True
+        return False
+
+    def wake_channel(self, channel: str, payload: object = None) -> int:
+        """Wake every task parked on ``channel``; returns the count."""
+        woken = 0
+        for task in list(self._wait_queues.get(channel, ())):
+            if self.wake(task, payload):
+                woken += 1
+        return woken
+
+    def _maybe_preempt(self, woken: Task) -> None:
+        if self.current is None:
+            return
+        if self.scheduler.check_preempt_wakeup(self.current, woken):
+            self.need_resched = True
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+
+    def post_signal(self, target: Task, sig: int,
+                    sender_pid: Optional[int] = None) -> None:
+        if not target.alive:
+            return
+        target.post_signal(sig, sender_pid)
+        target.signals_received += 1
+        self.trace("signal", f"post {signal_name(sig)}", target.pid,
+                   sender=sender_pid)
+        if target is not self.current:
+            # Off-CPU target: resolve dispositions immediately (the engine
+            # only runs for the current task).  Delivery cost for off-CPU
+            # targets is absorbed by the sender's syscall cost.
+            self._resolve_signals_off_cpu(target)
+
+    def _resolve_signals_off_cpu(self, target: Task) -> None:
+        while target.pending_signals and target.alive:
+            sig, sender = target.pending_signals.pop(0)
+            action = default_action(sig, target.tracer is not None)
+            self._apply_signal_action(target, sig, action)
+
+    def deliver_signals(self, task: Task) -> None:
+        """Engine hook: queue delivery (with cost) for the current task."""
+        if not task.pending_signals:
+            return
+        sig, sender = task.pending_signals.pop(0)
+        action = default_action(sig, task.tracer is not None)
+        prov = Provenance.TRACER if sig in (SIGTRAP, SIGSTOP, SIGCONT) \
+            else Provenance.SYSTEM
+        st = task.exec_state
+
+        def apply() -> None:
+            self._apply_signal_action(task, sig, action)
+
+        from .engine import Segment  # local import to avoid cycle at load
+
+        cycles = self.costs.signal_deliver_cycles
+        if action is SignalAction.TRAP:
+            # ptrace_stop() runs in the tracee: billed to the victim.
+            cycles += self.costs.ptrace_stop_cycles
+        st.segments.append(Segment(cycles, False, prov, ChargeKind.SYSCALL,
+                                   on_done=apply))
+
+    def _apply_signal_action(self, task: Task, sig: int,
+                             action: SignalAction) -> None:
+        if action is SignalAction.IGNORE:
+            return
+        if action is SignalAction.TERMINATE:
+            self.do_exit(task, 128 + sig, signal=sig)
+            return
+        if action in (SignalAction.STOP, SignalAction.TRAP):
+            self._stop_task(task, sig)
+            return
+        if action is SignalAction.CONTINUE:
+            if task.state is TaskState.STOPPED:
+                self.resume_stopped(task)
+            return
+        raise SimulationError(f"unhandled signal action {action}")
+
+    def _stop_task(self, task: Task, sig: int) -> None:
+        if task.state is TaskState.STOPPED:
+            return
+        was_running = task is self.current
+        if task.state is TaskState.READY:
+            self.scheduler.dequeue(task)
+        if was_running:
+            self._update_curr(task)
+            self.need_resched = True
+        # A WAITING task keeps its wait channel; a wake while stopped is
+        # remembered (see wake()).
+        task.state = TaskState.STOPPED
+        task.stop_signal = sig
+        task.stop_pending_report = True
+        self.trace("signal", f"stopped by {signal_name(sig)}", task.pid)
+        self._notify_stop(task)
+
+    def _notify_stop(self, task: Task) -> None:
+        """Wake anyone waiting on this task's stop (parent and tracer)."""
+        if task.tracer is not None:
+            self.wake_channel(f"wait:{task.tracer.pid}")
+        if task.parent is not None:
+            self.wake_channel(f"wait:{task.parent.pid}")
+
+    def resume_stopped(self, task: Task) -> None:
+        if task.state is not TaskState.STOPPED:
+            return
+        task.stop_signal = None
+        task.stop_pending_report = False
+        pending_wake = getattr(task, "_pending_wake", _NO_WAKE)
+        if pending_wake is not _NO_WAKE:
+            del task._pending_wake
+            st = task.exec_state
+            if st is not None:
+                st.send_value = pending_wake
+                st.blocked_frame = None
+            task.state = TaskState.READY
+            self.scheduler.enqueue(task, wakeup=True)
+            self._maybe_preempt(task)
+        elif task.wait_channel is not None:
+            task.state = TaskState.WAITING
+        else:
+            task.state = TaskState.READY
+            self.scheduler.enqueue(task, wakeup=True)
+            self._maybe_preempt(task)
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+
+    def _alloc_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def _make_guest_ctx(self, argv: Tuple, pid: int) -> GuestContext:
+        def stream_factory(name: str):
+            return self.rng.stream(f"guest:{pid}:{name}")
+
+        return GuestContext(argv=tuple(argv), rng_stream_factory=stream_factory)
+
+    def _root_frame(self, ctx: GuestContext, fn: Optional[GuestFunction],
+                    args: Tuple) -> Frame:
+        """Wrapper body: run ``fn`` then exit with its return value."""
+
+        def body():
+            code = 0
+            if fn is not None:
+                from ..programs.ops import Invoke
+
+                code = yield Invoke(fn, args)
+            yield Syscall("exit", (code if isinstance(code, int) else 0,))
+
+        prov = fn.provenance if fn is not None else Provenance.USER
+        return Frame(body(), prov, fn.name if fn else "noop", user_mode=True)
+
+    def create_task(self, name: str, uid: Optional[int] = None,
+                    nice: Optional[int] = None,
+                    parent: Optional[Task] = None,
+                    tgid: Optional[int] = None) -> Task:
+        """Allocate a PCB.  uid/nice default to the parent's (or 1000/0)."""
+        if uid is None:
+            uid = parent.uid if parent is not None else 1000
+        if nice is None:
+            nice = parent.nice if parent is not None else 0
+        task = Task(self._alloc_pid(), name, uid=uid, nice=nice, tgid=tgid)
+        task.parent = parent
+        if parent is not None:
+            parent.children.append(task)
+            task.env = dict(parent.env)
+        self.tasks[task.pid] = task
+        return task
+
+    def spawn(self, fn: Optional[GuestFunction] = None, args: Tuple = (),
+              name: str = "task", uid: Optional[int] = None,
+              nice: Optional[int] = None,
+              env: Optional[Dict[str, str]] = None,
+              parent: Optional[Task] = None) -> Task:
+        """Create and enqueue a task running ``fn`` (no program image)."""
+        task = self.create_task(name, uid=uid, nice=nice, parent=parent)
+        if env:
+            task.env.update(env)
+        task.mm = self.mm.create_space()
+        task.guest_ctx = self._make_guest_ctx((), task.pid)
+        task.guest_ctx.shared["_link_map"] = LinkMap([])
+        task.exec_state = ExecState()
+        task.exec_state.push_frame(self._root_frame(task.guest_ctx, fn, args))
+        task.vruntime = getattr(self.scheduler, "min_vruntime", 0)
+        self.scheduler.enqueue(task)
+        self.trace("task", f"spawn {name}", task.pid)
+        return task
+
+    def spawn_program(self, program: Program, name: Optional[str] = None,
+                      uid: Optional[int] = None, nice: Optional[int] = None,
+                      env: Optional[Dict[str, str]] = None) -> Task:
+        """Create a task and exec ``program`` into it directly (no shell)."""
+
+        def body(ctx):
+            yield Syscall("execve", (program,))
+            return 0
+
+        fn = GuestFunction(f"exec:{program.name}", body, Provenance.USER)
+        return self.spawn(fn, name=name or program.name, uid=uid, nice=nice,
+                          env=env)
+
+    def do_fork(self, parent: Task, child_fn: Optional[GuestFunction],
+                child_args: Tuple) -> Task:
+        child = self.create_task(
+            f"{parent.name}-child", parent=parent)
+        child.mm = self.mm.create_space()
+        child.guest_ctx = self._make_guest_ctx((), child.pid)
+        child.guest_ctx.shared["_link_map"] = LinkMap([])
+        child.exec_state = ExecState()
+        child.exec_state.push_frame(
+            self._root_frame(child.guest_ctx, child_fn, child_args))
+        self.scheduler.on_fork(parent, child)
+        self.scheduler.enqueue(child)
+        self.trace("task", "fork", parent.pid, child=child.pid)
+        return child
+
+    def do_clone_thread(self, leader: Task, fn: GuestFunction,
+                        args: Tuple) -> Task:
+        thread = self.create_task(
+            f"{leader.name}/t", parent=leader, tgid=leader.tgid)
+        thread.mm = self.mm.grab_space(leader.mm)
+        thread.guest_ctx = leader.guest_ctx  # shared thread-group view
+        thread.exec_state = ExecState()
+        thread.exec_state.push_frame(
+            self._root_frame(leader.guest_ctx, fn, args))
+        self.scheduler.on_fork(leader, thread)
+        self.scheduler.enqueue(thread)
+        self.trace("task", "clone-thread", leader.pid, thread=thread.pid)
+        return thread
+
+    def install_image(self, task: Task, program: Program) -> None:
+        """execve point of no return: replace the whole process image."""
+        if task.mm is not None:
+            if task.mm.users > 1:
+                raise SimulationError(
+                    "execve from a multithreaded process is not modelled")
+            self.mm.drop_space(task.mm)
+        task.mm = self.mm.create_space()
+        task.name = program.name
+        ctx = self._make_guest_ctx(program.argv, task.pid)
+        task.guest_ctx = ctx
+        self._bind_data_symbols(task, program)
+        link_map = build_link_map(program, task.env, self.libraries)
+        ctx.shared["_link_map"] = link_map
+        ctx.shared["_program"] = program
+        ctx.shared["_costs"] = self.costs
+        # Mutate the existing ExecState in place: the engine holds a live
+        # reference to it while this runs (from inside the execve syscall).
+        st = task.exec_state
+        if st is None:
+            st = ExecState()
+            task.exec_state = st
+        _close_frames(st.frames)
+        st.segments.clear()
+        st.pending_mem = None
+        st.send_value = None
+        st.blocked_frame = None
+        st.push_frame(Frame(
+            process_body(ctx, program, link_map, self.costs),
+            Provenance.LIB, f"crt0:{program.name}", user_mode=True))
+        self.trace("task", f"execve {program.name}", task.pid,
+                   libs=len(link_map))
+
+    def _bind_data_symbols(self, task: Task, program: Program) -> None:
+        if not program.data_symbols:
+            return
+        page = task.mm.page_size
+        total = 0
+        offsets = {}
+        for symbol, size in program.data_symbols.items():
+            if size <= 0:
+                raise SimulationError(f"symbol {symbol!r} has size {size}")
+            offsets[symbol] = total
+            total += (size + 7) // 8 * 8
+        npages = (total + page - 1) // page
+        task.mm.add_region(DATA_BASE, max(npages, 1), "data")
+        for symbol, offset in offsets.items():
+            task.guest_ctx.bind_symbol(symbol, DATA_BASE + offset)
+
+    def do_exit(self, task: Task, code: int,
+                signal: Optional[int] = None) -> None:
+        if not task.alive:
+            return
+        if task is self.current:
+            self._update_curr(task)
+            self.need_resched = True
+        elif task.state is TaskState.READY:
+            self.scheduler.dequeue(task)
+        elif task.state is TaskState.WAITING:
+            self._unpark(task)
+        task.state = TaskState.ZOMBIE
+        task.exit_code = code
+        task.exit_signal = signal
+        task.pending_signals.clear()
+        if task.exec_state is not None:
+            _close_frames(task.exec_state.frames)
+            task.exec_state.segments.clear()
+            task.exec_state.pending_mem = None
+        if task.mm is not None:
+            self.mm.drop_space(task.mm)
+            task.mm = None
+        # Detach tracing relations.
+        for tracee_pid in list(task.tracees):
+            tracee = self.tasks.get(tracee_pid)
+            if tracee is not None:
+                tracee.tracer = None
+        task.tracees.clear()
+        if task.tracer is not None:
+            # A blocked tracer must learn its tracee is gone.
+            tracer = task.tracer
+            tracer.tracees.discard(task.pid)
+            task.tracer = None
+            self.wake_channel(f"wait:{tracer.pid}")
+        # Reparent children to nobody (init is implicit).
+        for child in task.children:
+            child.parent = None
+        self.trace("task", f"exit code={code}"
+                   + (f" signal={signal_name(signal)}" if signal else ""),
+                   task.pid)
+        if task.parent is not None:
+            self.post_signal(task.parent, SIGCHLD, sender_pid=task.pid)
+            self.wake_channel(f"wait:{task.parent.pid}")
+
+    def reap(self, parent: Task, zombie: Task) -> None:
+        if zombie.state is not TaskState.ZOMBIE:
+            raise SimulationError(f"cannot reap live task {zombie.pid}")
+        zombie.state = TaskState.DEAD
+        if zombie in parent.children:
+            parent.children.remove(zombie)
+        # POSIX RUSAGE_CHILDREN semantics: the child's own usage plus its
+        # reaped descendants' accumulates into the parent at wait() time.
+        usage = self.accounting.usage(zombie)
+        parent.acct_cutime_ns += usage.utime_ns + zombie.acct_cutime_ns
+        parent.acct_cstime_ns += usage.stime_ns + zombie.acct_cstime_ns
+
+    # ------------------------------------------------------------------
+    # wait() support
+    # ------------------------------------------------------------------
+
+    def _wait_candidates(self, task: Task, pid: int) -> List[Task]:
+        out = list(task.children)
+        for tracee_pid in task.tracees:
+            tracee = self.tasks.get(tracee_pid)
+            if tracee is not None and tracee not in out:
+                out.append(tracee)
+        if pid != -1:
+            out = [t for t in out if t.pid == pid]
+        return out
+
+    def find_zombie_child(self, task: Task, pid: int = -1) -> Optional[Task]:
+        candidates = task.children if pid == -1 else \
+            [t for t in task.children if t.pid == pid]
+        for child in candidates:
+            if child.state is TaskState.ZOMBIE:
+                return child
+        return None
+
+    def find_stop_report(self, task: Task, pid: int = -1) -> Optional[Task]:
+        """Stops are reported only to the *tracer* (waitpid without
+        WUNTRACED does not report stopped children)."""
+        for cand in self._wait_candidates(task, pid):
+            if (cand.state is TaskState.STOPPED and cand.stop_pending_report
+                    and cand.tracer is task):
+                return cand
+        return None
+
+    def has_waitable(self, task: Task, pid: int = -1) -> bool:
+        return any(t.alive or t.state is TaskState.ZOMBIE
+                   for t in self._wait_candidates(task, pid))
+
+    # ------------------------------------------------------------------
+    # memory helpers (engine fault paths)
+    # ------------------------------------------------------------------
+
+    def swap_writeback(self, task: Task) -> None:
+        """Submit the dirty-victim writeback for an eviction (async)."""
+        self.disk.submit(1, write=True, on_complete=lambda: None)
+
+    def begin_swap_in(self, task: Task, vaddr: int, frame) -> None:
+        channel = f"page:{task.pid}:0x{vaddr:x}"
+        self.trace("fault", f"major fault 0x{vaddr:x}", task.pid)
+
+        def complete() -> None:
+            if not task.alive or task.mm is None:
+                # Killed while sleeping on I/O: give the frame back.
+                self.mm.phys.release(frame.pfn)
+                return
+            self.mm.complete_major_fault(task.mm, vaddr, frame)
+            self.wake_channel(channel)
+
+        self.disk.submit(1, write=False, on_complete=complete)
+        self.block_on(task, channel)
+
+    def oom_kill(self, requester: Task) -> bool:
+        """Invoke the OOM killer; True if a victim was killed."""
+        victim = self.mm.pick_oom_victim(
+            [t for t in self.tasks.values() if t.alive and t.mm is not None])
+        if victim is None:
+            return False
+        self.trace("oom", f"killing pid {victim.pid} (rss={victim.mm.rss})",
+                   requester.pid)
+        self.do_exit(victim, 128 + SIGKILL, signal=SIGKILL)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def task_by_pid(self, pid: int) -> Optional[Task]:
+        return self.tasks.get(pid)
+
+    def thread_group(self, task: Task) -> List[Task]:
+        return [t for t in self.tasks.values() if t.tgid == task.tgid]
+
+    def rusage(self, task: Task) -> Dict[str, object]:
+        """getrusage(RUSAGE_SELF): aggregated over the thread group."""
+        usage = CpuUsage()
+        minflt = majflt = nvcsw = nivcsw = 0
+        for member in self.thread_group(task):
+            usage = usage + self.accounting.usage(member)
+            minflt += member.minor_faults
+            majflt += member.major_faults
+            nvcsw += member.voluntary_switches
+            nivcsw += member.involuntary_switches
+        return {
+            "utime_ns": usage.utime_ns,
+            "stime_ns": usage.stime_ns,
+            "cutime_ns": task.acct_cutime_ns,
+            "cstime_ns": task.acct_cstime_ns,
+            "minflt": minflt,
+            "majflt": majflt,
+            "nvcsw": nvcsw,
+            "nivcsw": nivcsw,
+        }
+
+    def alive_tasks(self) -> List[Task]:
+        return [t for t in self.tasks.values() if t.alive]
+
+    def all_finished(self) -> bool:
+        return not self.alive_tasks()

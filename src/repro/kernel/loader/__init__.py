@@ -1,0 +1,14 @@
+"""Executable loading and dynamic linking."""
+
+from .library import SharedLibrary
+from .registry import LibraryRegistry, parse_ld_preload
+from .linker import LinkMap, build_link_map, process_body
+
+__all__ = [
+    "SharedLibrary",
+    "LibraryRegistry",
+    "parse_ld_preload",
+    "LinkMap",
+    "build_link_map",
+    "process_body",
+]

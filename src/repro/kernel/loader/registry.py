@@ -1,0 +1,60 @@
+"""The library "filesystem": where the dynamic linker finds shared objects.
+
+The server controls this registry — that is the paper's whole point.  A
+dishonest provider installs a malicious library and points ``LD_PRELOAD``
+at it; the user's program cannot tell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...errors import FileNotFound, SimulationError
+from .library import SharedLibrary
+
+
+def parse_ld_preload(value: str) -> List[str]:
+    """Split an ``LD_PRELOAD`` value into library names.
+
+    Accepts both colon- and space-separated lists, like glibc's ld.so.
+    """
+    names: List[str] = []
+    for chunk in value.replace(":", " ").split():
+        if chunk and chunk not in names:
+            names.append(chunk)
+    return names
+
+
+class LibraryRegistry:
+    """Name → SharedLibrary mapping (the ld.so search path)."""
+
+    def __init__(self) -> None:
+        self._libs: Dict[str, SharedLibrary] = {}
+
+    def install(self, lib: SharedLibrary, replace: bool = False) -> None:
+        """Add a library; ``replace=True`` models overwriting the file."""
+        if lib.name in self._libs and not replace:
+            raise SimulationError(
+                f"library {lib.name!r} already installed "
+                f"(pass replace=True to overwrite)")
+        self._libs[lib.name] = lib
+
+    def remove(self, name: str) -> None:
+        if name not in self._libs:
+            raise FileNotFound(f"no library {name!r}")
+        del self._libs[name]
+
+    def lookup(self, name: str) -> SharedLibrary:
+        try:
+            return self._libs[name]
+        except KeyError:
+            raise FileNotFound(f"shared library {name!r} not found") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._libs
+
+    def names(self) -> List[str]:
+        return sorted(self._libs)
+
+    def __len__(self) -> int:
+        return len(self._libs)

@@ -1,0 +1,13 @@
+"""Virtual memory: address spaces, demand paging, reclaim, swap, OOM."""
+
+from .vm import AddressSpace, PTE, PteState, VMRegion
+from .manager import FaultKind, MemoryManager
+
+__all__ = [
+    "AddressSpace",
+    "PTE",
+    "PteState",
+    "VMRegion",
+    "FaultKind",
+    "MemoryManager",
+]

@@ -1,0 +1,17 @@
+"""Run-queue schedulers: CFS (default, as in the paper's 2.6.29 kernel),
+an O(1)-style priority scheduler, and plain round-robin."""
+
+from .base import Scheduler
+from .cfs import CfsScheduler, NICE_TO_WEIGHT
+from .o1 import O1Scheduler
+from .rr import RoundRobinScheduler
+from .factory import make_scheduler
+
+__all__ = [
+    "Scheduler",
+    "CfsScheduler",
+    "NICE_TO_WEIGHT",
+    "O1Scheduler",
+    "RoundRobinScheduler",
+    "make_scheduler",
+]

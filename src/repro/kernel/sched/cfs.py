@@ -1,0 +1,219 @@
+"""The Completely Fair Scheduler, as shipped in the paper's 2.6.29 kernel.
+
+Faithful to the mechanisms the scheduling attack interacts with:
+
+* weights from the Linux ``prio_to_weight`` table (nice −20..19);
+* ``vruntime`` advanced by ``delta * NICE_0_WEIGHT / weight``;
+* ``place_entity`` sleeper fairness: a waking task's vruntime is pulled up
+  to ``min_vruntime − sched_latency/2`` but never pushed back;
+* tick preemption in ``check_preempt_tick`` style — a compute-bound task is
+  only preempted *at a timer tick*, while blockers yield mid-jiffy.  That
+  asymmetry (involuntary switches at ticks, voluntary switches between
+  them) is precisely why the Fork attack's cycles hide from tick sampling.
+
+The red-black tree is replaced by a binary heap with lazy deletion, which
+preserves pick-min semantics and determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ...config import SchedulerConfig
+from ...errors import SimulationError
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..process import Task
+
+#: Linux kernel prio_to_weight[]: weight for nice -20..19.
+NICE_TO_WEIGHT: Dict[int, int] = {
+    -20: 88761, -19: 71755, -18: 56483, -17: 46273, -16: 36291,
+    -15: 29154, -14: 23254, -13: 18705, -12: 14949, -11: 11916,
+    -10: 9548, -9: 7620, -8: 6100, -7: 4904, -6: 3906,
+    -5: 3121, -4: 2501, -3: 1991, -2: 1586, -1: 1277,
+    0: 1024, 1: 820, 2: 655, 3: 526, 4: 423,
+    5: 335, 6: 272, 7: 215, 8: 172, 9: 137,
+    10: 110, 11: 87, 12: 70, 13: 56, 14: 45,
+    15: 36, 16: 29, 17: 23, 18: 18, 19: 15,
+}
+
+NICE_0_WEIGHT = 1024
+
+
+def weight_of(task: "Task") -> int:
+    try:
+        return NICE_TO_WEIGHT[task.nice]
+    except KeyError:
+        raise SimulationError(f"nice {task.nice} outside [-20, 19]") from None
+
+
+class CfsScheduler(Scheduler):
+    """Single-runqueue CFS."""
+
+    name = "cfs"
+
+    def __init__(self, cfg: SchedulerConfig) -> None:
+        super().__init__(cfg)
+        #: (vruntime, seq, task) heap with lazy deletion.
+        self._heap: List[Tuple[int, int, "Task"]] = []
+        #: Tasks currently queued (for lazy-deletion validation).
+        self._queued: Dict[int, "Task"] = {}
+        self.min_vruntime = 0
+        self._total_weight = 0
+
+    # -- queue ---------------------------------------------------------------
+
+    @property
+    def nr_runnable(self) -> int:
+        return len(self._queued)
+
+    def _push(self, task: "Task") -> None:
+        task.enqueue_seq = self._next_seq()
+        heapq.heappush(self._heap, (task.vruntime, task.enqueue_seq, task))
+
+    def enqueue(self, task: "Task", wakeup: bool = False) -> None:
+        if task.pid in self._queued:
+            raise SimulationError(f"task {task.pid} enqueued twice")
+        if wakeup:
+            self._place_entity(task)
+        self._queued[task.pid] = task
+        self._total_weight += weight_of(task)
+        self._push(task)
+
+    def dequeue(self, task: "Task") -> None:
+        if task.pid not in self._queued:
+            raise SimulationError(f"task {task.pid} not queued")
+        del self._queued[task.pid]
+        self._total_weight -= weight_of(task)
+        # Heap entry removed lazily by pick_next.
+
+    def pick_next(self) -> Optional["Task"]:
+        while self._heap:
+            vruntime, seq, task = self._heap[0]
+            if task.pid not in self._queued or seq != task.enqueue_seq \
+                    or vruntime != task.vruntime:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            heapq.heappop(self._heap)
+            del self._queued[task.pid]
+            self._total_weight -= weight_of(task)
+            self._update_min_vruntime(task.vruntime)
+            return task
+        return None
+
+    def put_prev(self, task: "Task") -> None:
+        self.enqueue(task, wakeup=False)
+
+    def peek_min(self) -> Optional["Task"]:
+        while self._heap:
+            vruntime, seq, task = self._heap[0]
+            if task.pid not in self._queued or seq != task.enqueue_seq \
+                    or vruntime != task.vruntime:
+                heapq.heappop(self._heap)
+                continue
+            return task
+        return None
+
+    def _update_min_vruntime(self, curr_vruntime: Optional[int]) -> None:
+        """2.6.29 update_min_vruntime(): advance to min(curr, leftmost).
+
+        Taking the *minimum* of the running entity and the queue head is
+        load-bearing for the scheduling attack: while the fork chain runs,
+        min_vruntime creeps forward only by the chain's (weight-scaled)
+        debit per fork instead of leaping to the preempted victim's
+        vruntime, so the tick-quantized overshoot the victim accumulated
+        becomes headroom the chain spends in sub-jiffy bursts.
+        """
+        leftmost = self.peek_min()
+        if curr_vruntime is not None and leftmost is not None:
+            candidate = min(curr_vruntime, leftmost.vruntime)
+        elif curr_vruntime is not None:
+            candidate = curr_vruntime
+        elif leftmost is not None:
+            candidate = leftmost.vruntime
+        else:
+            return
+        self.min_vruntime = max(self.min_vruntime, candidate)
+
+    # -- time ----------------------------------------------------------------
+
+    def update_curr(self, task: "Task", delta_ns: int) -> None:
+        if delta_ns <= 0:
+            return
+        task.vruntime += delta_ns * NICE_0_WEIGHT // weight_of(task)
+        task.ran_since_pick += delta_ns
+        self._update_min_vruntime(task.vruntime)
+
+    def _sched_slice(self, task: "Task") -> int:
+        """Ideal slice for ``task``: its weighted share of the latency."""
+        total = self._total_weight + weight_of(task)
+        nr = self.nr_runnable + 1
+        period = self.cfg.sched_latency_ns
+        min_gran = self.cfg.min_granularity_ns
+        if nr * min_gran > period:
+            period = nr * min_gran
+        # No per-task floor: 2.6.29 sched_slice() relies on period
+        # stretching alone; a light task next to a heavy one gets a slice
+        # well under min_granularity (and is preempted at the next tick).
+        return period * weight_of(task) // max(total, 1)
+
+    def task_tick(self, task: "Task") -> bool:
+        """check_preempt_tick: preempt when the slice is used up."""
+        ideal = self._sched_slice(task)
+        if task.ran_since_pick > ideal:
+            return True
+        if task.ran_since_pick < self.cfg.min_granularity_ns:
+            return False
+        leftmost = self.peek_min()
+        if leftmost is None:
+            return False
+        vdiff = task.vruntime - leftmost.vruntime
+        return vdiff > ideal
+
+    def check_preempt_wakeup(self, current: "Task", woken: "Task") -> bool:
+        vdiff = current.vruntime - woken.vruntime
+        return vdiff > self.cfg.wakeup_granularity_ns
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _place_entity(self, task: "Task") -> None:
+        """Sleeper fairness: pull the waker up to min_vruntime - thresh."""
+        thresh = self.cfg.sched_latency_ns // 2  # GENTLE_FAIR_SLEEPERS
+        task.vruntime = max(task.vruntime, self.min_vruntime - thresh)
+
+    def sched_vslice(self, task: "Task") -> int:
+        """sched_vslice(): the task's ideal slice in vruntime units."""
+        return self._sched_slice(task) * NICE_0_WEIGHT // weight_of(task)
+
+    def on_fork(self, parent: "Task", child: "Task") -> None:
+        # task_new_fair() as shipped in 2.6.29:
+        #   * place_entity(initial=1) with START_DEBIT: the new entity is
+        #     placed one vslice to the right of min_vruntime, so a fork
+        #     loop cannot monopolise the CPU;
+        #   * sysctl_sched_child_runs_first (default 1): if the placement
+        #     put the child behind the parent, their vruntimes are swapped
+        #     — the *parent* carries the debit.
+        # The combination paces the scheduling attack's fork chain into
+        # short bursts that trigger right after a timer tick (when the
+        # victim is preempted), which is exactly how the attacker's cycles
+        # hide from tick sampling; and the debit shrinks with the
+        # attacker's weight, which is why the attack strengthens as Fork's
+        # nice value drops (paper Fig. 7).
+        placed = (max(parent.vruntime, self.min_vruntime)
+                  + self.sched_vslice(child))
+        if placed > parent.vruntime:
+            # child_runs_first: child inherits the parent's vruntime, the
+            # parent takes the debited placement.
+            child.vruntime = parent.vruntime
+            parent.vruntime = placed
+        else:
+            child.vruntime = placed
+
+    def on_nice_change(self, task: "Task") -> None:
+        # Weight changes take effect on the next update_curr/enqueue; if the
+        # task is queued we must fix the aggregate weight bookkeeping.
+        if task.pid in self._queued:
+            # Recompute total weight from scratch (rare operation).
+            self._total_weight = sum(weight_of(t) for t in self._queued.values())

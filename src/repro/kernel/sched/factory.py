@@ -1,0 +1,24 @@
+"""Scheduler construction from configuration."""
+
+from __future__ import annotations
+
+from ...config import MachineConfig
+from ...errors import ConfigError
+from .base import Scheduler
+from .cfs import CfsScheduler
+from .o1 import O1Scheduler
+from .rr import RoundRobinScheduler
+
+
+def make_scheduler(cfg: MachineConfig) -> Scheduler:
+    """Instantiate the scheduler named by ``cfg.scheduler.kind``."""
+    kind = cfg.scheduler.kind
+    if kind == "cfs":
+        return CfsScheduler(cfg.scheduler)
+    if kind == "o1":
+        sched = O1Scheduler(cfg.scheduler)
+        sched.set_jiffy_ns(cfg.tick_ns)
+        return sched
+    if kind == "rr":
+        return RoundRobinScheduler(cfg.scheduler)
+    raise ConfigError(f"unknown scheduler kind {kind!r}")

@@ -1,0 +1,66 @@
+"""Plain round-robin scheduler: one FIFO queue, fixed timeslice.
+
+The simplest possible baseline.  Useful in tests (fully predictable pick
+order) and in the ablation showing that the scheduling attack is a property
+of tick *accounting*, not of any particular scheduling policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from ...config import SchedulerConfig
+from ...errors import SimulationError
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..process import Task
+
+
+class RoundRobinScheduler(Scheduler):
+    """FIFO queue with a fixed per-dispatch timeslice."""
+
+    name = "rr"
+
+    def __init__(self, cfg: SchedulerConfig) -> None:
+        super().__init__(cfg)
+        self._queue: Deque["Task"] = deque()
+
+    @property
+    def nr_runnable(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, task: "Task", wakeup: bool = False) -> None:
+        if task in self._queue:
+            raise SimulationError(f"task {task.pid} enqueued twice")
+        task.timeslice_ns = self.cfg.base_timeslice_ns
+        self._queue.append(task)
+
+    def dequeue(self, task: "Task") -> None:
+        try:
+            self._queue.remove(task)
+        except ValueError:
+            raise SimulationError(f"task {task.pid} not queued") from None
+
+    def pick_next(self) -> Optional["Task"]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def put_prev(self, task: "Task") -> None:
+        task.timeslice_ns = self.cfg.base_timeslice_ns
+        self._queue.append(task)
+
+    def update_curr(self, task: "Task", delta_ns: int) -> None:
+        task.ran_since_pick += max(delta_ns, 0)
+        task.timeslice_ns -= min(task.timeslice_ns, max(delta_ns, 0))
+
+    def task_tick(self, task: "Task") -> bool:
+        return task.timeslice_ns <= 0
+
+    def check_preempt_wakeup(self, current: "Task", woken: "Task") -> bool:
+        return False
+
+    def on_fork(self, parent: "Task", child: "Task") -> None:
+        child.timeslice_ns = self.cfg.base_timeslice_ns

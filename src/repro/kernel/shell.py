@@ -1,0 +1,64 @@
+"""The command shell: fork + execve, with the shell-attack hook.
+
+Models bash's ``execute_disk_command()``: to run a command the shell forks,
+and the child calls ``execve``.  The kernel starts metering the child *at
+fork* (paper §IV-A1), so anything the — server-controlled — shell arranges
+to run between ``fork()`` and ``execve()`` is billed to the user's process.
+:attr:`Shell.post_fork_payload` is exactly that injection point; the shell
+attack sets it to a CPU-bound payload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..programs.base import GuestFunction, Program
+from ..programs.ops import Invoke, Provenance, Syscall
+from .process import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+
+
+class Shell:
+    """A login shell for one user session."""
+
+    def __init__(self, kernel: "Kernel",
+                 env: Optional[Dict[str, str]] = None) -> None:
+        self.kernel = kernel
+        #: The session environment; execve'd programs inherit it (this is
+        #: where a malicious provider plants LD_PRELOAD).
+        self.env: Dict[str, str] = dict(env or {})
+        #: Code injected between fork() and execve() — the shell attack.
+        #: None for an untampered shell.
+        self.post_fork_payload: Optional[GuestFunction] = None
+        self.commands_run = 0
+
+    def set_env(self, key: str, value: str) -> None:
+        self.env[key] = value
+
+    def unset_env(self, key: str) -> None:
+        self.env.pop(key, None)
+
+    def run_command(self, program: Program, uid: Optional[int] = None,
+                    nice: Optional[int] = None,
+                    name: Optional[str] = None) -> Task:
+        """Launch ``program`` the way a shell does; returns the child task.
+
+        The child's op stream is: [injected payload, if the shell was
+        tampered with] → execve(program).  Metering of the child starts at
+        creation, so the payload's cycles land in the user's bill.
+        """
+        payload = self.post_fork_payload
+        self.commands_run += 1
+
+        def trampoline(ctx):
+            if payload is not None:
+                yield Invoke(payload)
+            yield Syscall("execve", (program,))
+            return 0
+
+        fn = GuestFunction(f"sh -c {program.name}", trampoline,
+                           Provenance.USER)
+        return self.kernel.spawn(fn, name=name or program.name, uid=uid,
+                                 nice=nice, env=dict(self.env))

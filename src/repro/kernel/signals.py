@@ -1,0 +1,69 @@
+"""Signal numbers and default dispositions.
+
+A deliberately small subset of POSIX: enough for process control (STOP /
+CONT / KILL / CHLD), fatal faults (SEGV), and tracing (TRAP).  Handlers are
+not user-installable — none of the paper's attacks needs them — but every
+delivery still costs kernel time, which is the point of the thrashing
+attack.
+"""
+
+from __future__ import annotations
+
+import enum
+
+SIGKILL = 9
+SIGSEGV = 11
+SIGCHLD = 17
+SIGCONT = 18
+SIGSTOP = 19
+SIGTRAP = 5
+SIGTERM = 15
+SIGUSR1 = 10
+
+SIGNAL_NAMES = {
+    SIGTRAP: "SIGTRAP",
+    SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
+    SIGSEGV: "SIGSEGV",
+    SIGTERM: "SIGTERM",
+    SIGCHLD: "SIGCHLD",
+    SIGCONT: "SIGCONT",
+    SIGSTOP: "SIGSTOP",
+}
+
+
+class SignalAction(enum.Enum):
+    """What delivery of a signal does by default."""
+
+    TERMINATE = "terminate"
+    STOP = "stop"
+    CONTINUE = "continue"
+    IGNORE = "ignore"
+    #: Stop and report to the tracer (SIGTRAP on a traced task).
+    TRAP = "trap"
+
+
+def default_action(sig: int, traced: bool) -> SignalAction:
+    """The kernel's default disposition for ``sig``.
+
+    Any signal delivered to a *traced* task causes a traced stop so the
+    tracer can inspect it — that ptrace semantics is what turns every
+    watchpoint hit into two context switches in the thrashing attack.
+    """
+    if sig == SIGKILL:
+        return SignalAction.TERMINATE  # not interceptable, even traced
+    if traced:
+        return SignalAction.TRAP
+    if sig in (SIGSEGV, SIGTERM, SIGUSR1, SIGTRAP):
+        return SignalAction.TERMINATE
+    if sig == SIGSTOP:
+        return SignalAction.STOP
+    if sig == SIGCONT:
+        return SignalAction.CONTINUE
+    if sig == SIGCHLD:
+        return SignalAction.IGNORE
+    return SignalAction.TERMINATE
+
+
+def signal_name(sig: int) -> str:
+    return SIGNAL_NAMES.get(sig, f"SIG{sig}")

@@ -1,0 +1,395 @@
+"""The system-call table.
+
+Each handler is a *kernel coroutine*: a generator yielding ``Compute`` (its
+in-kernel cycle cost, charged as stime to the calling task under the
+provenance of the code that made the call) and ``Block`` (park the task on a
+wait channel).  The engine wraps every call in entry/exit cost segments.
+
+Errors modelled after errno are raised as :class:`KernelError` subclasses;
+the wrapper converts them to negative return values, like the real ABI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import (
+    InvalidArgument,
+    KernelError,
+    NoChildProcesses,
+    NoSuchProcess,
+    PermissionDenied,
+)
+from ..hw.cpu import Watchpoint
+from ..programs.base import GuestFunction
+from ..programs.ops import Compute, Provenance
+from .engine import Block, ReplaceImage
+from .process import Task, TaskState
+from .signals import SIGSTOP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+
+
+class SyscallTable:
+    """name → handler registry plus the wrapping frame generator."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._handlers: Dict[str, Callable] = {}
+        self.invocations: Dict[str, int] = {}
+        self._register_defaults()
+
+    def register(self, name: str, handler: Callable) -> None:
+        self._handlers[name] = handler
+
+    def names(self):
+        return sorted(self._handlers)
+
+    def frame(self, task: Task, name: str, args: Tuple,
+              provenance: Provenance) -> Generator:
+        """Build the kernel-frame generator for one invocation."""
+        kernel = self.kernel
+        handler = self._handlers.get(name)
+
+        def body():
+            yield Compute(kernel.costs.syscall_entry_cycles)
+            if handler is None:
+                kernel.trace("syscall", f"ENOSYS {name}", task.pid)
+                result = -38  # ENOSYS
+            else:
+                self.invocations[name] = self.invocations.get(name, 0) + 1
+                try:
+                    result = yield from handler(kernel, task, *args)
+                except KernelError as err:
+                    kernel.trace("syscall",
+                                 f"{name} -> -{err.errname}", task.pid)
+                    result = -err.errno
+            yield Compute(kernel.costs.syscall_exit_cycles)
+            return result
+
+        return body()
+
+    def _register_defaults(self) -> None:
+        for name, handler in _DEFAULT_HANDLERS.items():
+            self.register(name, handler)
+
+
+# ---------------------------------------------------------------------------
+# Process lifecycle
+# ---------------------------------------------------------------------------
+
+def sys_exit(kernel: "Kernel", task: Task, code: int = 0):
+    yield Compute(kernel.costs.exit_cycles)
+    kernel.do_exit(task, code)
+    return 0
+
+
+def sys_fork(kernel: "Kernel", task: Task,
+             child_fn: Optional[GuestFunction] = None, child_args: Tuple = ()):
+    """fork(): the child runs ``child_fn`` (see DESIGN.md on the generator
+    model of fork); with no ``child_fn`` the child exits immediately."""
+    yield Compute(kernel.costs.fork_cycles)
+    child = kernel.do_fork(task, child_fn, child_args)
+    return child.pid
+
+
+def sys_clone_thread(kernel: "Kernel", task: Task, fn: GuestFunction,
+                     args: Tuple = ()):
+    """clone(CLONE_VM|CLONE_THREAD): spawn a thread sharing the mm."""
+    yield Compute(kernel.costs.fork_cycles)
+    child = kernel.do_clone_thread(task, fn, args)
+    return child.pid
+
+
+def sys_execve(kernel: "Kernel", task: Task, program):
+    yield Compute(kernel.costs.execve_cycles)
+    # Point of no return: the engine replaces the whole frame stack.
+    yield ReplaceImage(program)
+    return 0  # unreachable: the syscall frame is gone
+
+
+def sys_waitpid(kernel: "Kernel", task: Task, pid: int = -1,
+                nohang: bool = False):
+    """Wait for a child to exit or a tracee to stop.
+
+    Returns ``(pid, ("exited", code))``, ``(pid, ("stopped", sig))``, or 0
+    when ``nohang`` is set and nothing is ready (WNOHANG).
+    """
+    yield Compute(kernel.costs.wait_cycles)
+    while True:
+        zombie = kernel.find_zombie_child(task, pid)
+        if zombie is not None:
+            code = zombie.exit_code
+            zpid = zombie.pid
+            kernel.reap(task, zombie)
+            return (zpid, ("exited", code))
+        stopped = kernel.find_stop_report(task, pid)
+        if stopped is not None:
+            stopped.stop_pending_report = False
+            return (stopped.pid, ("stopped", stopped.stop_signal))
+        if not kernel.has_waitable(task, pid):
+            raise NoChildProcesses("nothing to wait for")
+        if nohang:
+            return 0
+        yield Block(f"wait:{task.pid}")
+
+
+def sys_getpid(kernel: "Kernel", task: Task):
+    yield Compute(100)
+    return task.tgid
+
+
+def sys_gettid(kernel: "Kernel", task: Task):
+    yield Compute(100)
+    return task.pid
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+
+def sys_nanosleep(kernel: "Kernel", task: Task, duration_ns: int):
+    if duration_ns < 0:
+        raise InvalidArgument("negative sleep")
+    yield Compute(500)
+    deadline = kernel.clock.now + duration_ns
+    channel = f"sleep:{task.pid}:{deadline}"
+    kernel.events.schedule(deadline,
+                           lambda: kernel.wake_channel(channel, None),
+                           name="sleep-wake")
+    yield Block(channel)
+    return 0
+
+
+def sys_sched_yield(kernel: "Kernel", task: Task):
+    yield Compute(300)
+    kernel.request_resched()
+    return 0
+
+
+def sys_setpriority(kernel: "Kernel", task: Task, nice: int,
+                    pid: Optional[int] = None):
+    """setpriority(PRIO_PROCESS): raising priority requires root."""
+    if not -20 <= nice <= 19:
+        raise InvalidArgument(f"nice {nice} out of range")
+    yield Compute(800)
+    target = task if pid is None else kernel.task_by_pid(pid)
+    if target is None:
+        raise NoSuchProcess(f"pid {pid}")
+    if nice < target.nice and task.uid != 0:
+        raise PermissionDenied("lowering nice requires root")
+    if task.uid != 0 and target.uid != task.uid:
+        raise PermissionDenied("cannot renice another user's process")
+    target.nice = nice
+    kernel.scheduler.on_nice_change(target)
+    return 0
+
+
+def sys_getpriority(kernel: "Kernel", task: Task, pid: Optional[int] = None):
+    yield Compute(300)
+    target = task if pid is None else kernel.task_by_pid(pid)
+    if target is None:
+        raise NoSuchProcess(f"pid {pid}")
+    return target.nice
+
+
+# ---------------------------------------------------------------------------
+# Signals
+# ---------------------------------------------------------------------------
+
+def sys_kill(kernel: "Kernel", task: Task, pid: int, sig: int):
+    yield Compute(kernel.costs.signal_deliver_cycles // 2)
+    target = kernel.task_by_pid(pid)
+    if target is None or not target.alive:
+        raise NoSuchProcess(f"pid {pid}")
+    if task.uid != 0 and task.uid != target.uid:
+        raise PermissionDenied("kill: mismatched uid")
+    kernel.post_signal(target, sig, sender_pid=task.pid)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+def sys_brk(kernel: "Kernel", task: Task, increment_bytes: int):
+    yield Compute(1_500)
+    return task.mm.brk(increment_bytes)
+
+
+def sys_mmap(kernel: "Kernel", task: Task, npages: int, name: str = "mmap"):
+    yield Compute(2_500)
+    return task.mm.mmap(npages, name)
+
+
+def sys_munmap(kernel: "Kernel", task: Task, start: int):
+    yield Compute(2_000)
+    region = task.mm.munmap(start)
+    kernel.mm.release_region_frames(task.mm, region.start, region.npages)
+    return 0
+
+
+def sys_getrusage(kernel: "Kernel", task: Task):
+    """RUSAGE_SELF for the whole thread group, like getrusage(2)."""
+    yield Compute(1_000)
+    return kernel.rusage(task)
+
+
+def sys_rdtsc(kernel: "Kernel", task: Task):
+    """Not a real syscall (rdtsc is unprivileged); kept here for symmetry."""
+    yield Compute(30)
+    return kernel.cpu.read_tsc()
+
+
+# ---------------------------------------------------------------------------
+# ptrace
+# ---------------------------------------------------------------------------
+
+def _ptrace_target(kernel: "Kernel", task: Task, pid: int,
+                   must_be_traced: bool = True,
+                   must_be_stopped: bool = True) -> Task:
+    target = kernel.task_by_pid(pid)
+    if target is None or not target.alive:
+        raise NoSuchProcess(f"pid {pid}")
+    if must_be_traced and target.tracer is not task:
+        raise PermissionDenied(f"pid {pid} is not traced by caller")
+    if must_be_stopped and target.state is not TaskState.STOPPED:
+        raise InvalidArgument(f"pid {pid} is not stopped")
+    return target
+
+
+def sys_ptrace(kernel: "Kernel", task: Task, request: str, pid: int,
+               *args):
+    """ptrace(): ATTACH / CONT / DETACH / POKEUSER_DR / SINGLESTEP-ish.
+
+    Permission model after the paper's §V-C remark: tracing is gated by
+    an LSM-style policy — root always may; an ordinary user may trace only
+    its own processes when the kernel's policy allows it.
+    """
+    yield Compute(kernel.costs.ptrace_request_cycles)
+
+    if request == "attach":
+        target = kernel.task_by_pid(pid)
+        if target is None or not target.alive:
+            raise NoSuchProcess(f"pid {pid}")
+        if target is task:
+            raise InvalidArgument("cannot attach to self")
+        if target.tracer is not None:
+            raise PermissionDenied(f"pid {pid} already traced")
+        if task.uid != 0:
+            if not kernel.policy_allow_user_ptrace:
+                raise PermissionDenied("ptrace denied by security policy")
+            if task.uid != target.uid:
+                raise PermissionDenied("ptrace: uid mismatch")
+        target.tracer = task
+        task.tracees.add(target.pid)
+        kernel.post_signal(target, SIGSTOP, sender_pid=task.pid)
+        return 0
+
+    if request == "detach":
+        target = _ptrace_target(kernel, task, pid, must_be_stopped=False)
+        target.tracer = None
+        task.tracees.discard(target.pid)
+        if target.state is TaskState.STOPPED:
+            kernel.resume_stopped(target)
+        return 0
+
+    if request == "cont":
+        target = _ptrace_target(kernel, task, pid)
+        yield Compute(kernel.costs.ptrace_stop_cycles)
+        kernel.resume_stopped(target)
+        return 0
+
+    if request == "pokeuser_dr":
+        target = _ptrace_target(kernel, task, pid)
+        slot, watchpoint = args
+        if watchpoint is not None and not isinstance(watchpoint, Watchpoint):
+            raise InvalidArgument("expected a Watchpoint or None")
+        target.debug.set_slot(slot, watchpoint)
+        return 0
+
+    if request == "peekuser_dr":
+        target = _ptrace_target(kernel, task, pid)
+        (slot,) = args
+        return target.debug.get_slot(slot)
+
+    raise InvalidArgument(f"unknown ptrace request {request!r}")
+
+
+# ---------------------------------------------------------------------------
+# Dynamic loading support (called by the libc dlopen/dlclose wrappers)
+# ---------------------------------------------------------------------------
+
+def sys_dl_load(kernel: "Kernel", task: Task, name: str):
+    yield Compute(3_000)
+    lib = kernel.libraries.lookup(name)
+    link_map = task.guest_ctx.shared["_link_map"]
+    link_map.append(lib)
+    return lib
+
+
+def sys_dl_unload(kernel: "Kernel", task: Task, lib):
+    yield Compute(1_500)
+    link_map = task.guest_ctx.shared["_link_map"]
+    link_map.remove(lib)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Introspection (procfs-flavoured)
+# ---------------------------------------------------------------------------
+
+def sys_proc_threads(kernel: "Kernel", task: Task, pid: int):
+    """List the alive thread ids of ``pid``'s thread group (like reading
+    /proc/<pid>/task)."""
+    yield Compute(1_500)
+    target = kernel.task_by_pid(pid)
+    if target is None or not target.alive:
+        raise NoSuchProcess(f"pid {pid}")
+    return sorted(t.pid for t in kernel.thread_group(target) if t.alive)
+
+
+def sys_proc_stat(kernel: "Kernel", task: Task, pid: Optional[int] = None):
+    """Read another task's accounting view (like /proc/<pid>/stat)."""
+    yield Compute(1_200)
+    target = task if pid is None else kernel.task_by_pid(pid)
+    if target is None:
+        raise NoSuchProcess(f"pid {pid}")
+    usage = kernel.accounting.usage(target)
+    return {
+        "pid": target.pid,
+        "name": target.name,
+        "state": target.state.value,
+        "nice": target.nice,
+        "utime_ns": usage.utime_ns,
+        "stime_ns": usage.stime_ns,
+        "minflt": target.minor_faults,
+        "majflt": target.major_faults,
+    }
+
+
+_DEFAULT_HANDLERS = {
+    "exit": sys_exit,
+    "fork": sys_fork,
+    "clone_thread": sys_clone_thread,
+    "execve": sys_execve,
+    "waitpid": sys_waitpid,
+    "getpid": sys_getpid,
+    "gettid": sys_gettid,
+    "nanosleep": sys_nanosleep,
+    "sched_yield": sys_sched_yield,
+    "setpriority": sys_setpriority,
+    "getpriority": sys_getpriority,
+    "kill": sys_kill,
+    "brk": sys_brk,
+    "mmap": sys_mmap,
+    "munmap": sys_munmap,
+    "getrusage": sys_getrusage,
+    "rdtsc": sys_rdtsc,
+    "ptrace": sys_ptrace,
+    "_dl_load": sys_dl_load,
+    "_dl_unload": sys_dl_unload,
+    "proc_stat": sys_proc_stat,
+    "proc_threads": sys_proc_threads,
+}

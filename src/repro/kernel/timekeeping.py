@@ -1,0 +1,42 @@
+"""Jiffies and tick bookkeeping.
+
+Thin by design: the tick's *accounting* action lives in the accounting
+scheme and its *scheduling* action in the scheduler; this module only keeps
+the counters that a real kernel's timekeeping code would (jiffies, ticks
+observed per task state) so tests and reports can assert on them.
+"""
+
+from __future__ import annotations
+
+
+
+class TimeKeeper:
+    """Tracks jiffies and tick statistics."""
+
+    def __init__(self, tick_ns: int) -> None:
+        self.tick_ns = tick_ns
+        self.jiffies = 0
+        self.ticks_user = 0
+        self.ticks_kernel = 0
+        self.ticks_idle = 0
+
+    def tick(self, running: bool, user_mode: bool) -> None:
+        self.jiffies += 1
+        if not running:
+            self.ticks_idle += 1
+        elif user_mode:
+            self.ticks_user += 1
+        else:
+            self.ticks_kernel += 1
+
+    @property
+    def uptime_ns(self) -> int:
+        return self.jiffies * self.tick_ns
+
+    def snapshot(self) -> dict:
+        return {
+            "jiffies": self.jiffies,
+            "user": self.ticks_user,
+            "kernel": self.ticks_kernel,
+            "idle": self.ticks_idle,
+        }

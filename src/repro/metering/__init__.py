@@ -1,0 +1,59 @@
+"""Trustworthy metering: oracle, billing, verification, attestation.
+
+Implements the paper's §VI: the billing pipeline a utility-computing
+provider would run on top of the kernel's accounting, the user-side bill
+verification that defines trustworthiness (§III-B), and the three
+defensive properties — source integrity (TPM-style measurement and
+attestation), execution integrity (a monitor over the run), and
+fine-grained metering (evaluated via the TSC accounting scheme).
+"""
+
+from .oracle import OracleReport, oracle_report
+from .billing import Invoice, PricePlan
+from .verification import BillVerifier, VerificationOutcome, VerificationReport
+from .attestation import (
+    AttestationError,
+    MeasurementLog,
+    TpmQuote,
+    TrustedPlatformModule,
+    measure_platform,
+    verify_quote,
+)
+from .integrity import ExecutionIntegrityMonitor, IntegrityViolation
+from .properties import DEFENSE_COVERAGE, defense_coverage_table
+from .resources import (
+    Discrepancy,
+    ResourceEvent,
+    ResourceMeter,
+    TransactionLog,
+    reconcile,
+)
+from .sampling import UsageSampler, UsageTimeline, audit_share
+
+__all__ = [
+    "OracleReport",
+    "oracle_report",
+    "Invoice",
+    "PricePlan",
+    "BillVerifier",
+    "VerificationOutcome",
+    "VerificationReport",
+    "AttestationError",
+    "MeasurementLog",
+    "TpmQuote",
+    "TrustedPlatformModule",
+    "measure_platform",
+    "verify_quote",
+    "ExecutionIntegrityMonitor",
+    "IntegrityViolation",
+    "DEFENSE_COVERAGE",
+    "defense_coverage_table",
+    "Discrepancy",
+    "ResourceEvent",
+    "ResourceMeter",
+    "TransactionLog",
+    "reconcile",
+    "UsageSampler",
+    "UsageTimeline",
+    "audit_share",
+]

@@ -1,0 +1,165 @@
+"""Source integrity via measured launch and TPM-style attestation.
+
+The paper's §VI-B proposes TPM-based remote attestation [15, 16, 24] as the
+path to *source integrity*: "only the expected code should be executed in
+the context of a user process".  We model the standard measured-launch
+pipeline:
+
+* every platform component that will run in (or inject into) the user's
+  process is *measured* (hashed) into a log: the shell, each shared library
+  in the effective link order (LD_PRELOAD included!), the program image;
+* the TPM signs a digest of the log (a quote) with a key the user trusts
+  (modelled as HMAC with a per-machine secret — the kernel/TPM are trusted
+  per the threat model);
+* the user verifies the quote and compares the log against golden values
+  from a pristine platform.
+
+A patched shell, a planted constructor library or an interposed malloc all
+change a measured digest, so the launch-time attacks are *detectable* —
+while the runtime attacks (scheduling, thrashing, floods) measure clean,
+which is exactly the paper's point that source integrity alone is not
+sufficient.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from ..errors import ReproError
+from ..kernel.loader.linker import build_link_map
+from ..programs.base import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.shell import Shell
+
+
+class AttestationError(ReproError):
+    """A quote failed signature verification."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured component."""
+
+    component: str
+    digest: str
+
+
+@dataclass
+class MeasurementLog:
+    """Ordered measurement list (an SML, à la IMA)."""
+
+    entries: List[Measurement] = field(default_factory=list)
+
+    def extend(self, component: str, digest: str) -> None:
+        self.entries.append(Measurement(component, digest))
+
+    def aggregate(self) -> str:
+        """PCR-style running hash over the entries."""
+        pcr = b"\x00" * 32
+        for entry in self.entries:
+            pcr = hashlib.sha256(
+                pcr + f"{entry.component}={entry.digest}".encode()).digest()
+        return pcr.hex()
+
+    def as_dict(self) -> Dict[str, str]:
+        return {e.component: e.digest for e in self.entries}
+
+
+@dataclass(frozen=True)
+class TpmQuote:
+    """A signed attestation of the measurement aggregate."""
+
+    aggregate: str
+    nonce: str
+    signature: str
+
+
+class TrustedPlatformModule:
+    """The machine's TPM: holds a key, signs quotes.
+
+    The kernel and hardware are trusted (paper §III-B), so an HMAC keyed
+    by a per-machine secret stands in for the TPM's attestation identity
+    key; what matters for the reproduction is the trust *semantics*, not
+    the cryptography.
+    """
+
+    def __init__(self, machine_secret: bytes) -> None:
+        self._secret = machine_secret
+
+    def quote(self, log: MeasurementLog, nonce: str) -> TpmQuote:
+        aggregate = log.aggregate()
+        signature = hmac.new(
+            self._secret, f"{aggregate}:{nonce}".encode(),
+            hashlib.sha256).hexdigest()
+        return TpmQuote(aggregate=aggregate, nonce=nonce, signature=signature)
+
+    def verify_key(self) -> bytes:
+        """The verification key the user holds (symmetric model)."""
+        return self._secret
+
+
+def _shell_digest(shell: "Shell") -> str:
+    """Measure the shell 'binary': a pristine shell has no injected hook."""
+    from ..kernel.loader.library import code_identity
+
+    hasher = hashlib.sha256(b"bash-3.2")
+    payload = shell.post_fork_payload
+    if payload is not None:
+        hasher.update(f"hook:{code_identity(payload.factory)}".encode())
+    return hasher.hexdigest()
+
+
+def measure_platform(machine: "Machine", shell: "Shell",
+                     program: Program) -> MeasurementLog:
+    """Measure everything that will execute in the user's process context.
+
+    Mirrors the closure-attestation idea of [24]: shell, the *effective*
+    link map (so LD_PRELOAD entries are measured too), and the program.
+    """
+    log = MeasurementLog()
+    log.extend("shell", _shell_digest(shell))
+    link_map = build_link_map(program, dict(shell.env),
+                              machine.kernel.libraries)
+    for lib in link_map:
+        log.extend(f"lib:{lib.name}", lib.text_digest())
+    log.extend(f"program:{program.name}", program.text_digest())
+    return log
+
+
+def verify_quote(quote: TpmQuote, log: MeasurementLog, nonce: str,
+                 key: bytes) -> None:
+    """Check the quote's freshness and signature against the log."""
+    if quote.nonce != nonce:
+        raise AttestationError("stale quote: nonce mismatch")
+    expected = hmac.new(key, f"{log.aggregate()}:{nonce}".encode(),
+                        hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(expected, quote.signature):
+        raise AttestationError("quote signature invalid")
+    if quote.aggregate != log.aggregate():
+        raise AttestationError("aggregate does not match the log")
+
+
+def compare_to_golden(log: MeasurementLog,
+                      golden: MeasurementLog) -> List[str]:
+    """Diff a measured platform against pristine golden values.
+
+    Returns the names of components that are new, missing or modified —
+    empty means source integrity holds.
+    """
+    measured = log.as_dict()
+    expected = golden.as_dict()
+    problems: List[str] = []
+    for component, digest in measured.items():
+        if component not in expected:
+            problems.append(f"unexpected component {component}")
+        elif expected[component] != digest:
+            problems.append(f"modified component {component}")
+    for component in expected:
+        if component not in measured:
+            problems.append(f"missing component {component}")
+    return problems

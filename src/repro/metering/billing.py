@@ -1,0 +1,92 @@
+"""Billing: turning metered CPU time into money.
+
+Models the utility-computing pricing plans of the paper's §II: per-CPU-hour
+(EC2/App Engine style, rounding partial hours up the way EC2 rounded
+instance-hours) and per-CPU-second plans.  The point of the reproduction:
+an invoice is only as trustworthy as the metering underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import NS_PER_SEC
+from ..errors import ConfigError
+from ..kernel.accounting import CpuUsage
+
+
+@dataclass(frozen=True)
+class PricePlan:
+    """A pricing plan for CPU time."""
+
+    name: str
+    #: Price per billing unit, in micro-dollars (integer math, no float
+    #: rounding surprises in money).
+    microdollars_per_unit: int
+    #: Billing unit duration in ns (3600 s for per-hour plans, 1 s for
+    #: per-second plans).
+    unit_ns: int
+    #: Round partial units up (EC2-style instance-hours) or bill pro rata.
+    round_up: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unit_ns <= 0:
+            raise ConfigError("billing unit must be positive")
+        if self.microdollars_per_unit < 0:
+            raise ConfigError("price must be non-negative")
+
+    def cost_microdollars(self, cpu_ns: int) -> int:
+        if cpu_ns <= 0:
+            return 0
+        if self.round_up:
+            units = (cpu_ns + self.unit_ns - 1) // self.unit_ns
+            return units * self.microdollars_per_unit
+        return cpu_ns * self.microdollars_per_unit // self.unit_ns
+
+
+#: EC2 small-instance flavour: $0.10 per CPU-hour, partial hours rounded up.
+PER_HOUR_PLAN = PricePlan("per-cpu-hour", microdollars_per_unit=100_000,
+                          unit_ns=3600 * NS_PER_SEC, round_up=True)
+
+#: Fine-grained plan: $0.10/3600 per CPU-second, pro rata.
+PER_SECOND_PLAN = PricePlan("per-cpu-second", microdollars_per_unit=28,
+                            unit_ns=NS_PER_SEC, round_up=False)
+
+
+@dataclass
+class Invoice:
+    """One job's bill."""
+
+    job_name: str
+    plan: PricePlan
+    usage: CpuUsage
+
+    @property
+    def billable_ns(self) -> int:
+        return self.usage.total_ns
+
+    @property
+    def amount_microdollars(self) -> int:
+        return self.plan.cost_microdollars(self.billable_ns)
+
+    @property
+    def amount_dollars(self) -> float:
+        return self.amount_microdollars / 1e6
+
+    def render(self) -> str:
+        return (
+            f"INVOICE for job {self.job_name!r}\n"
+            f"  plan        : {self.plan.name}\n"
+            f"  user time   : {self.usage.utime_seconds:.3f} s\n"
+            f"  system time : {self.usage.stime_seconds:.3f} s\n"
+            f"  billable    : {self.billable_ns / 1e9:.3f} CPU-seconds\n"
+            f"  amount      : ${self.amount_dollars:.6f}"
+        )
+
+
+def invoice_for(job_name: str, usage: CpuUsage,
+                plan: Optional[PricePlan] = None) -> Invoice:
+    """Build an invoice from a metered usage record."""
+    return Invoice(job_name=job_name, plan=plan or PER_SECOND_PLAN,
+                   usage=usage)

@@ -1,0 +1,84 @@
+"""Execution-integrity monitoring.
+
+The paper's second desirable property (§VI-B): detect tampering with a
+program's *execution* — control flow derailed, the process stopped and
+thrashed, its run perturbed by unsolicited system events.  The paper notes
+this is an open problem in general; what a provider-side auditor *can* do
+is watch the run's behavioural envelope.  The monitor checks a run's
+observable statistics against a profile taken from a reference execution:
+signal counts, traced stops, fault rates, involuntary-switch rates.  The
+thrashing and flooding attacks leave unmistakable fingerprints here even
+though they never touch the program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.experiment import ExperimentResult
+
+
+@dataclass(frozen=True)
+class IntegrityViolation:
+    """One behavioural-envelope violation."""
+
+    metric: str
+    observed: float
+    allowed: float
+
+    def __str__(self) -> str:
+        return (f"{self.metric}: observed {self.observed:.1f} "
+                f"> allowed {self.allowed:.1f}")
+
+
+@dataclass
+class ExecutionProfile:
+    """The behavioural envelope from a reference run (per CPU-second)."""
+
+    signals_per_s: float
+    debug_exceptions_per_s: float
+    major_faults_per_s: float
+    involuntary_switches_per_s: float
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "ExecutionProfile":
+        denom = max(result.total_s, 1e-9)
+        return cls(
+            signals_per_s=result.stats["signals_received"] / denom,
+            debug_exceptions_per_s=result.stats["debug_exceptions"] / denom,
+            major_faults_per_s=result.stats["major_faults"] / denom,
+            involuntary_switches_per_s=(
+                result.stats["involuntary_switches"] / denom),
+        )
+
+
+class ExecutionIntegrityMonitor:
+    """Compares a production run against a reference profile."""
+
+    #: metric → (profile attribute, multiplicative headroom, absolute slack)
+    _RULES = {
+        "signals_received": ("signals_per_s", 3.0, 10.0),
+        "debug_exceptions": ("debug_exceptions_per_s", 3.0, 5.0),
+        "major_faults": ("major_faults_per_s", 3.0, 10.0),
+        "involuntary_switches": ("involuntary_switches_per_s", 4.0, 50.0),
+    }
+
+    def __init__(self, reference: ExperimentResult) -> None:
+        self.profile = ExecutionProfile.from_result(reference)
+
+    def audit(self, result: ExperimentResult) -> List[IntegrityViolation]:
+        violations: List[IntegrityViolation] = []
+        denom = max(result.total_s, 1e-9)
+        for metric, (attr, headroom, slack) in self._RULES.items():
+            observed_rate = result.stats[metric] / denom
+            allowed = getattr(self.profile, attr) * headroom + slack / denom
+            if observed_rate > allowed:
+                violations.append(IntegrityViolation(
+                    metric=f"{metric}_per_s",
+                    observed=observed_rate,
+                    allowed=allowed))
+        return violations
+
+    def clean(self, result: ExperimentResult) -> bool:
+        return not self.audit(result)

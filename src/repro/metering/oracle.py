@@ -1,0 +1,94 @@
+"""The ground-truth oracle: provenance-exact attribution reports.
+
+The simulator records, for every task, exactly how many nanoseconds each
+provenance class consumed (the engine calls ``Task.oracle_charge`` on every
+slice).  This module turns those raw counters into a report: the honest
+bill, the injected theft, and the divergence of the billing scheme from
+the truth — the quantity the paper can only infer from figure deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from ..kernel.accounting import CpuUsage
+from ..programs.ops import Provenance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.machine import Machine
+    from ..kernel.process import Task
+
+#: Provenances that an honest bill should charge the user for.
+HONEST_PROVENANCES = (Provenance.USER, Provenance.LIB, Provenance.SYSTEM)
+
+#: Provenances that represent attack-caused work.
+ATTACK_PROVENANCES = (Provenance.INJECTED, Provenance.TRACER, Provenance.IRQ)
+
+
+@dataclass
+class OracleReport:
+    """Exact attribution for one thread group, in seconds."""
+
+    by_provenance: Dict[str, float] = field(default_factory=dict)
+    user_mode_s: float = 0.0
+    kernel_mode_s: float = 0.0
+    billed: CpuUsage = field(default_factory=CpuUsage)
+
+    @property
+    def honest_s(self) -> float:
+        """What the user legitimately owes."""
+        return sum(self.by_provenance.get(p.value, 0.0)
+                   for p in HONEST_PROVENANCES)
+
+    @property
+    def attack_s(self) -> float:
+        """Attack-attributable time that landed in the victim's account."""
+        return sum(self.by_provenance.get(p.value, 0.0)
+                   for p in ATTACK_PROVENANCES)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.by_provenance.values())
+
+    @property
+    def billed_s(self) -> float:
+        return self.billed.total_seconds
+
+    @property
+    def overcharge_s(self) -> float:
+        """Billed minus honest: what the scheme charges beyond the truth.
+
+        Includes both injected work and sampling error; can be slightly
+        negative when tick quantisation undercounts.
+        """
+        return self.billed_s - self.honest_s
+
+    @property
+    def overcharge_fraction(self) -> float:
+        honest = self.honest_s
+        return self.overcharge_s / honest if honest > 0 else 0.0
+
+
+def oracle_report(machine: "Machine", task: "Task") -> OracleReport:
+    """Build the oracle report for ``task``'s whole thread group."""
+    report = OracleReport()
+    billed = CpuUsage()
+    for member in machine.kernel.thread_group(task):
+        for (user_mode, prov), ns in member.oracle_ns.items():
+            seconds = ns / 1e9
+            key = prov.value
+            report.by_provenance[key] = (
+                report.by_provenance.get(key, 0.0) + seconds)
+            if user_mode:
+                report.user_mode_s += seconds
+            else:
+                report.kernel_mode_s += seconds
+        billed = billed + machine.kernel.accounting.usage(member)
+    report.billed = billed
+    return report
+
+
+def summarize_tasks(machine: "Machine",
+                    tasks: Iterable["Task"]) -> List[OracleReport]:
+    return [oracle_report(machine, task) for task in tasks]

@@ -1,0 +1,114 @@
+"""Metering of non-CPU resources (paper §VI-C).
+
+The paper observes that transaction-oriented resources — database
+transactions, bytes transferred, storage occupied — are *easier to verify*
+than CPU time, "because they are transaction oriented … the user can
+verify the claimed resource utilization by comparing it with her local
+transaction log."
+
+This module implements that idea: a provider-side :class:`ResourceMeter`
+counts billable events, a user-side :class:`TransactionLog` records the
+transactions the user knows she issued, and :func:`reconcile` compares the
+two.  Unlike CPU seconds, any padding the provider adds is *itemised* and
+therefore disputable line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ResourceEvent:
+    """One billable transaction."""
+
+    kind: str          # e.g. "db_txn", "bytes_out", "storage_day"
+    quantity: int      # units of the resource
+    reference: str     # request id / object key the user can check
+
+
+class ResourceMeter:
+    """Provider-side itemised metering."""
+
+    def __init__(self) -> None:
+        self._events: List[ResourceEvent] = []
+
+    def record(self, kind: str, quantity: int, reference: str) -> None:
+        if quantity < 0:
+            raise ConfigError("cannot meter a negative quantity")
+        self._events.append(ResourceEvent(kind, quantity, reference))
+
+    def events(self) -> List[ResourceEvent]:
+        return list(self._events)
+
+    def totals(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + event.quantity
+        return out
+
+
+class TransactionLog:
+    """User-side log of the transactions she actually issued."""
+
+    def __init__(self) -> None:
+        self._issued: Dict[Tuple[str, str], int] = {}
+
+    def note(self, kind: str, quantity: int, reference: str) -> None:
+        key = (kind, reference)
+        self._issued[key] = self._issued.get(key, 0) + quantity
+
+    def quantity_of(self, kind: str, reference: str) -> int:
+        return self._issued.get((kind, reference), 0)
+
+    def totals(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for (kind, _ref), quantity in self._issued.items():
+            out[kind] = out.get(kind, 0) + quantity
+        return out
+
+
+@dataclass
+class Discrepancy:
+    """One line item the user can dispute."""
+
+    kind: str
+    reference: str
+    billed: int
+    issued: int
+
+    @property
+    def padding(self) -> int:
+        return self.billed - self.issued
+
+    def __str__(self) -> str:
+        return (f"{self.kind}[{self.reference}]: billed {self.billed}, "
+                f"issued {self.issued} ({self.padding:+d})")
+
+
+def reconcile(meter: ResourceMeter, log: TransactionLog) -> List[Discrepancy]:
+    """Line-by-line comparison of the bill against the user's log.
+
+    Returns every item where the billed quantity differs from what the
+    user's log shows — the §VI-C point: transaction-oriented metering is
+    disputable at item granularity, unlike sampled CPU seconds.
+    """
+    billed: Dict[Tuple[str, str], int] = {}
+    for event in meter.events():
+        key = (event.kind, event.reference)
+        billed[key] = billed.get(key, 0) + event.quantity
+
+    problems: List[Discrepancy] = []
+    for (kind, reference), quantity in sorted(billed.items()):
+        issued = log.quantity_of(kind, reference)
+        if issued != quantity:
+            problems.append(Discrepancy(kind, reference, quantity, issued))
+    # Items the user issued but the provider never billed (undercharge /
+    # lost transactions) are also discrepancies.
+    for (kind, reference), issued in sorted(log._issued.items()):
+        if (kind, reference) not in billed:
+            problems.append(Discrepancy(kind, reference, 0, issued))
+    return problems

@@ -1,0 +1,111 @@
+"""User-side bill verification.
+
+The paper's §III-B defines trustworthiness: "a CPU time metering scheme is
+trustworthy if and only if the measured time equals the outcome from the
+same job execution in the user's own platform with the same
+hardware/software specification."  The verifier implements exactly that
+test: replay the job on a reference machine the user controls (same config,
+honest platform) and compare against the provider's bill, with a tolerance
+for tick quantisation and benign load noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.experiment import run_experiment
+from ..config import MachineConfig, default_config
+from ..kernel.accounting import CpuUsage
+from ..programs.base import Program
+
+
+class VerificationOutcome(enum.Enum):
+    """Verdict of a bill check."""
+
+    #: Billed time within tolerance of the reference execution.
+    CONSISTENT = "consistent"
+    #: Billed time exceeds the reference beyond tolerance: overcharge.
+    OVERCHARGED = "overcharged"
+    #: Billed time is *below* the reference beyond tolerance (suspicious
+    #: in the other direction: the customer could deny a correct bill).
+    UNDERCHARGED = "undercharged"
+
+
+@dataclass
+class VerificationReport:
+    """Result of verifying one bill."""
+
+    job_name: str
+    billed: CpuUsage
+    reference: CpuUsage
+    outcome: VerificationOutcome
+    tolerance_fraction: float
+    tolerance_floor_s: float
+
+    @property
+    def billed_s(self) -> float:
+        return self.billed.total_seconds
+
+    @property
+    def reference_s(self) -> float:
+        return self.reference.total_seconds
+
+    @property
+    def discrepancy_s(self) -> float:
+        return self.billed_s - self.reference_s
+
+    @property
+    def discrepancy_fraction(self) -> float:
+        ref = self.reference_s
+        return self.discrepancy_s / ref if ref > 0 else 0.0
+
+    def render(self) -> str:
+        return (
+            f"VERIFICATION of job {self.job_name!r}: {self.outcome.value}\n"
+            f"  billed     : {self.billed_s:.3f} s\n"
+            f"  reference  : {self.reference_s:.3f} s\n"
+            f"  discrepancy: {self.discrepancy_s:+.3f} s "
+            f"({100 * self.discrepancy_fraction:+.1f}%)\n"
+            f"  tolerance  : ±{100 * self.tolerance_fraction:.0f}% "
+            f"(floor {self.tolerance_floor_s:.3f} s)"
+        )
+
+
+class BillVerifier:
+    """Replays jobs on a trusted reference platform and checks bills."""
+
+    def __init__(self, reference_cfg: Optional[MachineConfig] = None,
+                 tolerance_fraction: float = 0.05,
+                 tolerance_floor_s: float = 0.02) -> None:
+        if tolerance_fraction < 0 or tolerance_floor_s < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.reference_cfg = reference_cfg or default_config()
+        self.tolerance_fraction = tolerance_fraction
+        self.tolerance_floor_s = tolerance_floor_s
+
+    def reference_run(self, program: Program) -> CpuUsage:
+        """Execute the job on the user's own (honest) platform."""
+        result = run_experiment(program, cfg=self.reference_cfg)
+        return result.usage
+
+    def verify(self, program: Program, billed: CpuUsage) -> VerificationReport:
+        reference = self.reference_run(program)
+        margin = max(self.tolerance_floor_s,
+                     self.tolerance_fraction * reference.total_seconds)
+        delta = billed.total_seconds - reference.total_seconds
+        if delta > margin:
+            outcome = VerificationOutcome.OVERCHARGED
+        elif delta < -margin:
+            outcome = VerificationOutcome.UNDERCHARGED
+        else:
+            outcome = VerificationOutcome.CONSISTENT
+        return VerificationReport(
+            job_name=program.name,
+            billed=billed,
+            reference=reference,
+            outcome=outcome,
+            tolerance_fraction=self.tolerance_fraction,
+            tolerance_floor_s=self.tolerance_floor_s,
+        )

@@ -1,0 +1,107 @@
+"""Attack helper programs run by the dishonest server.
+
+* :func:`make_fork_attacker` — the "Fork" program of the process-scheduling
+  attack (§IV-B1): fork a do-nothing child, wait for it, repeat.  Both
+  parent and children relinquish the CPU many times per jiffy, so their
+  cycles are sampled into whoever *is* running at tick time — the victim.
+* :func:`make_memhog` — the exception-flooding attack's memory hog
+  (§IV-B4): map more anonymous memory than the machine has RAM and keep
+  writing and re-reading it, forcing the victim's pages out to swap.
+* :func:`make_busyloop` — a plain CPU burner, used as a fair-competition
+  control in the scheduling experiments.
+"""
+
+from __future__ import annotations
+
+from .base import GuestContext, Program
+from .ops import Compute, Mem, Syscall
+
+#: Parent-side cycles per fork iteration besides the syscalls themselves.
+FORK_LOOP_OVERHEAD_CYCLES = 1_200
+
+DEFAULT_FORKS = 1 << 14
+
+
+def _fork_main(ctx: GuestContext):
+    forks, nice = ctx.argv
+    if nice is not None:
+        result = yield Syscall("setpriority", (nice,))
+        ctx.shared["setpriority_result"] = result
+    for _ in range(forks):
+        yield Compute(FORK_LOOP_OVERHEAD_CYCLES)
+        child_pid = yield Syscall("fork", (None,))
+        if isinstance(child_pid, int) and child_pid > 0:
+            yield Syscall("waitpid", (child_pid,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_fork_attacker(forks: int = DEFAULT_FORKS,
+                       nice: int = None) -> Program:
+    """The "Fork" program.  ``nice`` < 0 requires running it as root."""
+    return Program(
+        "Fork",
+        _fork_main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(forks, nice),
+    )
+
+
+def _memhog_main(ctx: GuestContext):
+    pages, passes, stride_pages = ctx.argv
+    base = yield Syscall("mmap", (pages, "hog"))
+    if not isinstance(base, int) or base < 0:
+        return 1
+    page_size = 4096
+    for _ in range(passes):
+        # Write sweep: dirty every stride-th page (forces allocation, and
+        # re-allocation after reclaim)...
+        for page in range(0, pages, stride_pages):
+            yield Mem(base + page * page_size, write=True)
+            yield Compute(2_000)
+        # ...then read them back so reclaimed pages major-fault in again.
+        for page in range(0, pages, stride_pages):
+            yield Mem(base + page * page_size, write=False)
+            yield Compute(1_000)
+    yield Syscall("munmap", (base,))
+    return 0
+
+
+def make_memhog(pages: int, passes: int = 4,
+                stride_pages: int = 1) -> Program:
+    """The memory hog.  Size ``pages`` above the machine's RAM to force
+    continuous swapping ("requests more than 2 gigabytes ... continuously
+    writes data and reads them later")."""
+    return Program(
+        "memhog",
+        _memhog_main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(pages, passes, stride_pages),
+    )
+
+
+def _busyloop_main(ctx: GuestContext):
+    total_cycles, chunk = ctx.argv
+    remaining = total_cycles
+    while remaining > 0:
+        burn = min(chunk, remaining)
+        yield Compute(burn)
+        remaining -= burn
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_busyloop(total_cycles: int = 2_000_000_000,
+                  chunk: int = 10_000_000) -> Program:
+    """A plain CPU burner (control for the scheduling experiments)."""
+    return Program(
+        "busyloop",
+        _busyloop_main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(total_cycles, chunk),
+    )

@@ -1,0 +1,88 @@
+"""Workload B: "Brute", a multi-threaded MD5 brute-forcer.
+
+Models the paper's Brute [20]: the main thread spawns worker threads
+("a main feature of Brute is that it spawns many threads"), each searching
+a share of the candidate space by hashing MD5 blocks.  Every
+``per_thread_tries`` candidates a worker updates the shared progress
+counter ``count`` in ``crack_len()`` — the variable the thrashing attack
+watches ("breakpoint is set at a variable count in crack_len() ...
+accessed for about 895 thousand times" with PER_THREAD_TRIES = 50).
+
+Scaled down: ``threads`` workers x ``candidates_per_thread`` candidates.
+"""
+
+from __future__ import annotations
+
+from .base import GuestContext, GuestFunction, Program
+from .ops import CallLib, Compute, Mem, Provenance, Syscall
+
+#: The shared progress counter watched by the thrashing attack.
+COUNT_VAR = "count"
+
+DEFAULT_THREADS = 8
+DEFAULT_CANDIDATES = 600
+DEFAULT_PER_THREAD_TRIES = 2
+CANDIDATE_SETUP_CYCLES = 260_000
+
+#: Shared wordlist working set walked by the workers.
+WS_PAGES = 64
+PAGE = 4096
+
+
+#: Workers refresh their candidate buffer this often (malloc traffic that
+#: the function-substitution attack amplifies).
+MALLOC_EVERY = 8
+
+
+def _worker(ctx: GuestContext, thread_index: int, candidates: int,
+            per_thread_tries: int):
+    addr_count = ctx.addr(COUNT_VAR)
+    addr_words = ctx.addr("wordlist")
+    buf = 0
+    for cand in range(candidates):
+        if cand % MALLOC_EVERY == 0:
+            # Fresh candidate batch buffer.
+            if buf:
+                yield CallLib("free", (buf,))
+            buf = yield CallLib("malloc", (1024,))
+        # Read the candidate from the wordlist, then one MD5 compression.
+        yield Mem(addr_words + ((thread_index + cand) % WS_PAGES) * PAGE)
+        yield Compute(CANDIDATE_SETUP_CYCLES)
+        yield CallLib("md5_block", (1,))
+        if cand % per_thread_tries == per_thread_tries - 1:
+            # crack_len(): bump the shared counter.
+            yield Mem(addr_count, write=True)
+    if buf:
+        yield CallLib("free", (buf,))
+    return 0
+
+
+def _main(ctx: GuestContext):
+    threads, candidates, per_thread_tries = ctx.argv
+    # The candidate wordlist buffer ("brutefile").
+    buf = yield CallLib("malloc", (64 * 1024,))
+    tids = []
+    for index in range(threads):
+        fn = GuestFunction(f"brute.worker{index}", _worker, Provenance.USER)
+        tid = yield CallLib(
+            "pthread_create", (fn, (index, candidates, per_thread_tries)))
+        tids.append(tid)
+    for tid in tids:
+        yield CallLib("pthread_join", (tid,))
+    yield CallLib("free", (buf,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_brute(threads: int = DEFAULT_THREADS,
+               candidates_per_thread: int = DEFAULT_CANDIDATES,
+               per_thread_tries: int = DEFAULT_PER_THREAD_TRIES) -> Program:
+    """Build workload B."""
+    return Program(
+        "Brute",
+        _main,
+        data_symbols={COUNT_VAR: 8, "wordlist": WS_PAGES * PAGE},
+        needed_libs=("libc", "libcrypto", "libpthread"),
+        argv=(threads, candidates_per_thread, per_thread_tries),
+    )

@@ -1,0 +1,64 @@
+"""Workload O: the paper's home-grown CPU-bound loop.
+
+The paper's program "O" is "a family of programs written by us to highlight
+the effect in some attacks" — in the experiments it is a tight CPU-bound
+loop (2^34 iterations of busy work).  The loop-control variable is read and
+written every iteration; the thrashing attack plants its watchpoint on it
+("Breakpoint is set at the loop control variable frequently accessed").
+
+Scaled down: ``iterations`` loop turns of ``cycles_per_iter`` busy cycles.
+"""
+
+from __future__ import annotations
+
+from .base import GuestContext, Program
+from .ops import CallLib, Compute, Mem, Syscall
+
+#: Static symbol watched by the thrashing attack.
+LOOP_VAR = "i"
+
+DEFAULT_ITERATIONS = 12_000
+DEFAULT_CYCLES_PER_ITER = 400_000
+
+#: Working-set buffer walked during the run (page faults under memory
+#: pressure land here).
+WS_PAGES = 32
+PAGE = 4096
+
+
+def _main(ctx: GuestContext):
+    iterations, cycles_per_iter, mallocs = ctx.argv
+    addr_i = ctx.addr(LOOP_VAR)
+    addr_ws = ctx.addr("ws")
+    malloc_every = max(1, iterations // mallocs) if mallocs else 0
+    for i in range(iterations):
+        # The loop counter lives in memory (compiled without -O, as a
+        # quick home-grown benchmark would be): read, test, increment,
+        # write-back — four touches per turn.
+        yield Mem(addr_i, write=True, repeat=4)
+        yield Mem(addr_ws + (i % WS_PAGES) * PAGE, write=True)
+        yield Compute(cycles_per_iter)
+        if malloc_every and i % malloc_every == 0:
+            ptr = yield CallLib("malloc", (256,))
+            if ptr:
+                yield CallLib("free", (ptr,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_ourprogram(iterations: int = DEFAULT_ITERATIONS,
+                    cycles_per_iter: int = DEFAULT_CYCLES_PER_ITER,
+                    mallocs: int = 200) -> Program:
+    """Build workload O.
+
+    ``mallocs`` is the approximate number of malloc/free pairs sprinkled
+    through the run (surface for the function-substitution attack).
+    """
+    return Program(
+        "O",
+        _main,
+        data_symbols={LOOP_VAR: 8, "ws": WS_PAGES * PAGE},
+        needed_libs=("libc",),
+        argv=(iterations, cycles_per_iter, mallocs),
+    )

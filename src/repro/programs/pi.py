@@ -1,0 +1,70 @@
+"""Workload P: an open-source pi calculator (arctan-series flavour).
+
+Models the "Pi" program [18] of the paper's evaluation: digit-chunk
+computation with a hot accumulator variable ``y`` touched on every inner
+step ("we choose variable y ... accessed about 10^7 times") and occasional
+``sqrt`` calls and buffer allocations.
+
+Scaled down: ``chunks`` outer chunks, each doing ``y_touches_per_chunk``
+memory touches of ``y`` and one chunk of series arithmetic.
+"""
+
+from __future__ import annotations
+
+from .base import GuestContext, Program
+from .ops import CallLib, Compute, Mem, Syscall
+
+#: The hot accumulator watched by the thrashing attack.
+Y_VAR = "y"
+
+DEFAULT_CHUNKS = 400
+DEFAULT_Y_TOUCHES = 60
+DEFAULT_CYCLES_PER_CHUNK = 9_000_000
+
+#: Digit-array working set walked as chunks are produced.
+WS_PAGES = 40
+PAGE = 4096
+
+
+def _main(ctx: GuestContext):
+    chunks, y_touches, cycles_per_chunk = ctx.argv
+    addr_y = ctx.addr(Y_VAR)
+    addr_ws = ctx.addr("digits")
+    # Digit buffers, allocated up front like the real spigot.
+    buffers = []
+    for _ in range(4):
+        ptr = yield CallLib("malloc", (16 * 1024,))
+        buffers.append(ptr)
+    for chunk in range(chunks):
+        # Inner series steps hammer the accumulator...
+        yield Mem(addr_y, write=True, repeat=y_touches)
+        # ...update the digit arrays...
+        yield Mem(addr_ws + (chunk % WS_PAGES) * PAGE, write=True)
+        # ...and burn arithmetic.
+        yield Compute(cycles_per_chunk)
+        # Convergence check via libm.
+        yield CallLib("sqrt", (float(chunk + 1),))
+        if chunk % 50 == 49:
+            # Rotate a digit buffer, as the chunked algorithm does.
+            ptr = yield CallLib("malloc", (16 * 1024,))
+            if ptr:
+                yield CallLib("free", (buffers[0],))
+                buffers = buffers[1:] + [ptr]
+    for ptr in buffers:
+        yield CallLib("free", (ptr,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_pi(chunks: int = DEFAULT_CHUNKS,
+            y_touches_per_chunk: int = DEFAULT_Y_TOUCHES,
+            cycles_per_chunk: int = DEFAULT_CYCLES_PER_CHUNK) -> Program:
+    """Build workload P."""
+    return Program(
+        "Pi",
+        _main,
+        data_symbols={Y_VAR: 8, "digits": WS_PAGES * PAGE},
+        needed_libs=("libc", "libm"),
+        argv=(chunks, y_touches_per_chunk, cycles_per_chunk),
+    )

@@ -1,0 +1,79 @@
+"""A plugin-based application: the dynamic-loading attack surface.
+
+The paper's §IV-A2 covers both libraries loaded at startup *and* libraries
+loaded "at runtime in an on-demand fashion" (dlopen) — their constructors
+run inside, and are billed to, the calling process.  This workload models
+an application with a plugin architecture: it dlopens ``libplugin``, calls
+its ``transform`` entry point per work unit, and dlcloses at the end.
+"""
+
+from __future__ import annotations
+
+from ..kernel.loader.library import SharedLibrary
+from .base import GuestContext, GuestFunction, Program
+from .ops import CallLib, Compute, Provenance, Syscall
+
+PLUGIN_LIB_NAME = "libplugin"
+
+#: Cycles of genuine work per transform call.
+TRANSFORM_CYCLES = 40_000
+
+DEFAULT_WORK_UNITS = 2_000
+
+
+def _transform(ctx: GuestContext, unit: int = 0):
+    yield Compute(TRANSFORM_CYCLES)
+    return unit * 2
+
+
+def _plugin_ctor(ctx: GuestContext):
+    """Genuine plugin initialisation (builds lookup tables)."""
+    yield Compute(50_000)
+    return None
+
+
+def _plugin_dtor(ctx: GuestContext):
+    yield Compute(10_000)
+    return None
+
+
+def make_libplugin() -> SharedLibrary:
+    """The genuine plugin library, as its vendor ships it."""
+    return SharedLibrary(
+        PLUGIN_LIB_NAME,
+        symbols={"transform": GuestFunction(
+            "plugin.transform", _transform, Provenance.LIB)},
+        constructor=GuestFunction("plugin.ctor", _plugin_ctor,
+                                  Provenance.LIB),
+        destructor=GuestFunction("plugin.dtor", _plugin_dtor,
+                                 Provenance.LIB),
+        version="1.4",
+    )
+
+
+def _main(ctx: GuestContext):
+    (work_units,) = ctx.argv
+    handle = yield CallLib("dlopen", (PLUGIN_LIB_NAME,))
+    if handle == 0:
+        return 1
+    total = 0
+    for unit in range(work_units):
+        result = yield CallLib("transform", (unit,))
+        if isinstance(result, int):
+            total += result
+    ctx.shared["total"] = total
+    yield CallLib("dlclose", (handle,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_plugin_app(work_units: int = DEFAULT_WORK_UNITS) -> Program:
+    """Build the plugin-using application."""
+    return Program(
+        "plugin-app",
+        _main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(work_units,),
+    )

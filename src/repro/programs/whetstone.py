@@ -1,0 +1,67 @@
+"""Workload W: the Whetstone synthetic benchmark.
+
+Models the classic C Whetstone [19]: a fixed set of "modules" (floating
+arithmetic, array accesses, transcendental functions) executed in a loop.
+The hot variable ``T1`` is updated once per cycle ("variable ... T1 which
+[is] accessed about 2x10^5 times"); libm is called heavily, which is what
+the sqrt-substitution attack amplifies.
+
+Scaled down: ``loops`` whetstone cycles.
+"""
+
+from __future__ import annotations
+
+from .base import GuestContext, Program
+from .ops import CallLib, Compute, Mem, Syscall
+
+#: The hot scalar watched by the thrashing attack.
+T1_VAR = "T1"
+
+DEFAULT_LOOPS = 6_000
+
+#: Module-3 array working set.
+WS_PAGES = 16
+PAGE = 4096
+
+# Cycle weights of the Whetstone modules (per benchmark cycle).
+MODULE3_ARRAY_CYCLES = 90_000       # array element arithmetic
+MODULE4_COND_CYCLES = 60_000        # conditional jumps
+MODULE6_INT_CYCLES = 45_000         # integer arithmetic
+MODULE11_STD_CYCLES = 30_000        # standard functions preamble
+
+
+def _main(ctx: GuestContext):
+    (loops,) = ctx.argv
+    addr_t1 = ctx.addr(T1_VAR)
+    addr_ws = ctx.addr("e1_array")
+    # Workspace array, allocated once.
+    e1 = yield CallLib("malloc", (4 * 1024,))
+    for cycle in range(loops):
+        yield Compute(MODULE3_ARRAY_CYCLES)
+        yield Mem(addr_ws + (cycle % WS_PAGES) * PAGE, write=True)
+        # T1 is read and updated in modules 1 and 2 of every cycle.
+        yield Mem(addr_t1, write=True, repeat=2)
+        yield Compute(MODULE4_COND_CYCLES)
+        # Module 7/8: transcendental functions via libm.
+        t = yield CallLib("sin", (0.5,))
+        t = yield CallLib("cos", (t,))
+        yield Compute(MODULE6_INT_CYCLES)
+        # Module 11: sqrt/exp/log block.
+        t = yield CallLib("sqrt", (abs(t) + 1.0,))
+        yield CallLib("exp", (t / 2.0,))
+        yield Compute(MODULE11_STD_CYCLES)
+    yield CallLib("free", (e1,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_whetstone(loops: int = DEFAULT_LOOPS) -> Program:
+    """Build workload W."""
+    return Program(
+        "Whetstone",
+        _main,
+        data_symbols={T1_VAR: 8, "e1_array": WS_PAGES * PAGE},
+        needed_libs=("libc", "libm"),
+        argv=(loops,),
+    )

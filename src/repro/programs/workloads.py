@@ -1,0 +1,56 @@
+"""Workload registry: the paper's four test programs plus attack helpers.
+
+The evaluation figures all plot the programs in the order O, P, W, B; the
+registry preserves that order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .base import Program
+from .attackers import make_busyloop, make_fork_attacker, make_memhog
+from .brute import COUNT_VAR, make_brute
+from .ourprogram import LOOP_VAR, make_ourprogram
+from .pi import Y_VAR, make_pi
+from .whetstone import T1_VAR, make_whetstone
+
+#: name → (factory, watched-variable) for the four evaluation programs,
+#: in the paper's plotting order.
+PAPER_PROGRAMS: Dict[str, Tuple[Callable[..., Program], str]] = {
+    "O": (make_ourprogram, LOOP_VAR),
+    "P": (make_pi, Y_VAR),
+    "W": (make_whetstone, T1_VAR),
+    "B": (make_brute, COUNT_VAR),
+}
+
+
+def paper_program_names() -> List[str]:
+    return list(PAPER_PROGRAMS)
+
+
+def make_paper_program(name: str, **kwargs) -> Program:
+    """Build one of O/P/W/B with optional size overrides."""
+    factory, _ = PAPER_PROGRAMS[name]
+    return factory(**kwargs)
+
+
+def watched_variable(name: str) -> str:
+    """The hot variable the thrashing attack watches in program ``name``."""
+    _, var = PAPER_PROGRAMS[name]
+    return var
+
+
+__all__ = [
+    "PAPER_PROGRAMS",
+    "paper_program_names",
+    "make_paper_program",
+    "watched_variable",
+    "make_ourprogram",
+    "make_pi",
+    "make_whetstone",
+    "make_brute",
+    "make_fork_attacker",
+    "make_memhog",
+    "make_busyloop",
+]

@@ -1,0 +1,16 @@
+"""Discrete-event simulation core: virtual clock, event queue, RNG, tracing."""
+
+from .clock import Clock
+from .events import Event, EventHandle, EventQueue
+from .rng import DeterministicRng
+from .tracing import TraceLog, TraceRecord
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "DeterministicRng",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,50 @@
+"""The simulated wall clock.
+
+All simulated time is integer nanoseconds since boot.  Only the machine's
+main loop advances the clock; everything else reads it.  Using integers
+keeps the simulation exactly reproducible (no float drift), which is the
+point of reproducing tick-alignment attacks in a simulator.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class Clock:
+    """Monotonic integer-nanosecond clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise SimulationError("clock cannot start before zero")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds since boot."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in (float) seconds, for reporting only."""
+        return self._now / 1e9
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise SimulationError(f"cannot advance clock by {delta_ns} ns")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, t_ns: int) -> int:
+        """Jump forward to absolute time ``t_ns`` and return it."""
+        if t_ns < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={t_ns}")
+        self._now = int(t_ns)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now}ns)"

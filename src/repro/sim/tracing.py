@@ -1,0 +1,92 @@
+"""Structured trace log for the simulator.
+
+The kernel and hardware emit :class:`TraceRecord` entries for interesting
+events (context switches, ticks, faults, signals...).  Tracing is off by
+default because experiments generate millions of events; tests and the
+examples enable it with category filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time_ns: int
+    category: str
+    message: str
+    pid: Optional[int] = None
+    data: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        pid = f" pid={self.pid}" if self.pid is not None else ""
+        extras = "".join(f" {k}={v}" for k, v in self.data)
+        return f"[{self.time_ns:>12}ns] {self.category}:{pid} {self.message}{extras}"
+
+
+class TraceLog:
+    """Collects trace records, with per-category enablement and counters.
+
+    Counters are always maintained (they are cheap and several invariants in
+    the test suite rely on them); record bodies are only stored for enabled
+    categories.
+    """
+
+    def __init__(self, enabled: Iterable[str] = (), capacity: int = 1_000_000) -> None:
+        self._enabled: Set[str] = set(enabled)
+        self._records: List[TraceRecord] = []
+        self._counters: Dict[str, int] = {}
+        self._capacity = capacity
+        self.dropped = 0
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        self._enabled.difference_update(categories)
+
+    def enabled(self, category: str) -> bool:
+        return category in self._enabled or "*" in self._enabled
+
+    def emit(self, time_ns: int, category: str, message: str,
+             pid: Optional[int] = None, **data) -> None:
+        self._counters[category] = self._counters.get(category, 0) + 1
+        if not self.enabled(category):
+            return
+        if len(self._records) >= self._capacity:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(
+            time_ns=time_ns, category=category, message=message, pid=pid,
+            data=tuple(sorted(data.items()))))
+
+    def count(self, category: str) -> int:
+        return self._counters.get(category, 0)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def records(self, category: Optional[str] = None,
+                pid: Optional[int] = None) -> List[TraceRecord]:
+        out = self._records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if pid is not None:
+            out = [r for r in out if r.pid == pid]
+        return list(out)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._counters.clear()
+        self.dropped = 0

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+``fast_config`` keeps RAM small and workloads short so the whole suite
+stays quick; tick and CPU parameters stay at the paper's defaults because
+several tests assert on tick arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, default_config
+from repro.config import MemoryConfig
+from repro.programs.stdlib import install_standard_libraries
+
+
+@pytest.fixture
+def cfg():
+    return default_config()
+
+
+@pytest.fixture
+def small_cfg():
+    return default_config(memory=MemoryConfig(
+        ram_bytes=8 * 1024 * 1024, swap_bytes=32 * 1024 * 1024))
+
+
+@pytest.fixture
+def machine(cfg):
+    return Machine(cfg)
+
+
+@pytest.fixture
+def booted(cfg):
+    """A machine with the standard libraries installed and a shell."""
+    m = Machine(cfg)
+    install_standard_libraries(m.kernel.libraries)
+    return m, m.new_shell()
+
+
+@pytest.fixture
+def small_machine(small_cfg):
+    m = Machine(small_cfg)
+    install_standard_libraries(m.kernel.libraries)
+    return m
+
+
+def run_to_exit(machine, tasks, max_s=120):
+    machine.run_until_exit(tasks, max_ns=int(max_s * 1e9))
+
+
+@pytest.fixture
+def run_until_exit():
+    return run_to_exit

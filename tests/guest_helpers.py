@@ -1,0 +1,17 @@
+"""Helpers for writing guest-code tests."""
+
+from __future__ import annotations
+
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Provenance
+
+
+def spawn_fn(machine, body, name="guest", uid=1000, nice=0, args=(),
+             provenance=Provenance.USER):
+    """Spawn a task running the generator function ``body``."""
+    fn = GuestFunction(name, body, provenance)
+    return machine.kernel.spawn(fn, args=args, name=name, uid=uid, nice=nice)
+
+
+def run_all(machine, tasks, max_s=60):
+    machine.run_until_exit(tasks, max_ns=int(max_s * 1e9))

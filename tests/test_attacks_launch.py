@@ -1,0 +1,115 @@
+"""Tests for the launch-time attacks (shell, ctor, substitution)."""
+
+import pytest
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    NoAttack,
+    ShellAttack,
+)
+from repro.attacks.payloads import cpu_burn_payload
+from repro.programs.ops import Provenance
+from repro.programs.workloads import make_ourprogram, make_whetstone
+
+PAYLOAD = 253_000_000  # 0.1 s at 2.53 GHz
+
+
+def small_o():
+    return make_ourprogram(iterations=300)
+
+
+class TestPayload:
+    def test_payload_is_injected_provenance(self):
+        fn = cpu_burn_payload(100)
+        assert fn.provenance is Provenance.INJECTED
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_burn_payload(-1)
+
+
+class TestShellAttack:
+    def test_inflates_utime_by_payload(self):
+        normal = run_experiment(small_o())
+        attacked = run_experiment(small_o(), ShellAttack(PAYLOAD))
+        delta = attacked.utime_s - normal.utime_s
+        assert delta == pytest.approx(0.1, abs=0.02)
+
+    def test_stime_untouched(self):
+        normal = run_experiment(small_o())
+        attacked = run_experiment(small_o(), ShellAttack(PAYLOAD))
+        assert abs(attacked.stime_s - normal.stime_s) <= 0.01
+
+    def test_oracle_prices_the_theft_exactly(self):
+        attacked = run_experiment(small_o(), ShellAttack(PAYLOAD))
+        assert attacked.oracle_injected_s() == pytest.approx(0.1, abs=0.001)
+
+    def test_traits(self):
+        traits = ShellAttack.traits
+        assert traits.inflates == "utime"
+        assert not traits.requires_root
+
+
+class TestConstructorAttack:
+    def test_inflates_like_shell_attack(self):
+        shell_run = run_experiment(small_o(), ShellAttack(PAYLOAD))
+        ctor_run = run_experiment(small_o(),
+                                  LibraryConstructorAttack(PAYLOAD))
+        # "In essence, the same attacking code is executed at different
+        # locations" — Fig. 5 vs Fig. 4.
+        assert ctor_run.utime_s == pytest.approx(shell_run.utime_s, abs=0.02)
+
+    def test_destructor_variant_also_billed(self):
+        attack = LibraryConstructorAttack(PAYLOAD, use_destructor=True)
+        attacked = run_experiment(small_o(), attack)
+        assert attacked.oracle_injected_s() == pytest.approx(0.1, abs=0.005)
+
+    def test_library_measures_as_injected(self):
+        attack = LibraryConstructorAttack(PAYLOAD)
+        run_experiment(small_o(), attack)
+        assert attack.library.provenance is Provenance.INJECTED
+
+
+class TestSubstitutionAttack:
+    def test_amplifies_with_call_count(self):
+        light = run_experiment(
+            make_whetstone(loops=100),
+            LibrarySubstitutionAttack(cycles_per_call=200_000))
+        heavy = run_experiment(
+            make_whetstone(loops=400),
+            LibrarySubstitutionAttack(cycles_per_call=200_000))
+        light_base = run_experiment(make_whetstone(loops=100))
+        heavy_base = run_experiment(make_whetstone(loops=400))
+        light_gain = light.total_s - light_base.total_s
+        heavy_gain = heavy.total_s - heavy_base.total_s
+        assert heavy_gain > 2.5 * light_gain
+
+    def test_semantics_preserved(self):
+        """The fake function must delegate: the program still works."""
+        result = run_experiment(
+            small_o(), LibrarySubstitutionAttack(cycles_per_call=50_000))
+        assert result.stats["exit_code"] == 0
+        assert result.rusage is not None
+
+    def test_theft_tagged_injected(self):
+        result = run_experiment(
+            small_o(), LibrarySubstitutionAttack(cycles_per_call=200_000))
+        assert result.oracle_injected_s() > 0
+
+    def test_custom_symbol_set(self):
+        attack = LibrarySubstitutionAttack(symbols=("sqrt",),
+                                           cycles_per_call=100_000)
+        result = run_experiment(make_whetstone(loops=100), attack)
+        assert result.stats["exit_code"] == 0
+        assert attack.library.provides("sqrt")
+        assert not attack.library.provides("malloc")
+
+
+class TestNoAttack:
+    def test_control_run_clean(self):
+        result = run_experiment(small_o(), NoAttack())
+        assert result.attack == "none"
+        assert result.oracle_injected_s() == 0.0
+        assert result.attacker_usage is None

@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig4"])
+        assert args.fig_id == "fig4"
+        assert args.scale == 0.4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["figure", "fig5", "--scale", "0.2"])
+        assert args.scale == 0.2
+
+
+class TestCommands:
+    def test_comparison(self, capsys):
+        assert main(["comparison"]) == 0
+        out = capsys.readouterr().out
+        assert "thrashing" in out
+        assert "fine-grained metering" in out
+
+    def test_figure_passes(self, capsys):
+        assert main(["figure", "fig4", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Shell attack" in out
+        assert "[FAIL]" not in out
+
+    def test_top(self, capsys):
+        assert main(["top", "--seconds", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "PID" in out
+        assert "Whetstone" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--iterations", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "fork_wait_exit_us" in out
+
+    def test_gallery_small(self, capsys):
+        assert main(["gallery", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling" in out
+        assert "baseline" in out

@@ -1,0 +1,151 @@
+"""Tests for the instance/cloud extension (paper §VII future work)."""
+
+import pytest
+
+from repro.cloud import CloudProvider, Instance, InstanceState
+from repro.config import default_config
+from repro.errors import SimulationError
+from repro.programs.workloads import (
+    make_busyloop,
+    make_fork_attacker,
+    make_ourprogram,
+)
+
+
+@pytest.fixture
+def provider():
+    return CloudProvider(default_config())
+
+
+class TestInstanceLifecycle:
+    def test_launch_and_run(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        task = inst.run(make_ourprogram(iterations=200))
+        inst.wait_all(max_ns=10**11)
+        assert task.exit_code == 0
+        assert inst.state is InstanceState.RUNNING
+        assert inst.uptime_ns > 0
+
+    def test_duplicate_name_rejected(self, provider):
+        provider.launch_instance("i-1", "alice")
+        with pytest.raises(SimulationError):
+            provider.launch_instance("i-1", "bob")
+
+    def test_customers_get_distinct_uids(self, provider):
+        a = provider.launch_instance("i-1", "alice")
+        b = provider.launch_instance("i-2", "bob")
+        assert a.uid != b.uid
+        assert a.uid != 0
+
+    def test_provider_instance_is_root(self, provider):
+        evil = provider.launch_instance("i-evil", "provider",
+                                        provider_owned=True)
+        assert evil.uid == 0
+
+    def test_terminate_kills_jobs(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        task = inst.run(make_busyloop(total_cycles=10**12))  # long
+        provider.machine.run_for(10_000_000)
+        provider.terminate_instance("i-1")
+        assert inst.state is InstanceState.TERMINATED
+        assert not task.alive
+        with pytest.raises(SimulationError):
+            inst.run(make_ourprogram(iterations=1))
+
+    def test_uptime_freezes_at_termination(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        provider.machine.run_for(50_000_000)
+        provider.terminate_instance("i-1")
+        frozen = inst.uptime_ns
+        provider.machine.run_for(50_000_000)
+        assert inst.uptime_ns == frozen
+
+
+class TestInstanceBilling:
+    def test_cpu_usage_aggregates_jobs(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        inst.run(make_ourprogram(iterations=400))
+        inst.run(make_ourprogram(iterations=400))
+        inst.wait_all(max_ns=10**11)
+        usage = inst.cpu_usage()
+        solo = CloudProvider(default_config())
+        ref_inst = solo.launch_instance("r", "alice")
+        ref_inst.run(make_ourprogram(iterations=400))
+        ref_inst.wait_all(max_ns=10**11)
+        assert usage.total_seconds == pytest.approx(
+            2 * ref_inst.cpu_usage().total_seconds, rel=0.1)
+
+    def test_uptime_invoice_rounds_up(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        provider.machine.run_for(10_000_000)
+        provider.terminate_instance("i-1")
+        invoice = provider.invoice_uptime("i-1")
+        # 10 ms of uptime still bills one full hour unit.
+        assert invoice.amount_microdollars == 100_000
+
+    def test_cpu_invoice_pro_rata(self, provider):
+        inst = provider.launch_instance("i-1", "alice")
+        inst.run(make_ourprogram(iterations=400))
+        inst.wait_all(max_ns=10**11)
+        invoice = provider.invoice_cpu("i-1")
+        assert 0 < invoice.amount_microdollars < 100
+
+    def test_summary_renders(self, provider):
+        provider.launch_instance("i-1", "alice")
+        text = provider.summary()
+        assert "i-1" in text and "alice" in text
+
+
+class TestColocationAttacks:
+    """The future-work scenario: attacks mounted from a co-located,
+    provider-owned instance."""
+
+    def _contended_run(self, attack_program=None, nice=None):
+        provider = CloudProvider(default_config())
+        victim_inst = provider.launch_instance("i-victim", "alice")
+        victim = victim_inst.run(make_ourprogram(iterations=1_500))
+        if attack_program is not None:
+            evil = provider.launch_instance("i-evil", "provider",
+                                            provider_owned=True)
+            evil.run(attack_program, nice=nice)
+        victim_inst.wait_all(max_ns=3 * 10**11)
+        provider.terminate_instance("i-victim")
+        return provider, victim_inst
+
+    def test_uptime_billing_inflated_by_any_contention(self):
+        _p, clean = self._contended_run()
+        _p, contended = self._contended_run(
+            make_busyloop(total_cycles=2_000_000_000))
+        # Mere co-located load doubles the wall-clock bill — no
+        # accounting subversion needed under uptime billing.
+        assert contended.uptime_ns > 1.5 * clean.uptime_ns
+
+    def test_cpu_billing_resists_plain_contention(self):
+        _p, clean = self._contended_run()
+        _p, contended = self._contended_run(
+            make_busyloop(total_cycles=2_000_000_000))
+        assert (contended.cpu_usage().total_seconds
+                == pytest.approx(clean.cpu_usage().total_seconds, abs=0.03))
+
+    def test_cpu_billing_falls_to_scheduling_attack(self):
+        _p, clean = self._contended_run()
+        _p, attacked = self._contended_run(
+            make_fork_attacker(forks=6_000, nice=-20))
+        assert (attacked.cpu_usage().total_seconds
+                > 1.10 * clean.cpu_usage().total_seconds)
+
+    def test_tsc_metering_protects_instances_too(self):
+        cfg = default_config(accounting="tsc")
+
+        def run(attack):
+            provider = CloudProvider(cfg)
+            inst = provider.launch_instance("i-v", "alice")
+            inst.run(make_ourprogram(iterations=1_500))
+            if attack:
+                evil = provider.launch_instance("i-e", "provider",
+                                                provider_owned=True)
+                evil.run(make_fork_attacker(forks=6_000, nice=-20))
+            inst.wait_all(max_ns=3 * 10**11)
+            return inst.cpu_usage().total_seconds
+
+        assert run(True) == pytest.approx(run(False), rel=0.03)

@@ -1,0 +1,181 @@
+"""Tests for remaining less-travelled paths across the package."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.config import MemoryConfig
+from repro.errors import (
+    BadAddress,
+    InvalidArgument,
+    KernelError,
+    NoChildProcesses,
+    NoSuchProcess,
+    OutOfMemory,
+    PermissionDenied,
+)
+from repro.kernel.accounting import CpuUsage
+from repro.metering.oracle import oracle_report, summarize_tasks
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_ourprogram
+
+from .guest_helpers import run_all, spawn_fn
+
+
+class TestErrnoHierarchy:
+    @pytest.mark.parametrize("exc,errno,name", [
+        (PermissionDenied, 1, "EPERM"),
+        (NoSuchProcess, 3, "ESRCH"),
+        (NoChildProcesses, 10, "ECHILD"),
+        (OutOfMemory, 12, "ENOMEM"),
+        (BadAddress, 14, "EFAULT"),
+        (InvalidArgument, 22, "EINVAL"),
+    ])
+    def test_errno_values(self, exc, errno, name):
+        assert exc.errno == errno
+        assert exc.errname == name
+        assert issubclass(exc, KernelError)
+
+
+class TestOracleHelpers:
+    def test_summarize_tasks(self):
+        m = Machine(default_config())
+        install_standard_libraries(m.kernel.libraries)
+        shell = m.new_shell()
+        a = shell.run_command(make_ourprogram(iterations=100))
+        b = shell.run_command(make_ourprogram(iterations=100))
+        m.run_until_exit([a, b], max_ns=10**11)
+        reports = summarize_tasks(m, [a, b])
+        assert len(reports) == 2
+        assert all(r.honest_s > 0 for r in reports)
+
+    def test_overcharge_fraction_zero_when_no_work(self):
+        from repro.metering.oracle import OracleReport
+
+        report = OracleReport()
+        assert report.overcharge_fraction == 0.0
+
+
+class TestIdleAndIrqPaths:
+    def test_idle_machine_absorbs_irq_time(self):
+        m = Machine(default_config())
+        flood = m.packet_flood(rate_pps=10_000)
+        flood.start()
+        m.run_for(50_000_000)
+        flood.stop()
+        assert m.kernel.idle_irq_ns > 0
+
+    def test_idle_ticks_counted(self):
+        m = Machine(default_config())
+        m.run_for(100_000_000)
+        # The tick at exactly t=100 ms may or may not have fired yet.
+        assert m.kernel.accounting.idle_ticks in (24, 25)
+
+    def test_disk_take_completion_empty(self):
+        m = Machine(default_config())
+        assert m.disk.take_completion() is None
+
+
+class TestSchedulerEdge:
+    def test_charge_switch_to_next_when_prev_dead(self):
+        """With charge_switch_to='prev', a switch away from an exiting
+        task must fall back to charging the incoming one."""
+        m = Machine(default_config(charge_switch_to="prev"))
+
+        def short(ctx):
+            yield Compute(1_000)
+
+        def long_(ctx):
+            yield Compute(20_000_000)
+
+        a = spawn_fn(m, short, name="short")
+        b = spawn_fn(m, long_, name="long")
+        run_all(m, [a, b])
+        assert not a.alive and not b.alive
+
+    def test_yield_between_equal_tasks(self):
+        m = Machine(default_config())
+        order = []
+
+        def body(ctx, tag):
+            for _ in range(3):
+                order.append(tag)
+                yield Syscall("sched_yield", ())
+                yield Compute(1_000)
+
+        a = spawn_fn(m, body, name="a", args=("a",))
+        b = spawn_fn(m, body, name="b", args=("b",))
+        run_all(m, [a, b])
+        # Both made progress interleaved, not strictly serialised.
+        assert set(order[:4]) == {"a", "b"}
+
+
+class TestBrkLimits:
+    def test_brk_beyond_heap_limit_enomem(self):
+        m = Machine(default_config())
+        seen = {}
+
+        def body(ctx):
+            seen["r"] = yield Syscall("brk", (0x3000_0000,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["r"] == -12
+
+
+class TestWriteOnlyWatchpoint:
+    def test_read_does_not_trip_write_watchpoint(self):
+        from repro.hw.cpu import Watchpoint
+
+        m = Machine(default_config())
+
+        def victim(ctx):
+            addr = yield Syscall("mmap", (1,))
+            ctx.shared["addr"] = addr
+            yield Syscall("nanosleep", (8_000_000,))
+            yield Mem(addr, write=False, repeat=50)   # reads: no trap
+            yield Mem(addr, write=True)               # one write: trap
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (2_000_000,))
+            yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("waitpid", (1,))
+            addr = m.kernel.task_by_pid(1).guest_ctx.shared["addr"]
+            yield Syscall("ptrace", ("pokeuser_dr", 1, 0,
+                                     Watchpoint(addr, 8, write_only=True)))
+            yield Syscall("ptrace", ("cont", 1))
+            while True:
+                result = yield Syscall("waitpid", (1,))
+                if isinstance(result, int) or result[1][0] == "exited":
+                    return 0
+                yield Syscall("ptrace", ("cont", 1))
+
+        v = spawn_fn(m, victim, name="victim")
+        t = spawn_fn(m, tracer, name="tracer", uid=0)
+        run_all(m, [v])
+        assert v.debug_exceptions == 1
+
+
+class TestCpuUsageDataclass:
+    def test_default_equality_semantics(self):
+        assert CpuUsage(1, 2) == CpuUsage(1, 2)
+        assert CpuUsage() + CpuUsage(5, 5) == CpuUsage(5, 5)
+
+
+class TestSwapAccountingAfterOom:
+    def test_oom_frees_swap_slots(self):
+        cfg = default_config(memory=MemoryConfig(
+            ram_bytes=2 * 1024 * 1024, swap_bytes=1 * 1024 * 1024))
+        m = Machine(cfg)
+
+        def hog(ctx):
+            addr = yield Syscall("mmap", (2048,))
+            for page in range(2048):
+                yield Mem(addr + page * 4096, write=True)
+
+        task = spawn_fn(m, hog)
+        run_all(m, [task])
+        assert task.exit_signal == 9
+        # Teardown returned every swap slot.
+        assert m.kernel.mm.swap_used == 0

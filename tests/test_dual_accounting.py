@@ -1,0 +1,85 @@
+"""Tests for the dual (bill-by-tick, audit-by-TSC) accounting scheme."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.analysis.experiment import run_experiment
+from repro.attacks import SchedulingAttack
+from repro.hw.cpu import CPUMode
+from repro.kernel.accounting import ChargeKind, DualAccounting, make_accounting
+from repro.kernel.process import Task
+from repro.programs.ops import Compute, Provenance
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_fork_attacker, make_whetstone
+
+TICK = 4_000_000
+
+
+class TestDualScheme:
+    def test_factory(self):
+        cfg = default_config(accounting="dual")
+        assert isinstance(make_accounting(cfg), DualAccounting)
+
+    def test_billing_view_is_tick_quantised(self):
+        acct = DualAccounting(TICK)
+        task = Task(1, "t")
+        acct.charge(task, CPUMode.USER, 1_000_000, ChargeKind.USER)
+        acct.on_tick(task, CPUMode.USER)
+        assert acct.usage(task).utime_ns == TICK  # whole jiffy
+
+    def test_audit_view_is_exact(self):
+        acct = DualAccounting(TICK)
+        task = Task(1, "t")
+        acct.charge(task, CPUMode.USER, 1_000_000, ChargeKind.USER)
+        acct.on_tick(task, CPUMode.USER)
+        assert acct.audit_usage(task).utime_ns == 1_000_000
+
+    def test_divergence_measures_overbilling(self):
+        acct = DualAccounting(TICK)
+        task = Task(1, "t")
+        acct.charge(task, CPUMode.USER, 1_000_000, ChargeKind.USER)
+        acct.on_tick(task, CPUMode.USER)
+        assert acct.divergence_ns(task) == TICK - 1_000_000
+
+    def test_unknown_task_audits_zero(self):
+        acct = DualAccounting(TICK)
+        task = Task(7, "never-ran")
+        assert acct.audit_usage(task).total_ns == 0
+
+    def test_process_aware_irq_diverts_audit_only(self):
+        acct = DualAccounting(TICK, process_aware_irq=True)
+        task = Task(1, "t")
+        acct.charge(task, CPUMode.KERNEL, 500, ChargeKind.IRQ)
+        assert acct.audit_usage(task).total_ns == 0
+        assert acct.system_ns == 500
+
+
+class TestDualEndToEnd:
+    def test_honest_run_small_divergence(self):
+        machine = Machine(default_config(accounting="dual"))
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        task = shell.run_command(make_whetstone(loops=1_500))
+        machine.run_until_exit([task], max_ns=10**11)
+        divergence = machine.kernel.accounting.divergence_ns(task)
+        # Honest solo run: sampling error bounded by a couple of jiffies.
+        assert abs(divergence) <= 3 * machine.cfg.tick_ns
+
+    def test_scheduling_attack_leaves_divergence_fingerprint(self):
+        machine = Machine(default_config(accounting="dual"))
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        victim = shell.run_command(make_whetstone(loops=1_500))
+        shell.run_command(make_fork_attacker(forks=5_000, nice=-20), uid=0)
+        machine.run_until_exit([victim], max_ns=3 * 10**11)
+        divergence = machine.kernel.accounting.divergence_ns(victim)
+        # The victim was billed far more than it precisely consumed.
+        assert divergence > 10 * machine.cfg.tick_ns
+
+    def test_dual_bill_equals_tick_bill(self):
+        """Switching billing to dual must not change anyone's invoice."""
+        tick = run_experiment(make_whetstone(loops=800),
+                              cfg=default_config(accounting="tick"))
+        dual = run_experiment(make_whetstone(loops=800),
+                              cfg=default_config(accounting="dual"))
+        assert dual.usage.total_ns == tick.usage.total_ns

@@ -1,0 +1,181 @@
+"""Engine misuse and edge-path tests."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.errors import SimulationError
+from repro.kernel.engine import Block
+from repro.programs.base import GuestFunction
+from repro.programs.ops import CallNext, Compute, Mem, Provenance, Syscall
+from repro.programs.stdlib import install_standard_libraries
+
+from .guest_helpers import run_all, spawn_fn
+
+
+@pytest.fixture
+def m():
+    return Machine(default_config())
+
+
+class TestMisuse:
+    def test_user_frame_cannot_block(self, m):
+        def body(ctx):
+            yield Block("nope")
+
+        task = spawn_fn(m, body)
+        with pytest.raises(SimulationError, match="Block"):
+            run_all(m, [task])
+
+    def test_callnext_outside_library(self, m):
+        install_standard_libraries(m.kernel.libraries)
+
+        def body(ctx):
+            yield CallNext("malloc", (10,))
+
+        task = spawn_fn(m, body)
+        with pytest.raises(SimulationError, match="CallNext"):
+            run_all(m, [task])
+
+    def test_unknown_op_rejected(self, m):
+        class Bogus:
+            pass
+
+        def body(ctx):
+            yield Bogus()
+
+        task = spawn_fn(m, body)
+        with pytest.raises(SimulationError, match="unknown op"):
+            run_all(m, [task])
+
+    def test_calllib_without_link_map_context(self, m):
+        # A raw-spawned task has an *empty* link map: the call fails like a
+        # lazy-binding error and the process dies with 127.
+        from repro.programs.ops import CallLib
+
+        def body(ctx):
+            yield CallLib("malloc", (10,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.exit_code == 127
+
+
+class TestSignalDuringMem:
+    def test_kill_mid_repeat_mem(self, m):
+        """A fatal signal posted while a repeated Mem op is in flight must
+        terminate cleanly."""
+
+        def victim(ctx):
+            addr = yield Syscall("mmap", (1,))
+            yield Mem(addr, write=True, repeat=10**7)  # very long access run
+
+        def killer(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+            from repro.kernel.signals import SIGKILL
+
+            yield Syscall("kill", (1, SIGKILL))
+
+        v = spawn_fn(m, victim, name="victim")
+        k = spawn_fn(m, killer, name="killer", uid=0)
+        run_all(m, [v, k])
+        assert v.exit_signal == 9
+
+    def test_stop_resume_mid_compute(self, m):
+        """SIGSTOP/SIGCONT around a long Compute must preserve total work."""
+        from repro.kernel.signals import SIGCONT, SIGSTOP
+
+        def victim(ctx):
+            yield Compute(100_000_000)  # ~40 ms
+
+        def controller(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+            yield Syscall("kill", (1, SIGSTOP))
+            yield Syscall("nanosleep", (30_000_000,))
+            yield Syscall("kill", (1, SIGCONT))
+
+        v = spawn_fn(m, victim, name="victim", uid=0)
+        c = spawn_fn(m, controller, name="ctl", uid=0)
+        run_all(m, [v, c])
+        user_ns = v.oracle_ns[(True, Provenance.USER)]
+        expected = m.cpu.cycles_to_ns(100_000_000)
+        assert abs(user_ns - expected) <= 1_000  # slice rounding only
+
+
+class TestDeepNesting:
+    def test_fifty_frame_stack(self, m):
+        depth_seen = {}
+
+        def make_level(level):
+            def body(ctx):
+                if level == 0:
+                    yield Compute(100)
+                    return 0
+                from repro.programs.ops import Invoke
+
+                inner = GuestFunction(f"lvl{level - 1}",
+                                      make_level(level - 1), Provenance.USER)
+                result = yield Invoke(inner)
+                return result
+
+            return body
+
+        def root(ctx):
+            from repro.programs.ops import Invoke
+
+            fn = GuestFunction("lvl49", make_level(49), Provenance.USER)
+            depth_seen["r"] = yield Invoke(fn)
+            return 0
+
+        task = spawn_fn(m, root)
+        run_all(m, [task])
+        assert depth_seen["r"] == 0
+        assert task.exit_code == 0
+
+    def test_generator_cleanup_on_kill(self, m):
+        """Killed tasks must close their suspended generators."""
+        closed = []
+
+        def inner(ctx):
+            try:
+                yield Compute(10**12)
+            finally:
+                closed.append(True)
+
+        def body(ctx):
+            from repro.programs.ops import Invoke
+
+            yield Invoke(GuestFunction("inner", inner, Provenance.USER))
+
+        def killer(ctx):
+            yield Syscall("nanosleep", (2_000_000,))
+            yield Syscall("kill", (1, 9))
+
+        v = spawn_fn(m, body, name="victim")
+        k = spawn_fn(m, killer, name="killer", uid=0)
+        run_all(m, [v, k])
+        assert closed == [True]
+
+
+class TestPendingMemAcrossBlocking:
+    def test_major_fault_resumes_same_access(self, m):
+        """A Mem op that major-faults must complete after the swap-in."""
+        from repro.config import MemoryConfig
+
+        cfg = default_config(memory=MemoryConfig(
+            ram_bytes=2 * 1024 * 1024, swap_bytes=16 * 1024 * 1024))
+        machine = Machine(cfg)
+        total_pages = machine.kernel.mm.phys.total_frames
+
+        def body(ctx):
+            addr = yield Syscall("mmap", (total_pages + 64,))
+            # Touch everything once (forces evictions of early pages)...
+            for page in range(total_pages + 64):
+                yield Mem(addr + page * 4096, write=True)
+            # ...then touch page 0 again: guaranteed major fault.
+            yield Mem(addr, write=True)
+            return 0
+
+        task = spawn_fn(machine, body)
+        run_all(machine, [task], max_s=120)
+        assert task.exit_code == 0
+        assert task.major_faults >= 1

@@ -1,0 +1,205 @@
+"""Tests for the extension modules: runtime library attack, plugin app,
+resource metering (§VI-C), usage sampling."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.analysis.experiment import run_experiment
+from repro.attacks import RuntimeLibraryAttack, SchedulingAttack
+from repro.metering.resources import (
+    ResourceMeter,
+    TransactionLog,
+    reconcile,
+)
+from repro.metering.sampling import UsageSampler, audit_share
+from repro.programs.plugin_app import (
+    PLUGIN_LIB_NAME,
+    make_libplugin,
+    make_plugin_app,
+)
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_fork_attacker, make_whetstone
+
+
+class TestPluginApp:
+    def test_runs_and_computes(self):
+        result = run_experiment(make_plugin_app(work_units=100),
+                                extra_libraries=[make_libplugin()])
+        assert result.stats["exit_code"] == 0
+        # 100 units is shorter than one jiffy; the oracle still sees it.
+        assert sum(result.oracle_seconds.values()) > 0
+
+    def test_fails_cleanly_without_plugin(self):
+        result = run_experiment(make_plugin_app(work_units=10))
+        assert result.stats["exit_code"] == 1  # dlopen returned NULL
+
+    def test_plugin_work_is_lib_provenance(self):
+        result = run_experiment(make_plugin_app(work_units=500),
+                                extra_libraries=[make_libplugin()])
+        assert result.oracle_seconds.get("lib", 0) > 0.005
+
+
+class TestRuntimeLibraryAttack:
+    def _run(self, attack=None, work_units=500):
+        return run_experiment(make_plugin_app(work_units=work_units),
+                              attack=attack,
+                              extra_libraries=[make_libplugin()])
+
+    def test_inflates_utime(self):
+        normal = self._run()
+        attacked = self._run(RuntimeLibraryAttack(PLUGIN_LIB_NAME))
+        assert attacked.utime_s > normal.utime_s + 0.04
+
+    def test_semantics_preserved(self):
+        attacked = self._run(RuntimeLibraryAttack(PLUGIN_LIB_NAME))
+        assert attacked.stats["exit_code"] == 0
+
+    def test_theft_is_injected_provenance(self):
+        attacked = self._run(RuntimeLibraryAttack(PLUGIN_LIB_NAME))
+        assert attacked.oracle_injected_s() > 0.04
+        # The genuine plugin work keeps its own provenance.
+        assert attacked.oracle_seconds.get("lib", 0) > 0.005
+
+    def test_no_ld_preload_fingerprint(self):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        machine.kernel.libraries.install(make_libplugin())
+        shell = machine.new_shell()
+        attack = RuntimeLibraryAttack(PLUGIN_LIB_NAME)
+        attack.install(machine, shell)
+        assert "LD_PRELOAD" not in shell.env
+
+    def test_detected_by_measurement(self):
+        """The tampered file's digest differs from the vendor's — file
+        measurement (not env inspection) catches this variant."""
+        genuine = make_libplugin()
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        machine.kernel.libraries.install(make_libplugin())
+        attack = RuntimeLibraryAttack(PLUGIN_LIB_NAME)
+        attack.install(machine, machine.new_shell())
+        tampered = machine.kernel.libraries.lookup(PLUGIN_LIB_NAME)
+        assert tampered.text_digest() != genuine.text_digest()
+        assert tampered.version == genuine.version  # it *claims* to match
+
+    def test_missing_target_rejected(self):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        attack = RuntimeLibraryAttack("libnothere")
+        from repro.errors import FileNotFound
+
+        with pytest.raises(FileNotFound):
+            attack.install(machine, machine.new_shell())
+
+
+class TestResourceMetering:
+    def test_honest_bill_reconciles_clean(self):
+        meter, log = ResourceMeter(), TransactionLog()
+        for i in range(5):
+            meter.record("db_txn", 1, f"req-{i}")
+            log.note("db_txn", 1, f"req-{i}")
+        assert reconcile(meter, log) == []
+
+    def test_padded_bill_itemised(self):
+        meter, log = ResourceMeter(), TransactionLog()
+        meter.record("db_txn", 1, "req-0")
+        log.note("db_txn", 1, "req-0")
+        meter.record("db_txn", 3, "req-phantom")  # never issued
+        problems = reconcile(meter, log)
+        assert len(problems) == 1
+        assert problems[0].reference == "req-phantom"
+        assert problems[0].padding == 3
+
+    def test_quantity_inflation_detected(self):
+        meter, log = ResourceMeter(), TransactionLog()
+        meter.record("bytes_out", 5_000, "obj-1")
+        log.note("bytes_out", 1_000, "obj-1")
+        problems = reconcile(meter, log)
+        assert problems[0].padding == 4_000
+
+    def test_lost_transaction_detected(self):
+        meter, log = ResourceMeter(), TransactionLog()
+        log.note("db_txn", 1, "req-lost")
+        problems = reconcile(meter, log)
+        assert problems[0].billed == 0
+        assert problems[0].issued == 1
+
+    def test_totals(self):
+        meter = ResourceMeter()
+        meter.record("db_txn", 2, "a")
+        meter.record("db_txn", 3, "b")
+        meter.record("bytes_out", 100, "a")
+        assert meter.totals() == {"db_txn": 5, "bytes_out": 100}
+
+    def test_negative_quantity_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ResourceMeter().record("db_txn", -1, "x")
+
+    def test_discrepancy_str(self):
+        from repro.metering.resources import Discrepancy
+
+        text = str(Discrepancy("db_txn", "r", 5, 2))
+        assert "db_txn" in text and "+3" in text
+
+
+class TestUsageSampling:
+    def _sampled_run(self, attack=None, loops=2_000):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        if attack is not None:
+            attack.install(machine, shell)
+        victim = shell.run_command(make_whetstone(loops=loops))
+        sampler = UsageSampler(machine, victim, interval_ns=20_000_000)
+        sampler.start()
+        if attack is not None:
+            attack.engage(machine, victim)
+        machine.run_until_exit([victim], max_ns=10**11)
+        if attack is not None:
+            attack.cleanup(machine)
+        return sampler.timeline
+
+    def test_timeline_collected(self):
+        timeline = self._sampled_run()
+        assert len(timeline.samples) >= 5
+        walls = [s.wall_ns for s in timeline.samples]
+        assert walls == sorted(walls)
+
+    def test_solo_share_near_one(self):
+        timeline = self._sampled_run()
+        assert timeline.billed_share() == pytest.approx(1.0, abs=0.1)
+
+    def test_audit_flags_scheduling_attack(self):
+        """Under attack the victim is billed ~a full CPU while a
+        heavyweight competitor demonstrably runs: the share audit fires."""
+        timeline = self._sampled_run(
+            attack=SchedulingAttack(nice=-20, forks=6_000))
+        # During the overlap a nice -20 competitor is entitled to ~99 %;
+        # even a generous auditor allows the victim at most ~70 %.
+        finding = audit_share(timeline, contended_share=0.70)
+        assert finding is not None
+        assert "misattributed" in finding
+
+    def test_audit_clean_on_honest_contention(self):
+        """Fair competition bills the victim its true share: no finding."""
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        victim = shell.run_command(make_whetstone(loops=2_000))
+        # An equal-priority CPU-bound competitor (not a fork chain).
+        from repro.programs.workloads import make_busyloop
+
+        shell.run_command(make_busyloop(total_cycles=2_000_000_000))
+        sampler = UsageSampler(machine, victim, interval_ns=20_000_000)
+        sampler.start()
+        machine.run_until_exit([victim], max_ns=10**11)
+        finding = audit_share(sampler.timeline, contended_share=0.60)
+        assert finding is None
+
+    def test_bad_interval_rejected(self):
+        machine = Machine(default_config())
+        task_like = object()
+        with pytest.raises(ValueError):
+            UsageSampler(machine, task_like, interval_ns=0)

@@ -1,0 +1,115 @@
+"""Last-mile coverage: machine loop corners, deadlock detection, small
+API surfaces."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.errors import DeadlockError
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Provenance, Syscall
+
+from .guest_helpers import run_all, spawn_fn
+
+
+class TestRunToCompletion:
+    def test_runs_until_no_task_alive(self):
+        m = Machine(default_config())
+
+        def body(ctx):
+            yield Compute(5_000_000)
+
+        spawn_fn(m, body, name="a")
+        spawn_fn(m, body, name="b")
+        m.run_to_completion(max_ns=10**10)
+        assert m.kernel.all_finished()
+
+    def test_completes_immediately_when_empty(self):
+        m = Machine(default_config())
+        m.run_to_completion(max_ns=10**9)
+        assert m.kernel.all_finished()
+
+
+class TestDeadlockDetection:
+    def test_nothing_to_do_with_timer_off_is_deadlock(self):
+        """With the timer stopped and every task finished, an unsatisfied
+        run_until predicate is reported as a deadlock, not a hang."""
+        m = Machine(default_config())
+        m.timer.stop()
+
+        def body(ctx):
+            yield Compute(1_000)
+
+        spawn_fn(m, body)
+        with pytest.raises(DeadlockError):
+            m.run_until(lambda: False, max_ns=None)
+
+    def test_timer_keeps_idle_machine_progressing(self):
+        m = Machine(default_config())
+        # With the timer on there is always a next event: no deadlock, the
+        # deadline fires instead.
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            m.run_until(lambda: False, max_ns=20_000_000)
+
+
+class TestShellEnvApi:
+    def test_set_and_unset(self):
+        m = Machine(default_config())
+        shell = m.new_shell(env={"A": "1"})
+        shell.set_env("B", "2")
+        shell.unset_env("A")
+        shell.unset_env("missing")  # no-op
+        assert shell.env == {"B": "2"}
+
+
+class TestTimerRestart:
+    def test_stop_then_start_resumes_grid(self):
+        m = Machine(default_config())
+        m.run_for(6_000_000)
+        m.timer.stop()
+        m.timer.start()
+        # Next tick lands on the absolute grid, not now+tick.
+        assert m.timer.next_tick_time() % m.cfg.tick_ns == 0
+
+    def test_ticks_fired_counter(self):
+        m = Machine(default_config())
+        m.run_for(20_000_000)
+        # The tick at exactly t=20 ms may not have fired yet.
+        assert m.timer.ticks_fired in (4, 5)
+
+
+class TestEventHandleSurface:
+    def test_time_ns_exposed(self):
+        from repro.sim.events import EventQueue
+
+        queue = EventQueue()
+        handle = queue.schedule(42, lambda: None)
+        assert handle.time_ns == 42
+
+
+class TestPaperReferenceData:
+    def test_fig7_reference_values(self):
+        from repro.analysis.figures import PAPER_REFERENCE
+
+        fig7 = PAPER_REFERENCE["fig7"]
+        assert fig7["W_normal_s"] == 150
+        assert fig7["W_at_nice_minus20_s"] == 400
+
+    def test_all_entries_have_notes(self):
+        from repro.analysis.figures import PAPER_REFERENCE
+
+        assert all("note" in entry for entry in PAPER_REFERENCE.values())
+
+
+class TestVersionMetadata:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

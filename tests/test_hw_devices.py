@@ -1,0 +1,221 @@
+"""Unit tests for the interrupt controller, timer, NIC and disk."""
+
+import pytest
+
+from repro.config import DiskConfig
+from repro.errors import SimulationError
+from repro.hw.disk import Disk
+from repro.hw.irq import IRQ_NIC, IRQ_TIMER, InterruptController
+from repro.hw.nic import NetworkCard, PacketFlood
+from repro.hw.timer import TimerDevice
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def pic():
+    return InterruptController()
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def events():
+    return EventQueue()
+
+
+class TestInterruptController:
+    def test_dispatch_to_handler(self, pic):
+        seen = []
+        pic.register(3, seen.append)
+        pic.raise_irq(3)
+        assert seen == [3]
+        assert pic.counts[3] == 1
+
+    def test_duplicate_registration_rejected(self, pic):
+        pic.register(3, lambda line: None)
+        with pytest.raises(SimulationError):
+            pic.register(3, lambda line: None)
+
+    def test_spurious_counted(self, pic):
+        pic.raise_irq(9)
+        assert pic.spurious == 1
+
+    def test_masking_defers_delivery(self, pic):
+        seen = []
+        pic.register(1, seen.append)
+        pic.mask()
+        pic.raise_irq(1)
+        assert seen == []
+        assert pic.pending_count() == 1
+        pic.unmask()
+        assert seen == [1]
+        assert pic.pending_count() == 0
+
+    def test_handler_runs_with_irqs_masked(self, pic):
+        """A line raised inside a handler is deferred, then replayed."""
+        order = []
+
+        def handler_a(line):
+            order.append("a")
+            pic.raise_irq(2)  # must not recurse
+
+        pic.register(1, handler_a)
+        pic.register(2, lambda line: order.append("b"))
+        pic.raise_irq(1)
+        assert order == ["a", "b"]
+
+    def test_multiple_pending_replayed_in_order(self, pic):
+        seen = []
+        pic.register(1, lambda line: seen.append("one"))
+        pic.register(2, lambda line: seen.append("two"))
+        pic.mask()
+        pic.raise_irq(2)
+        pic.raise_irq(1)
+        pic.unmask()
+        assert seen == ["two", "one"]
+
+
+class TestTimer:
+    def test_fires_on_absolute_grid(self, clock, events, pic):
+        ticks = []
+        pic.register(IRQ_TIMER, lambda line: ticks.append(clock.now))
+        timer = TimerDevice(4_000_000, clock, events, pic)
+        timer.start()
+        for _ in range(3):
+            t = events.next_time()
+            clock.advance_to(t)
+            events.run_due(t)
+        assert ticks == [4_000_000, 8_000_000, 12_000_000]
+
+    def test_no_drift_when_handler_late(self, clock, events, pic):
+        """Even if the clock overshoots, ticks stay on the grid."""
+        ticks = []
+        pic.register(IRQ_TIMER, lambda line: ticks.append(clock.now))
+        timer = TimerDevice(4_000_000, clock, events, pic)
+        timer.start()
+        clock.advance_to(4_500_000)  # late by 0.5 ms
+        events.run_due(clock.now)
+        assert events.next_time() == 8_000_000
+
+    def test_stop_cancels(self, clock, events, pic):
+        timer = TimerDevice(1000, clock, events, pic)
+        timer.start()
+        timer.stop()
+        assert events.next_time() is None
+        assert not timer.running
+
+    def test_double_start_single_stream(self, clock, events, pic):
+        timer = TimerDevice(1000, clock, events, pic)
+        timer.start()
+        timer.start()
+        assert len(events) == 1
+
+
+class TestNic:
+    def test_packet_raises_irq(self, pic):
+        seen = []
+        pic.register(IRQ_NIC, seen.append)
+        nic = NetworkCard(pic)
+        nic.receive_packet(100)
+        assert seen == [IRQ_NIC]
+        assert nic.packets_received == 1
+        assert nic.bytes_received == 100
+
+    def test_flood_rate(self, clock, events, pic):
+        nic = NetworkCard(pic)
+        flood = PacketFlood(nic, clock, events, rate_pps=1000.0)
+        flood.start()
+        # Run 10 ms of virtual time: expect ~10 packets.
+        while True:
+            t = events.next_time()
+            if t is None or t > 10_000_000:
+                break
+            clock.advance_to(t)
+            events.run_due(t)
+        assert nic.packets_received == 10
+
+    def test_flood_stop(self, clock, events, pic):
+        nic = NetworkCard(pic)
+        flood = PacketFlood(nic, clock, events, rate_pps=1000.0)
+        flood.start()
+        flood.stop()
+        assert events.next_time() is None
+
+    def test_flood_jitter_deterministic(self, clock, events, pic):
+        rng = DeterministicRng(1)
+        nic = NetworkCard(pic)
+        flood = PacketFlood(nic, clock, events, rate_pps=1000.0,
+                            rng=rng, jitter=True)
+        flood.start()
+        t = events.next_time()
+        assert t is not None and t > 0
+
+
+class TestDisk:
+    def _machine_bits(self):
+        clock, events, pic = Clock(), EventQueue(), InterruptController()
+        disk = Disk(DiskConfig(), clock, events, pic)
+        completions = []
+        pic.register(14, lambda line: completions.append(
+            disk.take_completion()))
+        return clock, events, disk, completions
+
+    def _drain(self, clock, events):
+        while True:
+            t = events.next_time()
+            if t is None:
+                return
+            clock.advance_to(t)
+            events.run_due(t)
+
+    def test_read_completes_with_irq(self):
+        clock, events, disk, completions = self._machine_bits()
+        done = []
+        disk.submit(1, write=False, on_complete=lambda: done.append(1))
+        self._drain(clock, events)
+        assert len(completions) == 1
+        completions[0]()
+        assert done == [1]
+
+    def test_latency_model(self):
+        clock, events, disk, _ = self._machine_bits()
+        disk.submit(2, write=False, on_complete=lambda: None)
+        expected = DiskConfig().base_latency_ns + 2 * DiskConfig().per_page_ns
+        assert events.next_time() == expected
+
+    def test_reads_prioritised_over_writes(self):
+        clock, events, disk, completions = self._machine_bits()
+        order = []
+        disk.submit(1, write=True, on_complete=lambda: order.append("w1"))
+        disk.submit(1, write=True, on_complete=lambda: order.append("w2"))
+        disk.submit(1, write=False, on_complete=lambda: order.append("r"))
+        self._drain(clock, events)
+        for cb in completions:
+            cb()
+        # w1 was already in flight, but the read overtakes w2.
+        assert order == ["w1", "r", "w2"]
+
+    def test_queue_depth(self):
+        clock, events, disk, _ = self._machine_bits()
+        disk.submit(1, write=True, on_complete=lambda: None)
+        disk.submit(1, write=False, on_complete=lambda: None)
+        assert disk.queue_depth == 2
+        assert disk.busy
+
+    def test_zero_pages_rejected(self):
+        _clock, _events, disk, _ = self._machine_bits()
+        with pytest.raises(ValueError):
+            disk.submit(0, write=False, on_complete=lambda: None)
+
+    def test_stats(self):
+        clock, events, disk, completions = self._machine_bits()
+        disk.submit(1, write=False, on_complete=lambda: None)
+        disk.submit(3, write=True, on_complete=lambda: None)
+        assert disk.reads == 1
+        assert disk.writes == 1
+        assert disk.pages_transferred == 4

@@ -1,0 +1,159 @@
+"""Integration tests: whole-system invariants and the paper's headline
+claims at reduced scale."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    InterruptFloodAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from repro.config import SchedulerConfig
+from repro.metering.billing import invoice_for
+from repro.metering.oracle import oracle_report
+from repro.metering.verification import BillVerifier, VerificationOutcome
+from repro.programs.ops import Compute, Syscall
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_ourprogram, make_whetstone
+
+from .guest_helpers import run_all, spawn_fn
+
+
+class TestTickConservation:
+    def test_every_tick_lands_somewhere(self):
+        """Sum of per-task ticks plus idle ticks equals total jiffies —
+        tick sampling conserves ticks, it just misattributes them."""
+        m = Machine(default_config())
+        install_standard_libraries(m.kernel.libraries)
+        shell = m.new_shell()
+        from repro.programs.workloads import make_fork_attacker
+
+        w = shell.run_command(make_whetstone(loops=800))
+        f = shell.run_command(make_fork_attacker(forks=500, nice=-20), uid=0)
+        m.run_until_exit([w, f], max_ns=10**11)
+        task_ticks = sum(t.acct_ticks for t in m.kernel.tasks.values())
+        total = m.kernel.timekeeper.jiffies
+        idle = m.kernel.accounting.idle_ticks
+        assert task_ticks + idle == total
+
+    def test_timekeeper_mode_split(self):
+        m = Machine(default_config())
+
+        def body(ctx):
+            yield Compute(50_000_000)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        tk = m.kernel.timekeeper
+        assert tk.ticks_user + tk.ticks_kernel + tk.ticks_idle == tk.jiffies
+        assert tk.uptime_ns == tk.jiffies * m.cfg.tick_ns
+
+
+class TestSchedulerAblation:
+    @pytest.mark.parametrize("kind", ["cfs", "o1", "rr"])
+    def test_workload_runs_under_every_scheduler(self, kind):
+        cfg = default_config(scheduler=SchedulerConfig(kind=kind))
+        result = run_experiment(make_ourprogram(iterations=300), cfg=cfg)
+        assert result.stats["exit_code"] == 0
+        assert result.total_s > 0
+
+    @pytest.mark.parametrize("kind", ["cfs", "o1"])
+    def test_shell_attack_scheduler_independent(self, kind):
+        """Launch-time attacks do not depend on the scheduling policy."""
+        cfg = default_config(scheduler=SchedulerConfig(kind=kind))
+        normal = run_experiment(make_ourprogram(iterations=300), cfg=cfg)
+        attacked = run_experiment(make_ourprogram(iterations=300),
+                                  ShellAttack(253_000_000), cfg=cfg)
+        assert attacked.utime_s - normal.utime_s == pytest.approx(0.1,
+                                                                  abs=0.03)
+
+
+class TestBillingPipeline:
+    def test_attack_raises_the_bill_and_verifier_catches_it(self):
+        """The full story: attack -> inflated invoice -> user disputes."""
+        program = make_ourprogram(iterations=600)
+        attacked = run_experiment(make_ourprogram(iterations=600),
+                                  ShellAttack(506_000_000))  # +0.2 s
+        invoice = invoice_for("user-job", attacked.usage)
+        honest = run_experiment(program)
+        honest_invoice = invoice_for("user-job", honest.usage)
+        assert invoice.amount_microdollars > honest_invoice.amount_microdollars
+
+        verifier = BillVerifier()
+        report = verifier.verify(program, attacked.usage)
+        assert report.outcome is VerificationOutcome.OVERCHARGED
+
+    def test_honest_provider_passes_dispute(self):
+        program = make_ourprogram(iterations=600)
+        result = run_experiment(program)
+        report = BillVerifier().verify(program, result.usage)
+        assert report.outcome is VerificationOutcome.CONSISTENT
+
+
+class TestDefenseMatrix:
+    def test_tsc_metering_kills_scheduling_attack(self):
+        tick_cfg = default_config(accounting="tick")
+        tsc_cfg = default_config(accounting="tsc")
+        attack = lambda: SchedulingAttack(nice=-20, forks=4_000)
+        w = lambda: make_whetstone(loops=1_500)
+
+        tick_base = run_experiment(w(), cfg=tick_cfg)
+        tick_attacked = run_experiment(w(), attack(), cfg=tick_cfg)
+        tsc_base = run_experiment(w(), cfg=tsc_cfg)
+        tsc_attacked = run_experiment(w(), attack(), cfg=tsc_cfg)
+
+        tick_inflation = tick_attacked.total_s / tick_base.total_s
+        tsc_inflation = tsc_attacked.total_s / tsc_base.total_s
+        assert tick_inflation > 1.10
+        assert tsc_inflation < 1.03
+
+    def test_process_aware_irq_accounting_kills_flood(self):
+        vulnerable = default_config(accounting="tsc")
+        defended = default_config(accounting="tsc",
+                                  process_aware_irq_accounting=True)
+        attack = lambda: InterruptFloodAttack(rate_pps=30_000)
+        o = lambda: make_ourprogram(iterations=500)
+
+        vuln_attacked = run_experiment(o(), attack(), cfg=vulnerable)
+        vuln_base = run_experiment(o(), cfg=vulnerable)
+        def_attacked = run_experiment(o(), attack(), cfg=defended)
+        def_base = run_experiment(o(), cfg=defended)
+
+        vuln_delta = vuln_attacked.stime_s - vuln_base.stime_s
+        def_delta = def_attacked.stime_s - def_base.stime_s
+        assert vuln_delta > 0.005
+        assert def_delta < vuln_delta / 5
+
+    def test_oracle_quantifies_thrashing_theft(self):
+        attacked = run_experiment(make_ourprogram(iterations=800),
+                                  ThrashingAttack("i"))
+        tracer_s = attacked.oracle_seconds.get("tracer", 0.0)
+        assert tracer_s > 0.0
+
+
+class TestGuestRusageAgainstKernelView:
+    def test_getrusage_matches_accounting(self):
+        m = Machine(default_config())
+        install_standard_libraries(m.kernel.libraries)
+        shell = m.new_shell()
+        task = shell.run_command(make_ourprogram(iterations=400))
+        m.run_until_exit([task], max_ns=10**11)
+        logged = task.guest_ctx.shared["rusage"]
+        final = m.kernel.accounting.usage(task)
+        # getrusage was called just before exit: within a tick or two.
+        assert abs(final.utime_ns - logged["utime_ns"]) <= 3 * m.cfg.tick_ns
+
+    def test_oracle_report_totals(self):
+        m = Machine(default_config())
+        install_standard_libraries(m.kernel.libraries)
+        shell = m.new_shell()
+        task = shell.run_command(make_ourprogram(iterations=400))
+        m.run_until_exit([task], max_ns=10**11)
+        report = oracle_report(m, task)
+        assert report.total_s == pytest.approx(
+            report.user_mode_s + report.kernel_mode_s)
+        assert report.honest_s > 0
+        assert report.attack_s == 0

@@ -1,0 +1,217 @@
+"""Tests of the execution engine via small guest programs."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Invoke, Mem, Provenance, Syscall
+
+from .guest_helpers import run_all, spawn_fn
+
+
+@pytest.fixture
+def m():
+    return Machine(default_config())
+
+
+class TestComputeTiming:
+    def test_compute_advances_exact_time(self, m):
+        freq = m.cfg.cpu_freq_hz
+
+        def body(ctx):
+            yield Compute(freq)  # exactly one second of work
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        user_ns = task.oracle_ns[(True, Provenance.USER)]
+        # Each preemption slice may round up by <1 ns (ceiling keeps the
+        # clock strictly advancing); ~250 tick slices → tiny overshoot.
+        assert 1_000_000_000 <= user_ns <= 1_000_001_000
+
+    def test_compute_divisible_across_ticks(self, m):
+        """A long compute block must be preempted by ticks mid-block."""
+
+        def body(ctx):
+            yield Compute(m.cfg.cpu_freq_hz // 10)  # 100 ms
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        # 100 ms at HZ=250 → ~25 ticks sampled this task.
+        assert 23 <= task.acct_ticks <= 27
+
+    def test_zero_compute_is_free(self, m):
+        def body(ctx):
+            yield Compute(0)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.oracle_ns.get((True, Provenance.USER), 0) == 0
+
+    def test_tsc_advances_with_work(self, m):
+        def body(ctx):
+            yield Compute(1000)
+
+        task = spawn_fn(m, body)
+        tsc_before = m.cpu.read_tsc()
+        run_all(m, [task])
+        assert m.cpu.read_tsc() > tsc_before
+
+
+class TestInvokeAndFrames:
+    def test_invoke_returns_value(self, m):
+        seen = {}
+
+        def callee(ctx, x):
+            yield Compute(10)
+            return x * 2
+
+        def body(ctx):
+            fn = GuestFunction("callee", callee, Provenance.USER)
+            result = yield Invoke(fn, (21,))
+            seen["result"] = result
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["result"] == 42
+
+    def test_invoke_provenance_labels_work(self, m):
+        def callee(ctx):
+            yield Compute(1000)
+
+        def body(ctx):
+            fn = GuestFunction("payload", callee, Provenance.INJECTED)
+            yield Invoke(fn)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.oracle_ns[(True, Provenance.INJECTED)] > 0
+
+    def test_nested_invokes(self, m):
+        def inner(ctx):
+            yield Compute(1)
+            return "deep"
+
+        def outer(ctx):
+            result = yield Invoke(GuestFunction("i", inner, Provenance.USER))
+            return f"got-{result}"
+
+        seen = {}
+
+        def body(ctx):
+            result = yield Invoke(GuestFunction("o", outer, Provenance.USER))
+            seen["r"] = result
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["r"] == "got-deep"
+
+
+class TestMemOps:
+    def test_first_touch_minor_faults(self, m):
+        def body(ctx):
+            addr = yield Syscall("mmap", (2,))
+            yield Mem(addr, write=True)
+            yield Mem(addr, write=True)  # second touch: no fault
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.minor_faults == 1
+
+    def test_mem_repeat_counts_once_for_fault(self, m):
+        def body(ctx):
+            addr = yield Syscall("mmap", (1,))
+            yield Mem(addr, write=True, repeat=100)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.minor_faults == 1
+
+    def test_segv_kills(self, m):
+        def body(ctx):
+            yield Mem(0x1, write=True)
+            yield Compute(10)  # unreachable
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        from repro.kernel.signals import SIGSEGV
+
+        assert task.exit_signal == SIGSEGV
+
+    def test_mem_cost_scales_with_repeat(self, m):
+        def run(repeat):
+            machine = Machine(default_config())
+
+            def body(ctx):
+                addr = yield Syscall("mmap", (1,))
+                yield Mem(addr, repeat=repeat)
+
+            task = spawn_fn(machine, body)
+            run_all(machine, [task])
+            return task.oracle_ns.get((True, Provenance.USER), 0)
+
+        assert run(10_000) > run(10)
+
+
+class TestSyscallMechanics:
+    def test_unknown_syscall_returns_enosys(self, m):
+        seen = {}
+
+        def body(ctx):
+            result = yield Syscall("frobnicate")
+            seen["r"] = result
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["r"] == -38
+
+    def test_syscall_costs_kernel_time(self, m):
+        def body(ctx):
+            yield Syscall("getpid")
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.oracle_ns[(False, Provenance.USER)] > 0
+
+    def test_kernel_error_becomes_negative_errno(self, m):
+        seen = {}
+
+        def body(ctx):
+            result = yield Syscall("kill", (9999, 9))
+            seen["r"] = result
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["r"] == -3  # ESRCH
+
+    def test_rdtsc_monotone(self, m):
+        seen = {}
+
+        def body(ctx):
+            a = yield Syscall("rdtsc")
+            yield Compute(10_000)
+            b = yield Syscall("rdtsc")
+            seen["delta"] = b - a
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["delta"] >= 10_000
+
+    def test_nanosleep_advances_wall_not_cpu(self, m):
+        def body(ctx):
+            yield Syscall("nanosleep", (50_000_000,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert m.clock.now >= 50_000_000
+        # CPU time must be microscopic compared to the sleep.
+        total = sum(task.oracle_ns.values())
+        assert total < 5_000_000
+
+    def test_implicit_exit_on_return(self, m):
+        def body(ctx):
+            yield Compute(1)
+            return 7
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.exit_code == 7

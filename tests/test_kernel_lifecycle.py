@@ -1,0 +1,285 @@
+"""Process lifecycle tests: fork, wait, exit, threads, OOM, reparenting."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.config import MemoryConfig
+from repro.kernel.process import TaskState
+from repro.kernel.signals import SIGKILL
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+
+from .guest_helpers import run_all, spawn_fn
+
+
+@pytest.fixture
+def m():
+    return Machine(default_config())
+
+
+class TestForkWait:
+    def test_fork_returns_child_pid(self, m):
+        seen = {}
+
+        def child(ctx):
+            yield Compute(100)
+            return 5
+
+        def body(ctx):
+            pid = yield Syscall(
+                "fork", (GuestFunction("c", child, Provenance.USER),))
+            seen["child_pid"] = pid
+            result = yield Syscall("waitpid", (pid,))
+            seen["wait"] = result
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        pid = seen["child_pid"]
+        assert pid > task.pid
+        assert seen["wait"] == (pid, ("exited", 5))
+
+    def test_fork_without_body_exits_zero(self, m):
+        seen = {}
+
+        def body(ctx):
+            pid = yield Syscall("fork", (None,))
+            seen["wait"] = yield Syscall("waitpid", (pid,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["wait"][1] == ("exited", 0)
+
+    def test_wait_with_no_children_echild(self, m):
+        seen = {}
+
+        def body(ctx):
+            seen["r"] = yield Syscall("waitpid", ())
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["r"] == -10  # ECHILD
+
+    def test_wait_any_child(self, m):
+        seen = {"reaped": []}
+
+        def body(ctx):
+            for _ in range(3):
+                yield Syscall("fork", (None,))
+            for _ in range(3):
+                result = yield Syscall("waitpid", ())
+                seen["reaped"].append(result[0])
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert len(set(seen["reaped"])) == 3
+
+    def test_wait_nohang_returns_zero(self, m):
+        seen = {}
+
+        def slow_child(ctx):
+            yield Syscall("nanosleep", (10_000_000,))
+
+        def body(ctx):
+            yield Syscall(
+                "fork", (GuestFunction("c", slow_child, Provenance.USER),))
+            seen["nohang"] = yield Syscall("waitpid", (-1, True))
+            seen["hang"] = yield Syscall("waitpid", (-1,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["nohang"] == 0
+        assert seen["hang"][1][0] == "exited"
+
+    def test_zombie_until_reaped(self, m):
+        child_pids = {}
+
+        def body(ctx):
+            pid = yield Syscall("fork", (None,))
+            child_pids["pid"] = pid
+            # Sleep without reaping: the child must stay a zombie.
+            yield Syscall("nanosleep", (20_000_000,))
+            child = m.kernel.task_by_pid(pid)
+            child_pids["state_before_reap"] = child.state
+            yield Syscall("waitpid", (pid,))
+            child_pids["state_after_reap"] = child.state
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert child_pids["state_before_reap"] is TaskState.ZOMBIE
+        assert child_pids["state_after_reap"] is TaskState.DEAD
+
+    def test_children_rusage_accumulates(self, m):
+        def busy_child(ctx):
+            yield Compute(50_000_000)  # ~20 ms: several ticks
+
+        def body(ctx):
+            pid = yield Syscall(
+                "fork", (GuestFunction("c", busy_child, Provenance.USER),))
+            yield Syscall("waitpid", (pid,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert task.acct_cutime_ns > 0
+
+
+class TestThreads:
+    def test_clone_shares_address_space(self, m):
+        seen = {}
+
+        def worker(ctx):
+            yield Compute(100)
+            return 0
+
+        def body(ctx):
+            tid = yield Syscall(
+                "clone_thread",
+                (GuestFunction("w", worker, Provenance.USER), ()))
+            thread = m.kernel.task_by_pid(tid)
+            seen["same_mm"] = thread.mm is m.kernel.task_by_pid(1).mm
+            seen["tgid"] = thread.tgid
+            yield Syscall("waitpid", (tid,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["same_mm"]
+        assert seen["tgid"] == task.tgid
+
+    def test_thread_group_listing(self, m):
+        seen = {}
+
+        def worker(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+
+        def body(ctx):
+            tids = []
+            for _ in range(3):
+                tid = yield Syscall(
+                    "clone_thread",
+                    (GuestFunction("w", worker, Provenance.USER), ()))
+                tids.append(tid)
+            seen["listed"] = yield Syscall("proc_threads", (1,))
+            for tid in tids:
+                yield Syscall("waitpid", (tid,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert len(seen["listed"]) == 4  # main + 3 workers
+
+    def test_rusage_aggregates_thread_group(self, m):
+        def worker(ctx):
+            yield Compute(50_000_000)
+
+        seen = {}
+
+        def body(ctx):
+            tid = yield Syscall(
+                "clone_thread",
+                (GuestFunction("w", worker, Provenance.USER), ()))
+            yield Syscall("waitpid", (tid,))
+            seen["rusage"] = yield Syscall("getrusage")
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert seen["rusage"]["utime_ns"] > 0
+
+
+class TestOom:
+    def test_hog_is_killed_when_swap_exhausts(self):
+        cfg = default_config(memory=MemoryConfig(
+            ram_bytes=2 * 1024 * 1024, swap_bytes=1 * 1024 * 1024))
+        m = Machine(cfg)
+
+        def hog(ctx):
+            addr = yield Syscall("mmap", (2048,))  # 8 MiB >> RAM + swap
+            for page in range(2048):
+                yield Mem(addr + page * 4096, write=True)
+
+        task = spawn_fn(m, hog)
+        run_all(m, [task])
+        assert task.exit_signal == SIGKILL
+        assert m.kernel.mm.oom_kills >= 1
+
+    def test_oom_picks_biggest_not_requester(self):
+        cfg = default_config(memory=MemoryConfig(
+            ram_bytes=4 * 1024 * 1024, swap_bytes=1 * 1024 * 1024))
+        m = Machine(cfg)
+
+        def hog(ctx):
+            addr = yield Syscall("mmap", (4096,))
+            for page in range(4096):
+                yield Mem(addr + page * 4096, write=True)
+                yield Compute(1_000)
+
+        def small(ctx):
+            addr = yield Syscall("mmap", (4,))
+            for _ in range(2_000):
+                yield Mem(addr, write=True)
+                yield Compute(50_000)
+
+        hog_task = spawn_fn(m, hog, name="hog")
+        small_task = spawn_fn(m, small, name="small")
+        run_all(m, [small_task], max_s=120)
+        assert small_task.exit_signal is None
+        assert hog_task.exit_signal == SIGKILL
+
+
+class TestExitCleanup:
+    def test_children_reparented(self, m):
+        grandchild_pid = {}
+
+        def child(ctx):
+            pid = yield Syscall("fork", (None,))
+            grandchild_pid["pid"] = pid
+            # Exit without reaping the grandchild.
+            return 0
+
+        def body(ctx):
+            pid = yield Syscall(
+                "fork", (GuestFunction("c", child, Provenance.USER),))
+            yield Syscall("waitpid", (pid,))
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        orphan = m.kernel.task_by_pid(grandchild_pid["pid"])
+        assert orphan.parent is None
+
+    def test_exit_frees_memory(self, m):
+        def body(ctx):
+            addr = yield Syscall("mmap", (8,))
+            for i in range(8):
+                yield Mem(addr + i * 4096, write=True)
+
+        free_before = m.kernel.mm.phys.free_frames
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert m.kernel.mm.phys.free_frames == free_before
+        assert task.mm is None
+
+    def test_kill_terminates_target(self, m):
+        def victim(ctx):
+            yield Compute(10**12)  # would run a very long time
+
+        def killer(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+            yield Syscall("kill", (1, SIGKILL))
+
+        victim_task = spawn_fn(m, victim, name="victim")
+        killer_task = spawn_fn(m, killer, name="killer", uid=0)
+        run_all(m, [victim_task, killer_task])
+        assert victim_task.exit_signal == SIGKILL
+
+    def test_kill_requires_matching_uid(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Syscall("nanosleep", (50_000_000,))
+
+        def killer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            seen["r"] = yield Syscall("kill", (1, SIGKILL))
+
+        victim_task = spawn_fn(m, victim, name="victim", uid=1000)
+        killer_task = spawn_fn(m, killer, name="killer", uid=2000)
+        run_all(m, [victim_task, killer_task])
+        assert seen["r"] == -1  # EPERM
+        assert victim_task.exit_signal is None

@@ -1,0 +1,285 @@
+"""Dynamic linker, library registry, shell and execve tests."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.errors import FileNotFound, SimulationError
+from repro.kernel.loader import (
+    LibraryRegistry,
+    LinkMap,
+    SharedLibrary,
+    build_link_map,
+    parse_ld_preload,
+)
+from repro.programs.base import GuestContext, GuestFunction, Program
+from repro.programs.ops import CallLib, Compute, Provenance, Syscall
+from repro.programs.stdlib import install_standard_libraries, make_libc
+
+
+def _fn(name, cycles=10, result=None):
+    def body(ctx, *args):
+        yield Compute(cycles)
+        return result
+
+    return GuestFunction(name, body, Provenance.LIB)
+
+
+class TestRegistry:
+    def test_install_and_lookup(self):
+        registry = LibraryRegistry()
+        lib = SharedLibrary("libx")
+        registry.install(lib)
+        assert registry.lookup("libx") is lib
+        assert registry.has("libx")
+        assert len(registry) == 1
+
+    def test_duplicate_install_rejected(self):
+        registry = LibraryRegistry()
+        registry.install(SharedLibrary("libx"))
+        with pytest.raises(SimulationError):
+            registry.install(SharedLibrary("libx"))
+
+    def test_replace_models_overwrite(self):
+        registry = LibraryRegistry()
+        registry.install(SharedLibrary("libx", version="1"))
+        evil = SharedLibrary("libx", version="2")
+        registry.install(evil, replace=True)
+        assert registry.lookup("libx") is evil
+
+    def test_missing_library(self):
+        registry = LibraryRegistry()
+        with pytest.raises(FileNotFound):
+            registry.lookup("nope")
+
+    def test_remove(self):
+        registry = LibraryRegistry()
+        registry.install(SharedLibrary("libx"))
+        registry.remove("libx")
+        assert not registry.has("libx")
+
+
+class TestLdPreloadParsing:
+    @pytest.mark.parametrize("value,expected", [
+        ("liba", ["liba"]),
+        ("liba:libb", ["liba", "libb"]),
+        ("liba libb", ["liba", "libb"]),
+        ("liba:libb liba", ["liba", "libb"]),
+        ("", []),
+    ])
+    def test_parse(self, value, expected):
+        assert parse_ld_preload(value) == expected
+
+
+class TestLinkMap:
+    def _map(self):
+        a = SharedLibrary("liba", symbols={"f": _fn("a.f", result="a"),
+                                           "g": _fn("a.g", result="ga")})
+        b = SharedLibrary("libb", symbols={"f": _fn("b.f", result="b")})
+        return a, b, LinkMap([a, b])
+
+    def test_resolve_first_in_order(self):
+        a, b, lm = self._map()
+        lib, fn = lm.resolve("f")
+        assert lib is a
+
+    def test_resolve_falls_through(self):
+        a, b, lm = self._map()
+        lib, _fn_ = lm.resolve("g")
+        assert lib is a
+
+    def test_resolve_after_skips_interposer(self):
+        a, b, lm = self._map()
+        lib, _fn_ = lm.resolve_after("f", a)
+        assert lib is b
+
+    def test_undefined_symbol(self):
+        _a, _b, lm = self._map()
+        with pytest.raises(FileNotFound):
+            lm.resolve("nothing")
+        with pytest.raises(FileNotFound):
+            lm.resolve_after("g", _a)
+
+    def test_dlopen_append_order(self):
+        a, b, lm = self._map()
+        c = SharedLibrary("libc2", symbols={"f": _fn("c.f", result="c")})
+        lm.append(c)
+        lib, _fn_ = lm.resolve("f")
+        assert lib is a  # still first
+        lm.remove(a)
+        lib, _fn_ = lm.resolve("f")
+        assert lib is b
+
+    def test_build_link_map_preload_first(self):
+        registry = LibraryRegistry()
+        registry.install(make_libc())
+        evil = SharedLibrary("libevil", symbols={})
+        registry.install(evil)
+        program = Program("p", lambda ctx: iter(()), needed_libs=("libc",))
+        lm = build_link_map(program, {"LD_PRELOAD": "libevil"}, registry)
+        assert lm.libs[0] is evil
+
+    def test_digest_changes_with_symbols(self):
+        plain = SharedLibrary("libx", symbols={"f": _fn("f")})
+        patched = SharedLibrary("libx", symbols={"f": _fn("f", cycles=999)})
+        assert plain.text_digest() != patched.text_digest()
+
+    def test_digest_stable(self):
+        fn = _fn("f")
+        a = SharedLibrary("libx", symbols={"f": fn})
+        b = SharedLibrary("libx", symbols={"f": fn})
+        assert a.text_digest() == b.text_digest()
+
+
+class TestExecveAndShell:
+    @pytest.fixture
+    def m(self):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        return machine
+
+    def _program(self, record, needed=("libc",)):
+        def main(ctx):
+            yield Compute(1_000)
+            record["argv"] = ctx.argv
+            record["rusage"] = (yield Syscall("getrusage"))
+            return 0
+
+        return Program("demo", main, needed_libs=needed, argv=(1, "x"))
+
+    def test_shell_launch_runs_program(self, m):
+        record = {}
+        shell = m.new_shell()
+        task = shell.run_command(self._program(record))
+        m.run_until_exit([task], max_ns=10**10)
+        assert record["argv"] == (1, "x")
+        assert task.exit_code == 0
+        assert task.name == "demo"
+
+    def test_ctor_and_dtor_run(self, m):
+        order = []
+
+        def ctor(ctx):
+            order.append("ctor")
+            yield Compute(10)
+
+        def dtor(ctx):
+            order.append("dtor")
+            yield Compute(10)
+
+        lib = SharedLibrary("libhooked",
+                            constructor=GuestFunction("ctor", ctor,
+                                                      Provenance.LIB),
+                            destructor=GuestFunction("dtor", dtor,
+                                                     Provenance.LIB))
+        m.kernel.libraries.install(lib)
+        record = {}
+
+        def main(ctx):
+            order.append("main")
+            yield Compute(10)
+            return 0
+
+        program = Program("demo", main, needed_libs=("libc", "libhooked"))
+        shell = m.new_shell()
+        task = shell.run_command(program)
+        m.run_until_exit([task], max_ns=10**10)
+        assert order == ["ctor", "main", "dtor"]
+
+    def test_missing_library_kills_launch(self, m):
+        program = Program("demo", lambda ctx: iter(()),
+                          needed_libs=("libmissing",))
+        shell = m.new_shell()
+        task = shell.run_command(program)
+        with pytest.raises(FileNotFound):
+            m.run_until_exit([task], max_ns=10**10)
+
+    def test_call_lib_resolves_and_returns(self, m):
+        record = {}
+
+        def main(ctx):
+            record["sqrt"] = yield CallLib("sqrt", (4.0,))
+            return 0
+
+        program = Program("demo", main, needed_libs=("libc", "libm"))
+        shell = m.new_shell()
+        task = shell.run_command(program)
+        m.run_until_exit([task], max_ns=10**10)
+        assert record["sqrt"] == pytest.approx(2.0)
+
+    def test_undefined_symbol_kills_process(self, m):
+        def main(ctx):
+            yield CallLib("no_such_symbol")
+
+        program = Program("demo", main, needed_libs=("libc",))
+        shell = m.new_shell()
+        task = shell.run_command(program)
+        m.run_until_exit([task], max_ns=10**10)
+        assert task.exit_code == 127
+
+    def test_dlopen_dlclose(self, m):
+        ran = []
+
+        def extra_fn(ctx):
+            ran.append("fn")
+            yield Compute(10)
+            return 99
+
+        extra = SharedLibrary(
+            "libextra",
+            symbols={"extra": GuestFunction("extra", extra_fn,
+                                            Provenance.LIB)},
+            constructor=GuestFunction(
+                "ctor", lambda ctx: (yield Compute(5)), Provenance.LIB))
+        m.kernel.libraries.install(extra)
+        record = {}
+
+        def main(ctx):
+            handle = yield CallLib("dlopen", ("libextra",))
+            record["fn"] = yield CallLib("extra")
+            yield CallLib("dlclose", (handle,))
+            return 0
+
+        program = Program("demo", main, needed_libs=("libc",))
+        shell = m.new_shell()
+        task = shell.run_command(program)
+        m.run_until_exit([task], max_ns=10**10)
+        assert record["fn"] == 99
+
+    def test_launch_costs_billed_to_process(self, m):
+        """Paper §III-C: linking work is billed to the process account."""
+        record = {}
+        shell = m.new_shell()
+        task = shell.run_command(self._program(record))
+        m.run_until_exit([task], max_ns=10**10)
+        lib_ns = task.oracle_ns.get((True, Provenance.LIB), 0)
+        assert lib_ns > 0
+
+    def test_env_inherited_from_shell(self, m):
+        shell = m.new_shell(env={"LD_PRELOAD": ""})
+        shell.set_env("FOO", "bar")
+        record = {}
+        task = shell.run_command(self._program(record))
+        assert task.env["FOO"] == "bar"
+        m.run_until_exit([task], max_ns=10**10)
+
+    def test_shell_payload_hook_runs_before_main(self, m):
+        order = []
+
+        def payload(ctx):
+            order.append("payload")
+            yield Compute(10)
+
+        shell = m.new_shell()
+        shell.post_fork_payload = GuestFunction(
+            "inj", payload, Provenance.INJECTED)
+
+        def main(ctx):
+            order.append("main")
+            yield Compute(10)
+            return 0
+
+        task = shell.run_command(Program("demo", main,
+                                         needed_libs=("libc",)))
+        m.run_until_exit([task], max_ns=10**10)
+        assert order == ["payload", "main"]
+        assert shell.commands_run == 1

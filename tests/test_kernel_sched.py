@@ -1,0 +1,289 @@
+"""Unit tests for the schedulers (CFS, O(1), round-robin)."""
+
+import pytest
+
+from repro.config import SchedulerConfig, default_config
+from repro.errors import ConfigError, SimulationError
+from repro.kernel.process import Task
+from repro.kernel.sched import (
+    CfsScheduler,
+    NICE_TO_WEIGHT,
+    O1Scheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+def make_task(pid, nice=0):
+    return Task(pid, f"t{pid}", nice=nice)
+
+
+@pytest.fixture
+def cfs():
+    return CfsScheduler(SchedulerConfig())
+
+
+@pytest.fixture
+def o1():
+    sched = O1Scheduler(SchedulerConfig())
+    sched.set_jiffy_ns(4_000_000)
+    return sched
+
+
+@pytest.fixture
+def rr():
+    return RoundRobinScheduler(SchedulerConfig())
+
+
+class TestWeightTable:
+    def test_nice0_weight(self):
+        assert NICE_TO_WEIGHT[0] == 1024
+
+    def test_full_range(self):
+        assert set(NICE_TO_WEIGHT) == set(range(-20, 20))
+
+    def test_monotonic(self):
+        weights = [NICE_TO_WEIGHT[n] for n in range(-20, 20)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_linux_extremes(self):
+        assert NICE_TO_WEIGHT[-20] == 88761
+        assert NICE_TO_WEIGHT[19] == 15
+
+
+class TestCfsBasics:
+    def test_pick_min_vruntime(self, cfs):
+        a, b = make_task(1), make_task(2)
+        a.vruntime, b.vruntime = 100, 50
+        cfs.enqueue(a)
+        cfs.enqueue(b)
+        assert cfs.pick_next() is b
+        assert cfs.pick_next() is a
+        assert cfs.pick_next() is None
+
+    def test_fifo_tiebreak(self, cfs):
+        a, b = make_task(1), make_task(2)
+        cfs.enqueue(a)
+        cfs.enqueue(b)
+        assert cfs.pick_next() is a
+
+    def test_double_enqueue_rejected(self, cfs):
+        a = make_task(1)
+        cfs.enqueue(a)
+        with pytest.raises(SimulationError):
+            cfs.enqueue(a)
+
+    def test_dequeue_unqueued_rejected(self, cfs):
+        with pytest.raises(SimulationError):
+            cfs.dequeue(make_task(1))
+
+    def test_nr_runnable(self, cfs):
+        a, b = make_task(1), make_task(2)
+        cfs.enqueue(a)
+        cfs.enqueue(b)
+        assert cfs.nr_runnable == 2
+        cfs.dequeue(a)
+        assert cfs.nr_runnable == 1
+
+    def test_update_curr_weights_vruntime(self, cfs):
+        heavy = make_task(1, nice=-20)
+        light = make_task(2, nice=0)
+        cfs.update_curr(heavy, 88761)
+        cfs.update_curr(light, 1024)
+        # Equal weighted progress: 88761ns/88761w == 1024ns/1024w.
+        assert heavy.vruntime == light.vruntime == 1024
+
+    def test_peek_min_does_not_pop(self, cfs):
+        a = make_task(1)
+        cfs.enqueue(a)
+        assert cfs.peek_min() is a
+        assert cfs.nr_runnable == 1
+
+
+class TestCfsMinVruntime:
+    def test_advances_with_min_of_curr_and_leftmost(self, cfs):
+        """The 2.6.29 semantics the scheduling attack depends on."""
+        queued = make_task(1)
+        queued.vruntime = 1_000
+        cfs.enqueue(queued)
+        current = make_task(2)
+        current.vruntime = 0
+        cfs.update_curr(current, 500)  # curr at 500 < leftmost 1000
+        assert cfs.min_vruntime == 500
+
+    def test_monotone(self, cfs):
+        current = make_task(1)
+        cfs.update_curr(current, 1_000)
+        before = cfs.min_vruntime
+        slow = make_task(2)
+        slow.vruntime = 0
+        cfs.update_curr(slow, 1)
+        assert cfs.min_vruntime >= before
+
+
+class TestCfsFork:
+    def test_child_runs_first_swap(self, cfs):
+        """START_DEBIT lands on the parent via the vruntime swap."""
+        parent = make_task(1)
+        parent.vruntime = 1_000
+        cfs.min_vruntime = 1_000
+        child = make_task(2)
+        cfs.on_fork(parent, child)
+        assert child.vruntime == 1_000
+        assert parent.vruntime > 1_000
+
+    def test_debit_scales_inversely_with_weight(self, cfs):
+        parent_hi = make_task(1, nice=-20)
+        child_hi = make_task(2, nice=-20)
+        cfs.on_fork(parent_hi, child_hi)
+        debit_hi = parent_hi.vruntime
+
+        cfs2 = CfsScheduler(SchedulerConfig())
+        parent_lo = make_task(3, nice=0)
+        child_lo = make_task(4, nice=0)
+        cfs2.on_fork(parent_lo, child_lo)
+        debit_lo = parent_lo.vruntime
+        # Higher attacker priority -> smaller debit -> faster fork chain
+        # (the engine of Fig. 7's monotonicity).
+        assert debit_hi < debit_lo
+
+
+class TestCfsSleeperFairness:
+    def test_wakeup_credit_bounded(self, cfs):
+        cfs.min_vruntime = 100_000_000
+        sleeper = make_task(1)
+        sleeper.vruntime = 0
+        cfs.enqueue(sleeper, wakeup=True)
+        thresh = SchedulerConfig().sched_latency_ns // 2
+        assert sleeper.vruntime == 100_000_000 - thresh
+
+    def test_no_free_credit_for_short_sleep(self, cfs):
+        cfs.min_vruntime = 1_000
+        recent = make_task(1)
+        recent.vruntime = 900
+        cfs.enqueue(recent, wakeup=True)
+        assert recent.vruntime == 900  # max(own, min - thresh)
+
+
+class TestCfsPreemption:
+    def test_tick_preempts_after_slice(self, cfs):
+        current = make_task(1)
+        other = make_task(2)
+        cfs.enqueue(other)
+        current.ran_since_pick = 0
+        assert not cfs.task_tick(current)
+        current.ran_since_pick = SchedulerConfig().sched_latency_ns
+        assert cfs.task_tick(current)
+
+    def test_wakeup_preemption_granularity(self, cfs):
+        current, woken = make_task(1), make_task(2)
+        gran = SchedulerConfig().wakeup_granularity_ns
+        current.vruntime = gran  # exactly at the threshold: no preempt
+        woken.vruntime = 0
+        assert not cfs.check_preempt_wakeup(current, woken)
+        current.vruntime = gran + 1
+        assert cfs.check_preempt_wakeup(current, woken)
+
+    def test_nice_change_updates_weight_sum(self, cfs):
+        a, b = make_task(1, nice=0), make_task(2, nice=0)
+        cfs.enqueue(a)
+        cfs.enqueue(b)
+        a.nice = -20
+        cfs.on_nice_change(a)
+        # The heavy task now deserves most of the period.
+        slice_b = cfs._sched_slice(b)
+        slice_a = cfs._sched_slice(a)
+        assert slice_a > slice_b
+
+
+class TestO1:
+    def test_priority_order(self, o1):
+        low = make_task(1, nice=10)
+        high = make_task(2, nice=-10)
+        o1.enqueue(low)
+        o1.enqueue(high)
+        assert o1.pick_next() is high
+
+    def test_timeslice_scaling(self, o1):
+        assert o1.timeslice_for(make_task(1, nice=0)) == 100_000_000
+        assert o1.timeslice_for(make_task(2, nice=-20)) == 200_000_000
+        assert o1.timeslice_for(make_task(3, nice=19)) == 5_000_000
+
+    def test_epoch_swap(self, o1):
+        a = make_task(1)
+        o1.enqueue(a)
+        task = o1.pick_next()
+        task.timeslice_ns = 0
+        o1.put_prev(task)  # expired
+        assert o1.nr_runnable == 1
+        assert o1.pick_next() is a  # arrays swapped
+
+    def test_tick_decrements_slice(self, o1):
+        a = make_task(1, nice=19)  # 5 ms slice
+        a.timeslice_ns = o1.timeslice_for(a)
+        assert not o1.task_tick(a)  # 5ms - 4ms = 1ms left
+        assert o1.task_tick(a)      # exhausted
+
+    def test_wakeup_preempt_by_prio(self, o1):
+        cur = make_task(1, nice=0)
+        woken = make_task(2, nice=-5)
+        assert o1.check_preempt_wakeup(cur, woken)
+        assert not o1.check_preempt_wakeup(woken, cur)
+
+    def test_fork_splits_timeslice(self, o1):
+        parent, child = make_task(1), make_task(2)
+        parent.timeslice_ns = 100
+        o1.on_fork(parent, child)
+        assert parent.timeslice_ns == 50
+        assert child.timeslice_ns == 50
+
+    def test_nice_change_requeues(self, o1):
+        a, b = make_task(1, nice=0), make_task(2, nice=5)
+        o1.enqueue(a)
+        o1.enqueue(b)
+        b.nice = -10
+        o1.on_nice_change(b)
+        assert o1.pick_next() is b
+
+    def test_dequeue_missing_rejected(self, o1):
+        with pytest.raises(SimulationError):
+            o1.dequeue(make_task(9))
+
+
+class TestRoundRobin:
+    def test_fifo(self, rr):
+        a, b = make_task(1), make_task(2)
+        rr.enqueue(a)
+        rr.enqueue(b)
+        assert rr.pick_next() is a
+        rr.put_prev(a)
+        assert rr.pick_next() is b
+
+    def test_timeslice_exhaustion(self, rr):
+        a = make_task(1)
+        rr.enqueue(a)
+        task = rr.pick_next()
+        rr.update_curr(task, SchedulerConfig().base_timeslice_ns)
+        assert rr.task_tick(task)
+
+    def test_no_wakeup_preemption(self, rr):
+        assert not rr.check_preempt_wakeup(make_task(1), make_task(2))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("cfs", CfsScheduler),
+        ("o1", O1Scheduler),
+        ("rr", RoundRobinScheduler),
+    ])
+    def test_kinds(self, kind, cls):
+        from repro.config import SchedulerConfig as SC
+
+        cfg = default_config(scheduler=SC(kind=kind))
+        assert isinstance(make_scheduler(cfg), cls)
+
+    def test_invalid_kind(self):
+        from repro.config import SchedulerConfig as SC
+
+        with pytest.raises(ConfigError):
+            default_config(scheduler=SC(kind="magic"))

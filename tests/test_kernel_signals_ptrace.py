@@ -1,0 +1,260 @@
+"""Signal semantics and ptrace tests."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.hw.cpu import Watchpoint
+from repro.kernel.process import TaskState
+from repro.kernel.signals import (
+    SIGCHLD,
+    SIGCONT,
+    SIGKILL,
+    SIGSTOP,
+    SIGTERM,
+    SIGTRAP,
+    SignalAction,
+    default_action,
+    signal_name,
+)
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+
+from .guest_helpers import run_all, spawn_fn
+
+
+@pytest.fixture
+def m():
+    return Machine(default_config())
+
+
+class TestDefaultActions:
+    def test_kill_always_terminates(self):
+        assert default_action(SIGKILL, traced=False) is SignalAction.TERMINATE
+        assert default_action(SIGKILL, traced=True) is SignalAction.TERMINATE
+
+    def test_stop_continue(self):
+        assert default_action(SIGSTOP, traced=False) is SignalAction.STOP
+        assert default_action(SIGCONT, traced=False) is SignalAction.CONTINUE
+
+    def test_chld_ignored(self):
+        assert default_action(SIGCHLD, traced=False) is SignalAction.IGNORE
+
+    def test_traced_signals_trap(self):
+        assert default_action(SIGTERM, traced=True) is SignalAction.TRAP
+        assert default_action(SIGSTOP, traced=True) is SignalAction.TRAP
+
+    def test_names(self):
+        assert signal_name(SIGKILL) == "SIGKILL"
+        assert signal_name(250) == "SIG250"
+
+
+class TestStopContinue:
+    def test_stop_then_continue(self, m):
+        def victim(ctx):
+            yield Compute(500_000_000)  # ~200 ms
+
+        def controller(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+            yield Syscall("kill", (1, SIGSTOP))
+            yield Syscall("nanosleep", (20_000_000,))
+            victim_task = m.kernel.task_by_pid(1)
+            assert victim_task.state is TaskState.STOPPED
+            yield Syscall("kill", (1, SIGCONT))
+
+        v = spawn_fn(m, victim, name="victim", uid=0)
+        c = spawn_fn(m, controller, name="ctl", uid=0)
+        run_all(m, [v, c])
+        assert v.exit_code == 0
+        assert v.exit_signal is None
+
+    def test_stopped_task_consumes_no_cpu(self, m):
+        def victim(ctx):
+            yield Compute(500_000_000)
+
+        def controller(ctx):
+            yield Syscall("nanosleep", (5_000_000,))
+            yield Syscall("kill", (1, SIGSTOP))
+            yield Syscall("nanosleep", (40_000_000,))
+            before = sum(m.kernel.task_by_pid(1).oracle_ns.values())
+            yield Syscall("nanosleep", (40_000_000,))
+            after = sum(m.kernel.task_by_pid(1).oracle_ns.values())
+            assert after == before
+            yield Syscall("kill", (1, SIGCONT))
+
+        v = spawn_fn(m, victim, name="victim", uid=0)
+        c = spawn_fn(m, controller, name="ctl", uid=0)
+        run_all(m, [v, c])
+
+    def test_wake_while_stopped_is_remembered(self, m):
+        """A sleeping task stopped then continued must still get its
+        sleep-expiry wake."""
+        def victim(ctx):
+            yield Syscall("nanosleep", (10_000_000,))
+            return 42
+
+        def controller(ctx):
+            yield Syscall("nanosleep", (2_000_000,))
+            yield Syscall("kill", (1, SIGSTOP))
+            # Victim's sleep expires at 10 ms while it is stopped.
+            yield Syscall("nanosleep", (20_000_000,))
+            yield Syscall("kill", (1, SIGCONT))
+
+        v = spawn_fn(m, victim, name="victim", uid=0)
+        c = spawn_fn(m, controller, name="ctl", uid=0)
+        run_all(m, [v, c])
+        assert v.exit_code == 42
+
+
+class TestPtraceApi:
+    def _trace_pair(self, m, victim_body, tracer_body, uid=0):
+        v = spawn_fn(m, victim_body, name="victim")
+        t = spawn_fn(m, tracer_body, name="tracer", uid=uid)
+        return v, t
+
+    def test_attach_stops_and_reports(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Compute(300_000_000)
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            seen["attach"] = yield Syscall("ptrace", ("attach", 1))
+            seen["wait"] = yield Syscall("waitpid", (1,))
+            seen["cont"] = yield Syscall("ptrace", ("cont", 1))
+            yield Syscall("ptrace", ("detach", 1))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [v, t])
+        assert seen["attach"] == 0
+        assert seen["wait"][1][0] == "stopped"
+        assert seen["cont"] == 0
+        assert v.exit_code == 0
+
+    def test_attach_requires_privilege(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Syscall("nanosleep", (20_000_000,))
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            seen["attach"] = yield Syscall("ptrace", ("attach", 1))
+
+        m.kernel.policy_allow_user_ptrace = False
+        v, t = self._trace_pair(m, victim, tracer, uid=2000)
+        run_all(m, [v, t])
+        assert seen["attach"] == -1  # EPERM
+
+    def test_same_uid_allowed_when_policy_permits(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Syscall("nanosleep", (20_000_000,))
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            seen["attach"] = yield Syscall("ptrace", ("attach", 1))
+            if seen["attach"] == 0:
+                yield Syscall("waitpid", (1,))
+                yield Syscall("ptrace", ("detach", 1))
+
+        v = spawn_fn(m, victim, name="victim", uid=1000)
+        t = spawn_fn(m, tracer, name="tracer", uid=1000)
+        run_all(m, [v, t])
+        assert seen["attach"] == 0
+
+    def test_cont_requires_stopped_target(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Syscall("nanosleep", (20_000_000,))
+
+        def tracer(ctx):
+            seen["r"] = yield Syscall("ptrace", ("cont", 1))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [t])
+        assert seen["r"] == -1  # not traced by caller
+
+    def test_double_attach_rejected(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Syscall("nanosleep", (50_000_000,))
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("waitpid", (1,))
+            seen["second"] = yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("ptrace", ("detach", 1))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [v, t])
+        assert seen["second"] == -1  # EPERM: already traced
+
+    def test_pokeuser_sets_watchpoint(self, m):
+        seen = {}
+
+        def victim(ctx):
+            addr = yield Syscall("mmap", (1,))
+            ctx.shared["addr"] = addr
+            yield Syscall("nanosleep", (10_000_000,))
+            yield Mem(addr, write=True)
+            yield Compute(1_000)
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (2_000_000,))
+            yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("waitpid", (1,))
+            victim_task = m.kernel.task_by_pid(1)
+            addr = victim_task.guest_ctx.shared["addr"]
+            seen["poke"] = yield Syscall(
+                "ptrace", ("pokeuser_dr", 1, 0, Watchpoint(addr, 8)))
+            seen["peek"] = yield Syscall("ptrace", ("peekuser_dr", 1, 0))
+            yield Syscall("ptrace", ("cont", 1))
+            result = yield Syscall("waitpid", (1,))
+            seen["trap"] = result
+            yield Syscall("ptrace", ("cont", 1))
+            yield Syscall("waitpid", (1,))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [v])
+        assert seen["poke"] == 0
+        assert isinstance(seen["peek"], Watchpoint)
+        assert seen["trap"][1] == ("stopped", SIGTRAP)
+        assert v.debug_exceptions == 1
+
+    def test_tracee_exit_wakes_tracer(self, m):
+        seen = {}
+
+        def victim(ctx):
+            yield Compute(10_000_000)
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("waitpid", (1,))
+            yield Syscall("ptrace", ("cont", 1))
+            # Victim runs to completion; the blocked wait must return.
+            seen["r"] = yield Syscall("waitpid", (1,))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [v, t])
+        assert isinstance(seen["r"], int) and seen["r"] < 0  # ECHILD
+
+    def test_detach_resumes_stopped_tracee(self, m):
+        def victim(ctx):
+            yield Compute(50_000_000)
+
+        def tracer(ctx):
+            yield Syscall("nanosleep", (1_000_000,))
+            yield Syscall("ptrace", ("attach", 1))
+            yield Syscall("waitpid", (1,))
+            yield Syscall("ptrace", ("detach", 1))
+
+        v, t = self._trace_pair(m, victim, tracer)
+        run_all(m, [v, t])
+        assert v.exit_code == 0
+        assert v.tracer is None

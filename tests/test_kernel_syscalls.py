@@ -1,0 +1,248 @@
+"""Edge-case tests for the syscall layer."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.kernel.mm.vm import HEAP_BASE, MMAP_LIMIT
+from repro.programs.base import GuestFunction, Program
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+from repro.programs.stdlib import install_standard_libraries
+
+from .guest_helpers import run_all, spawn_fn
+
+
+@pytest.fixture
+def m():
+    return Machine(default_config())
+
+
+def run_body(m, body, uid=1000, nice=0):
+    seen = {}
+
+    def wrapper(ctx):
+        result = yield from body(ctx)
+        seen["result"] = result
+        return 0
+
+    task = spawn_fn(m, wrapper, uid=uid, nice=nice)
+    run_all(m, [task])
+    return seen.get("result"), task
+
+
+class TestMemorySyscalls:
+    def test_brk_query(self, m):
+        def body(ctx):
+            return (yield Syscall("brk", (0,)))
+
+        result, _ = run_body(m, body)
+        assert result == HEAP_BASE
+
+    def test_brk_negative_einval(self, m):
+        def body(ctx):
+            return (yield Syscall("brk", (-10,)))
+
+        result, _ = run_body(m, body)
+        assert result == -22
+
+    def test_mmap_zero_einval(self, m):
+        def body(ctx):
+            return (yield Syscall("mmap", (0,)))
+
+        result, _ = run_body(m, body)
+        assert result == -22
+
+    def test_mmap_address_space_exhaustion(self, m):
+        def body(ctx):
+            huge = (MMAP_LIMIT - 0x4000_0000) // 4096 + 1
+            return (yield Syscall("mmap", (huge,)))
+
+        result, _ = run_body(m, body)
+        assert result == -12  # ENOMEM
+
+    def test_munmap_unknown_einval(self, m):
+        def body(ctx):
+            return (yield Syscall("munmap", (0xDEAD000,)))
+
+        result, _ = run_body(m, body)
+        assert result == -22
+
+    def test_munmap_releases_then_segv_on_touch(self, m):
+        def body(ctx):
+            addr = yield Syscall("mmap", (1,))
+            yield Mem(addr, write=True)
+            yield Syscall("munmap", (addr,))
+            yield Mem(addr, write=True)  # use-after-unmap
+            return 0
+
+        _result, task = run_body(m, body)
+        from repro.kernel.signals import SIGSEGV
+
+        assert task.exit_signal == SIGSEGV
+
+
+class TestPrioritySyscalls:
+    def test_getpriority_self(self, m):
+        def body(ctx):
+            return (yield Syscall("getpriority", ()))
+
+        result, _ = run_body(m, body, nice=5)
+        assert result == 5
+
+    def test_setpriority_raise_nice_allowed(self, m):
+        """Lowering priority (raising nice) never needs privilege."""
+
+        def body(ctx):
+            return (yield Syscall("setpriority", (10,)))
+
+        result, task = run_body(m, body, uid=1000)
+        assert result == 0
+        assert task.nice == 10
+
+    def test_setpriority_out_of_range(self, m):
+        def body(ctx):
+            return (yield Syscall("setpriority", (-21,)))
+
+        result, _ = run_body(m, body, uid=0)
+        assert result == -22
+
+    def test_setpriority_other_process_requires_uid_match(self, m):
+        def sleeper(ctx):
+            yield Syscall("nanosleep", (50_000_000,))
+
+        target = spawn_fn(m, sleeper, name="target", uid=1000)
+
+        def body(ctx):
+            return (yield Syscall("setpriority", (5, target.pid)))
+
+        result, _ = run_body(m, body, uid=2000)
+        assert result == -1  # EPERM
+
+    def test_root_renices_anyone(self, m):
+        def sleeper(ctx):
+            yield Syscall("nanosleep", (50_000_000,))
+
+        target = spawn_fn(m, sleeper, name="target", uid=1000)
+
+        def body(ctx):
+            return (yield Syscall("setpriority", (-15, target.pid)))
+
+        result, _ = run_body(m, body, uid=0)
+        assert result == 0
+        assert target.nice == -15
+
+    def test_setpriority_missing_pid(self, m):
+        def body(ctx):
+            return (yield Syscall("setpriority", (0, 9999)))
+
+        result, _ = run_body(m, body, uid=0)
+        assert result == -3  # ESRCH
+
+
+class TestIntrospectionSyscalls:
+    def test_proc_stat_self(self, m):
+        def body(ctx):
+            yield Compute(10_000_000)
+            return (yield Syscall("proc_stat", ()))
+
+        result, task = run_body(m, body)
+        assert result["pid"] == task.pid
+        assert result["state"] == "running"
+
+    def test_proc_stat_other(self, m):
+        def sleeper(ctx):
+            yield Syscall("nanosleep", (80_000_000,))
+
+        target = spawn_fn(m, sleeper, name="tgt")
+
+        def body(ctx):
+            yield Syscall("nanosleep", (10_000_000,))
+            return (yield Syscall("proc_stat", (target.pid,)))
+
+        result, _ = run_body(m, body)
+        assert result["name"] == "tgt"
+        assert result["state"] == "waiting"
+
+    def test_proc_threads_missing(self, m):
+        def body(ctx):
+            return (yield Syscall("proc_threads", (9999,)))
+
+        result, _ = run_body(m, body)
+        assert result == -3
+
+    def test_getrusage_children_fields(self, m):
+        def body(ctx):
+            pid = yield Syscall("fork", (None,))
+            yield Syscall("waitpid", (pid,))
+            return (yield Syscall("getrusage"))
+
+        result, _ = run_body(m, body)
+        assert "cutime_ns" in result and "cstime_ns" in result
+
+    def test_sched_yield_returns_zero(self, m):
+        def body(ctx):
+            return (yield Syscall("sched_yield", ()))
+
+        result, _ = run_body(m, body)
+        assert result == 0
+
+    def test_dl_load_missing_library(self, m):
+        install_standard_libraries(m.kernel.libraries)
+
+        def body(ctx):
+            return (yield Syscall("_dl_load", ("libnothere",)))
+
+        result, _ = run_body(m, body)
+        assert result == -2  # ENOENT
+
+    def test_nanosleep_negative_einval(self, m):
+        def body(ctx):
+            return (yield Syscall("nanosleep", (-5,)))
+
+        result, _ = run_body(m, body)
+        assert result == -22
+
+
+class TestExecveReplacesImage:
+    def test_program_can_reexec_itself(self, m):
+        install_standard_libraries(m.kernel.libraries)
+        record = {"runs": 0}
+
+        def second_main(ctx):
+            record["runs"] += 1
+            yield Compute(1_000)
+            return 0
+
+        second = Program("second", second_main, needed_libs=("libc",))
+
+        def first_main(ctx):
+            yield Compute(1_000)
+            yield Syscall("execve", (second,))
+            raise AssertionError("unreachable after execve")
+
+        first = Program("first", first_main, needed_libs=("libc",))
+        shell = m.new_shell()
+        task = shell.run_command(first)
+        m.run_until_exit([task], max_ns=10**10)
+        assert record["runs"] == 1
+        assert task.name == "second"
+        assert task.exit_code == 0
+
+    def test_execve_resets_address_space(self, m):
+        install_standard_libraries(m.kernel.libraries)
+        captured = {}
+
+        def second_main(ctx):
+            captured["brk"] = yield Syscall("brk", (0,))
+            return 0
+
+        second = Program("second", second_main, needed_libs=("libc",))
+
+        def first_main(ctx):
+            yield Syscall("brk", (1024 * 1024,))
+            yield Syscall("execve", (second,))
+
+        first = Program("first", first_main, needed_libs=("libc",))
+        shell = m.new_shell()
+        task = shell.run_command(first)
+        m.run_until_exit([task], max_ns=10**10)
+        assert captured["brk"] == HEAP_BASE  # fresh heap after exec

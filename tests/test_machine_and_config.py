@@ -1,0 +1,191 @@
+"""Machine main-loop and configuration tests."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.config import (
+    CostModel,
+    DiskConfig,
+    MachineConfig,
+    MemoryConfig,
+    SchedulerConfig,
+)
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.programs.ops import Compute, Syscall
+
+from .guest_helpers import run_all, spawn_fn
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        default_config().validate()
+
+    def test_paper_testbed_defaults(self):
+        cfg = default_config()
+        assert cfg.cpu_freq_hz == 2_530_000_000
+        assert cfg.hz == 250
+        assert cfg.tick_ns == 4_000_000
+        assert cfg.accounting == "tick"
+        assert cfg.scheduler.kind == "cfs"
+
+    @pytest.mark.parametrize("field,value", [
+        ("cpu_freq_hz", 0),
+        ("hz", 5),
+        ("hz", 20_000),
+        ("accounting", "bogus"),
+        ("charge_switch_to", "nobody"),
+        ("max_time_ns", 0),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            default_config(**{field: value})
+
+    def test_cost_model_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            default_config(costs=CostModel(fork_cycles=-1))
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(page_size=1000).validate()
+        with pytest.raises(ConfigError):
+            MemoryConfig(ram_bytes=1024).validate()
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(kind="nope").validate()
+        with pytest.raises(ConfigError):
+            SchedulerConfig(min_granularity_ns=0).validate()
+
+    def test_disk_validation(self):
+        with pytest.raises(ConfigError):
+            DiskConfig(base_latency_ns=-1).validate()
+
+    def test_with_override(self):
+        cfg = default_config().with_(hz=1000)
+        assert cfg.hz == 1000
+        assert cfg.tick_ns == 1_000_000
+
+    def test_configs_frozen(self):
+        cfg = default_config()
+        with pytest.raises(AttributeError):
+            cfg.hz = 100
+
+
+class TestMachineLoop:
+    def test_run_for_advances_clock(self):
+        m = Machine(default_config())
+        m.run_for(10_000_000)
+        assert m.clock.now >= 10_000_000
+
+    def test_idle_machine_ticks(self):
+        m = Machine(default_config())
+        m.run_for(40_000_000)
+        assert m.kernel.timekeeper.ticks_idle >= 9
+
+    def test_run_until_predicate(self):
+        m = Machine(default_config())
+        m.run_until(lambda: m.clock.now >= 8_000_000, max_ns=10**9)
+        assert m.clock.now >= 8_000_000
+
+    def test_run_until_deadline_raises(self):
+        m = Machine(default_config())
+        with pytest.raises(SimulationError):
+            m.run_until(lambda: False, max_ns=10_000_000)
+
+    def test_run_until_exit(self):
+        m = Machine(default_config())
+
+        def body(ctx):
+            yield Compute(1_000)
+
+        task = spawn_fn(m, body)
+        m.run_until_exit([task], max_ns=10**9)
+        assert not task.alive
+
+    def test_max_time_safety_net(self):
+        cfg = default_config(max_time_ns=5_000_000)
+        m = Machine(cfg)
+        with pytest.raises(SimulationError):
+            m.run_for(10_000_000)
+
+    def test_two_tasks_share_cpu(self):
+        m = Machine(default_config())
+
+        def body(ctx):
+            yield Compute(100_000_000)  # ~40 ms each
+
+        a = spawn_fn(m, body, name="a")
+        b = spawn_fn(m, body, name="b")
+        run_all(m, [a, b])
+        ta = sum(a.oracle_ns.values())
+        tb = sum(b.oracle_ns.values())
+        assert ta == pytest.approx(tb, rel=0.05)
+        assert m.kernel.context_switches >= 2
+
+    def test_determinism_across_machines(self):
+        def run():
+            m = Machine(default_config())
+
+            def body(ctx):
+                yield Compute(50_000_000)
+                yield Syscall("nanosleep", (1_000_000,))
+                yield Compute(50_000_000)
+
+            task = spawn_fn(m, body)
+            run_all(m, [task])
+            return m.clock.now, task.acct_ticks
+
+        assert run() == run()
+
+    def test_trace_categories_forwarded(self):
+        m = Machine(default_config(), trace=["task"])
+
+        def body(ctx):
+            yield Compute(1_000)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        assert any(r.category == "task" for r in m.trace_log.records())
+
+
+class TestChargeSwitchPolicy:
+    @pytest.mark.parametrize("policy", ["prev", "next"])
+    def test_both_policies_run(self, policy):
+        cfg = default_config(charge_switch_to=policy)
+        m = Machine(cfg)
+
+        def body(ctx):
+            yield Compute(30_000_000)
+
+        a = spawn_fn(m, body, name="a")
+        b = spawn_fn(m, body, name="b")
+        run_all(m, [a, b])
+        assert not a.alive and not b.alive
+
+
+class TestHzSweep:
+    @pytest.mark.parametrize("hz", [100, 250, 1000])
+    def test_tick_count_matches_hz(self, hz):
+        cfg = default_config(hz=hz)
+        m = Machine(cfg)
+
+        def body(ctx):
+            yield Compute(m.cfg.cpu_freq_hz // 10)  # 100 ms
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        expected = hz // 10
+        assert task.acct_ticks == pytest.approx(expected, abs=2)
+
+    @pytest.mark.parametrize("hz", [100, 1000])
+    def test_billed_time_hz_independent_for_solo_task(self, hz):
+        cfg = default_config(hz=hz)
+        m = Machine(cfg)
+
+        def body(ctx):
+            yield Compute(m.cfg.cpu_freq_hz // 10)
+
+        task = spawn_fn(m, body)
+        run_all(m, [task])
+        usage = m.kernel.accounting.usage(task)
+        assert usage.total_seconds == pytest.approx(0.1, abs=0.015)

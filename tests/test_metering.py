@@ -1,0 +1,272 @@
+"""Tests for the metering package: oracle, billing, verification,
+attestation, execution integrity, property coverage."""
+
+import pytest
+
+from repro.analysis.experiment import run_experiment
+from repro.attacks import (
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from repro.config import default_config
+from repro.hw.machine import Machine
+from repro.kernel.accounting import CpuUsage
+from repro.metering.attestation import (
+    AttestationError,
+    MeasurementLog,
+    TrustedPlatformModule,
+    compare_to_golden,
+    measure_platform,
+    verify_quote,
+)
+from repro.metering.billing import (
+    PER_HOUR_PLAN,
+    PER_SECOND_PLAN,
+    PricePlan,
+    invoice_for,
+)
+from repro.metering.integrity import ExecutionIntegrityMonitor
+from repro.metering.oracle import oracle_report
+from repro.metering.properties import (
+    DEFENSE_COVERAGE,
+    covering_properties,
+    defense_coverage_table,
+    uncovered_attacks,
+)
+from repro.metering.verification import BillVerifier, VerificationOutcome
+from repro.programs.stdlib import install_standard_libraries
+from repro.programs.workloads import make_ourprogram
+
+PAYLOAD = 253_000_000  # 0.1 s
+
+
+def small_o(iterations=300):
+    return make_ourprogram(iterations=iterations)
+
+
+class TestOracle:
+    def _machine_run(self, attack=None):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        if attack:
+            attack.install(machine, shell)
+        task = shell.run_command(small_o())
+        if attack:
+            attack.engage(machine, task)
+        machine.run_until_exit([task], max_ns=10**11)
+        return machine, task
+
+    def test_clean_run_has_no_attack_time(self):
+        machine, task = self._machine_run()
+        report = oracle_report(machine, task)
+        assert report.attack_s == 0.0
+        assert report.honest_s > 0.0
+
+    def test_injected_time_reported(self):
+        machine, task = self._machine_run(ShellAttack(PAYLOAD))
+        report = oracle_report(machine, task)
+        assert report.attack_s == pytest.approx(0.1, abs=0.002)
+
+    def test_overcharge_matches_injection(self):
+        machine, task = self._machine_run(ShellAttack(PAYLOAD))
+        report = oracle_report(machine, task)
+        assert report.overcharge_s == pytest.approx(0.1, abs=0.02)
+        assert report.overcharge_fraction > 0.5
+
+    def test_mode_split_consistent(self):
+        machine, task = self._machine_run()
+        report = oracle_report(machine, task)
+        assert (report.user_mode_s + report.kernel_mode_s
+                == pytest.approx(report.total_s))
+
+
+class TestBilling:
+    def test_per_second_pro_rata(self):
+        plan = PER_SECOND_PLAN
+        assert plan.cost_microdollars(10**9) == 28
+        assert plan.cost_microdollars(5 * 10**8) == 14
+        assert plan.cost_microdollars(0) == 0
+
+    def test_per_hour_rounds_up(self):
+        plan = PER_HOUR_PLAN
+        one_second = 10**9
+        assert plan.cost_microdollars(one_second) == 100_000
+        assert plan.cost_microdollars(3601 * 10**9) == 200_000
+
+    def test_negative_time_free(self):
+        assert PER_SECOND_PLAN.cost_microdollars(-5) == 0
+
+    def test_plan_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PricePlan("bad", 1, 0)
+        with pytest.raises(ConfigError):
+            PricePlan("bad", -1, 1)
+
+    def test_invoice_renders(self):
+        invoice = invoice_for("job", CpuUsage(10**9, 5 * 10**8))
+        text = invoice.render()
+        assert "job" in text and "1.500" in text
+        assert invoice.amount_dollars > 0
+
+    def test_inflated_usage_costs_more(self):
+        honest = invoice_for("j", CpuUsage(10**9, 0))
+        inflated = invoice_for("j", CpuUsage(2 * 10**9, 0))
+        assert inflated.amount_microdollars == 2 * honest.amount_microdollars
+
+
+class TestVerification:
+    def test_honest_bill_consistent(self):
+        verifier = BillVerifier()
+        honest = run_experiment(small_o())
+        report = verifier.verify(small_o(), honest.usage)
+        assert report.outcome is VerificationOutcome.CONSISTENT
+
+    def test_inflated_bill_flagged(self):
+        verifier = BillVerifier()
+        attacked = run_experiment(small_o(), ShellAttack(PAYLOAD))
+        report = verifier.verify(small_o(), attacked.usage)
+        assert report.outcome is VerificationOutcome.OVERCHARGED
+        assert report.discrepancy_s > 0.05
+
+    def test_undercharge_detected(self):
+        verifier = BillVerifier()
+        report = verifier.verify(small_o(), CpuUsage(0, 0))
+        assert report.outcome is VerificationOutcome.UNDERCHARGED
+
+    def test_report_renders(self):
+        verifier = BillVerifier()
+        honest = run_experiment(small_o())
+        text = verifier.verify(small_o(), honest.usage).render()
+        assert "consistent" in text
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            BillVerifier(tolerance_fraction=-0.1)
+
+
+class TestAttestation:
+    def _setup(self, attack=None):
+        machine = Machine(default_config())
+        install_standard_libraries(machine.kernel.libraries)
+        shell = machine.new_shell()
+        program = small_o()
+        golden = measure_platform(machine, shell, program)
+        if attack:
+            attack.install(machine, shell)
+        measured = measure_platform(machine, shell, program)
+        return machine, shell, program, golden, measured
+
+    def test_pristine_platform_matches_golden(self):
+        _m, _s, _p, golden, measured = self._setup()
+        assert compare_to_golden(measured, golden) == []
+
+    def test_shell_attack_detected(self):
+        _m, _s, _p, golden, measured = self._setup(ShellAttack(PAYLOAD))
+        problems = compare_to_golden(measured, golden)
+        assert any("shell" in p for p in problems)
+
+    def test_ctor_attack_detected(self):
+        _m, _s, _p, golden, measured = self._setup(
+            LibraryConstructorAttack(PAYLOAD))
+        problems = compare_to_golden(measured, golden)
+        assert any("libattack_ctor" in p for p in problems)
+
+    def test_subst_attack_detected(self):
+        _m, _s, _p, golden, measured = self._setup(
+            LibrarySubstitutionAttack())
+        problems = compare_to_golden(measured, golden)
+        assert any("libattack_subst" in p for p in problems)
+
+    def test_quote_roundtrip(self):
+        _m, _s, _p, golden, _measured = self._setup()
+        tpm = TrustedPlatformModule(b"machine-secret")
+        quote = tpm.quote(golden, nonce="n1")
+        verify_quote(quote, golden, "n1", tpm.verify_key())
+
+    def test_stale_nonce_rejected(self):
+        _m, _s, _p, golden, _measured = self._setup()
+        tpm = TrustedPlatformModule(b"machine-secret")
+        quote = tpm.quote(golden, nonce="n1")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, golden, "n2", tpm.verify_key())
+
+    def test_tampered_log_rejected(self):
+        _m, _s, _p, golden, _measured = self._setup()
+        tpm = TrustedPlatformModule(b"machine-secret")
+        quote = tpm.quote(golden, nonce="n1")
+        tampered = MeasurementLog(entries=list(golden.entries[:-1]))
+        with pytest.raises(AttestationError):
+            verify_quote(quote, tampered, "n1", tpm.verify_key())
+
+    def test_wrong_key_rejected(self):
+        _m, _s, _p, golden, _measured = self._setup()
+        quote = TrustedPlatformModule(b"real").quote(golden, "n")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, golden, "n", b"fake")
+
+    def test_aggregate_order_sensitive(self):
+        log1 = MeasurementLog()
+        log1.extend("a", "1")
+        log1.extend("b", "2")
+        log2 = MeasurementLog()
+        log2.extend("b", "2")
+        log2.extend("a", "1")
+        assert log1.aggregate() != log2.aggregate()
+
+
+class TestExecutionIntegrity:
+    def test_clean_run_passes(self):
+        reference = run_experiment(small_o())
+        monitor = ExecutionIntegrityMonitor(reference)
+        second = run_experiment(small_o())
+        assert monitor.clean(second)
+
+    def test_thrashing_flagged(self):
+        reference = run_experiment(make_ourprogram(iterations=800))
+        monitor = ExecutionIntegrityMonitor(reference)
+        attacked = run_experiment(make_ourprogram(iterations=800),
+                                  ThrashingAttack("i"))
+        violations = monitor.audit(attacked)
+        metrics = {v.metric for v in violations}
+        assert "debug_exceptions_per_s" in metrics
+
+    def test_scheduling_attack_not_flagged_here(self):
+        """Scheduling attack leaves no execution fingerprint — that is why
+        fine-grained metering, not integrity monitoring, must handle it."""
+        reference = run_experiment(small_o(1_500))
+        monitor = ExecutionIntegrityMonitor(reference)
+        attacked = run_experiment(small_o(1_500),
+                                  SchedulingAttack(nice=-20, forks=2_000))
+        violations = [v for v in monitor.audit(attacked)
+                      if v.metric in ("debug_exceptions_per_s",
+                                      "signals_received_per_s")]
+        assert violations == []
+
+    def test_violation_str(self):
+        from repro.metering.integrity import IntegrityViolation
+
+        text = str(IntegrityViolation("m", 10.0, 2.0))
+        assert "m" in text
+
+
+class TestPropertyCoverage:
+    def test_every_attack_covered(self):
+        assert uncovered_attacks() == []
+
+    def test_launch_attacks_need_source_integrity(self):
+        for name in ("shell", "library-ctor", "library-subst"):
+            assert covering_properties(name) == ["source integrity"]
+
+    def test_scheduling_needs_fine_grained(self):
+        assert "fine-grained metering" in covering_properties("scheduling")
+
+    def test_table_renders(self):
+        text = defense_coverage_table()
+        assert "fine-grained metering" in text
+        assert len(DEFENSE_COVERAGE) == 7

@@ -1,0 +1,137 @@
+"""Unit tests for the op language and guest-context plumbing."""
+
+import pytest
+
+from repro.programs.base import GuestContext, GuestFunction, Program
+from repro.programs.ops import (
+    CallLib,
+    CallNext,
+    Compute,
+    Invoke,
+    Mem,
+    Provenance,
+    Syscall,
+)
+
+
+class TestOps:
+    def test_compute_validates(self):
+        assert Compute(10).cycles == 10
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_mem_validates(self):
+        op = Mem(0x1000, write=True, repeat=3)
+        assert (op.vaddr, op.write, op.repeat) == (0x1000, True, 3)
+        with pytest.raises(ValueError):
+            Mem(-1)
+        with pytest.raises(ValueError):
+            Mem(0, repeat=0)
+
+    def test_syscall_args_tuple(self):
+        op = Syscall("fork", [1, 2])
+        assert op.args == (1, 2)
+
+    def test_calllib_repr(self):
+        assert "malloc" in repr(CallLib("malloc"))
+
+    def test_callnext_repr(self):
+        assert "sqrt" in repr(CallNext("sqrt"))
+
+    def test_invoke_holds_fn(self):
+        fn = GuestFunction("f", lambda ctx: iter(()))
+        assert Invoke(fn).fn is fn
+
+    def test_reprs_do_not_crash(self):
+        for op in (Compute(1), Mem(0x10), Syscall("x"), CallLib("y"),
+                   CallNext("z"), Invoke(GuestFunction("f",
+                                                       lambda ctx: iter(())))):
+            assert repr(op)
+
+
+class TestProvenance:
+    def test_values(self):
+        assert Provenance.USER.value == "user"
+        assert Provenance.INJECTED.value == "injected"
+
+    def test_six_classes(self):
+        assert len(Provenance) == 6
+
+
+class TestGuestContext:
+    def _ctx(self, symbols=None):
+        import random
+
+        return GuestContext(argv=(1, 2),
+                            rng_stream_factory=lambda name: random.Random(0),
+                            symbol_addrs=symbols or {})
+
+    def test_argv(self):
+        assert self._ctx().argv == (1, 2)
+
+    def test_addr_lookup(self):
+        ctx = self._ctx({"x": 0x1000})
+        assert ctx.addr("x") == 0x1000
+        assert ctx.has_symbol("x")
+        assert not ctx.has_symbol("y")
+
+    def test_missing_symbol_raises_with_candidates(self):
+        ctx = self._ctx({"x": 0x1000})
+        with pytest.raises(KeyError, match="x"):
+            ctx.addr("missing")
+
+    def test_bind_symbol(self):
+        ctx = self._ctx()
+        ctx.bind_symbol("y", 0x2000)
+        assert ctx.addr("y") == 0x2000
+
+    def test_shared_and_libc_scratch(self):
+        ctx = self._ctx()
+        ctx.shared["a"] = 1
+        ctx.libc["bump"] = 2
+        assert ctx.shared["a"] == 1 and ctx.libc["bump"] == 2
+
+
+class TestProgram:
+    def _program(self):
+        def main(ctx):
+            yield Compute(1)
+
+        return Program("p", main, data_symbols={"v": 8},
+                       needed_libs=("libc",), argv=(3,))
+
+    def test_fields(self):
+        p = self._program()
+        assert p.name == "p"
+        assert p.data_symbols == {"v": 8}
+        assert p.argv == (3,)
+
+    def test_with_argv(self):
+        p = self._program()
+        q = p.with_argv(9, 9)
+        assert q.argv == (9, 9)
+        assert p.argv == (3,)
+        assert q.main.factory is p.main.factory
+
+    def test_text_digest_stable_and_distinct(self):
+        p = self._program()
+        assert p.text_digest() == self._program().text_digest()
+
+        def other_main(ctx):
+            yield Compute(2)
+
+        q = Program("p", other_main)
+        assert q.text_digest() != p.text_digest()
+
+    def test_guest_function_instantiate(self):
+        calls = []
+
+        def body(ctx, a):
+            calls.append(a)
+            yield Compute(1)
+
+        fn = GuestFunction("f", body, Provenance.INJECTED)
+        gen = fn.instantiate(self_ctx := object(), 5)
+        next(gen)
+        assert calls == [5]
+        assert fn.provenance is Provenance.INJECTED

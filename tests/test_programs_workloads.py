@@ -1,0 +1,193 @@
+"""Tests of the libc model and the four paper workloads."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.kernel.mm.vm import HEAP_BASE
+from repro.programs.base import Program
+from repro.programs.ops import CallLib, Provenance, Syscall
+from repro.programs.stdlib import (
+    STANDARD_LIBRARIES,
+    install_standard_libraries,
+    make_libc,
+)
+from repro.programs.workloads import (
+    PAPER_PROGRAMS,
+    make_brute,
+    make_busyloop,
+    make_fork_attacker,
+    make_memhog,
+    make_ourprogram,
+    make_paper_program,
+    make_pi,
+    make_whetstone,
+    paper_program_names,
+    watched_variable,
+)
+
+
+@pytest.fixture
+def m():
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+    return machine
+
+
+def launch(m, program):
+    shell = m.new_shell()
+    task = shell.run_command(program)
+    m.run_until_exit([task], max_ns=300 * 10**9)
+    return task
+
+
+class TestStdlib:
+    def test_all_libraries_installed(self, m):
+        for name in STANDARD_LIBRARIES:
+            assert m.kernel.libraries.has(name)
+
+    def test_reinstall_idempotent(self, m):
+        install_standard_libraries(m.kernel.libraries)  # no exception
+
+    def test_malloc_returns_heap_pointers(self, m):
+        record = {}
+
+        def main(ctx):
+            a = yield CallLib("malloc", (100,))
+            b = yield CallLib("malloc", (100,))
+            record["a"], record["b"] = a, b
+            yield CallLib("free", (a,))
+            return 0
+
+        task = launch(m, Program("t", main, needed_libs=("libc",)))
+        assert record["a"] >= HEAP_BASE
+        assert record["b"] > record["a"]
+
+    def test_malloc_zero_returns_null(self, m):
+        record = {}
+
+        def main(ctx):
+            record["p"] = yield CallLib("malloc", (0,))
+            return 0
+
+        launch(m, Program("t", main, needed_libs=("libc",)))
+        assert record["p"] == 0
+
+    def test_malloc_grows_brk(self, m):
+        record = {}
+
+        def main(ctx):
+            yield CallLib("malloc", (1024 * 1024,))
+            record["brk"] = yield Syscall("brk", (0,))
+            return 0
+
+        launch(m, Program("t", main, needed_libs=("libc",)))
+        assert record["brk"] > HEAP_BASE
+
+    def test_math_functions_return_values(self, m):
+        record = {}
+
+        def main(ctx):
+            record["sqrt"] = yield CallLib("sqrt", (9.0,))
+            record["sin"] = yield CallLib("sin", (0.0,))
+            record["exp"] = yield CallLib("exp", (0.0,))
+            return 0
+
+        launch(m, Program("t", main, needed_libs=("libc", "libm")))
+        assert record["sqrt"] == pytest.approx(3.0)
+        assert record["sin"] == pytest.approx(0.0)
+        assert record["exp"] == pytest.approx(1.0)
+
+    def test_libc_has_ctor_and_dtor(self):
+        libc = make_libc()
+        assert libc.constructor is not None
+        assert libc.destructor is not None
+
+    def test_crypto_blocks(self, m):
+        record = {}
+
+        def main(ctx):
+            record["md5"] = yield CallLib("md5_block", (4,))
+            return 0
+
+        launch(m, Program("t", main, needed_libs=("libc", "libcrypto")))
+        assert record["md5"] == 4
+
+
+class TestWorkloadRegistry:
+    def test_order_is_opwb(self):
+        assert paper_program_names() == ["O", "P", "W", "B"]
+
+    def test_watched_variables(self):
+        assert watched_variable("O") == "i"
+        assert watched_variable("P") == "y"
+        assert watched_variable("W") == "T1"
+        assert watched_variable("B") == "count"
+
+    def test_factories_accept_overrides(self):
+        p = make_paper_program("O", iterations=10)
+        assert p.argv[0] == 10
+
+    def test_all_have_watched_symbol_declared(self):
+        for name, (factory, var) in PAPER_PROGRAMS.items():
+            assert var in factory().data_symbols
+
+
+class TestWorkloadExecution:
+    def test_ourprogram_runs_and_logs_rusage(self, m):
+        task = launch(m, make_ourprogram(iterations=50))
+        assert task.exit_code == 0
+        rusage = task.guest_ctx.shared["rusage"]
+        assert rusage["utime_ns"] >= 0
+
+    def test_pi_runs(self, m):
+        task = launch(m, make_pi(chunks=5))
+        assert task.exit_code == 0
+
+    def test_whetstone_runs(self, m):
+        task = launch(m, make_whetstone(loops=20))
+        assert task.exit_code == 0
+
+    def test_brute_spawns_threads(self, m):
+        task = launch(m, make_brute(threads=3, candidates_per_thread=5))
+        assert task.exit_code == 0
+        group = m.kernel.thread_group(task)
+        assert len(group) == 4  # main + 3 workers (dead but recorded)
+
+    def test_brute_rusage_covers_workers(self, m):
+        task = launch(m, make_brute(threads=3, candidates_per_thread=40))
+        rusage = task.guest_ctx.shared["rusage"]
+        assert rusage["utime_ns"] > 0
+
+    def test_fork_attacker_runs_forks(self, m):
+        task = launch(m, make_fork_attacker(forks=10))
+        assert task.exit_code == 0
+        # 10 children were created and reaped.
+        assert task.acct_cutime_ns + task.acct_cstime_ns >= 0
+        assert len([t for t in m.kernel.tasks.values()
+                    if t.parent is task or t.name.endswith("child")]) >= 0
+
+    def test_fork_attacker_nice_without_root_fails_gracefully(self, m):
+        shell = m.new_shell()
+        task = shell.run_command(make_fork_attacker(forks=5, nice=-10),
+                                 uid=1000)
+        m.run_until_exit([task], max_ns=10**10)
+        assert task.guest_ctx.shared["setpriority_result"] == -1  # EPERM
+        assert task.exit_code == 0  # attack program still completes
+
+    def test_fork_attacker_nice_with_root(self, m):
+        shell = m.new_shell()
+        task = shell.run_command(make_fork_attacker(forks=5, nice=-10),
+                                 uid=0)
+        m.run_until_exit([task], max_ns=10**10)
+        assert task.guest_ctx.shared["setpriority_result"] == 0
+        assert task.nice == -10
+
+    def test_busyloop_consumes_requested_cycles(self, m):
+        task = launch(m, make_busyloop(total_cycles=2_530_000, chunk=1_000_000))
+        user_ns = task.oracle_ns[(True, Provenance.USER)]
+        assert 1_000_000 <= user_ns <= 1_010_000  # ~1 ms
+
+    def test_memhog_completes_within_ram(self, m):
+        task = launch(m, make_memhog(pages=64, passes=2))
+        assert task.exit_code == 0
+        assert task.minor_faults >= 64

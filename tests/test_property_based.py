@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import NS_PER_SEC, SchedulerConfig
+from repro.hw.cpu import CPU
+from repro.hw.memory import PhysicalMemory
+from repro.kernel.mm.vm import AddressSpace
+from repro.kernel.process import Task
+from repro.kernel.sched.cfs import CfsScheduler, NICE_TO_WEIGHT
+from repro.metering.billing import PricePlan
+from repro.sim.events import EventQueue
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=60))
+    def test_pops_in_time_order(self, times):
+        queue = EventQueue()
+        fired = []
+        for t in times:
+            queue.schedule(t, lambda t=t: fired.append(t))
+        queue.run_due(max(times))
+        assert fired == sorted(times)
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.booleans()),
+                    min_size=1, max_size=60))
+    def test_cancellation_consistency(self, entries):
+        queue = EventQueue()
+        fired = []
+        expected = []
+        for i, (t, keep) in enumerate(entries):
+            handle = queue.schedule(t, lambda i=i: fired.append(i))
+            if keep:
+                expected.append((t, i))
+            else:
+                handle.cancel()
+        assert len(queue) == len(expected)
+        queue.run_due(2000)
+        assert fired == [i for _t, i in sorted(expected)]
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=40))
+    def test_fifo_within_same_time(self, times):
+        queue = EventQueue()
+        fired = []
+        for i, t in enumerate(times):
+            queue.schedule(t, lambda i=i, t=t: fired.append((t, i)))
+        queue.run_due(100)
+        assert fired == sorted(fired)
+
+
+class TestCpuConversionProperties:
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_roundtrip_never_loses_work(self, cycles):
+        cpu = CPU(2_530_000_000)
+        assert cpu.ns_to_cycles(cpu.cycles_to_ns(cycles)) >= cycles
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=0, max_value=10**12))
+    def test_additivity_bound(self, a, b):
+        """Splitting a compute block can only add sub-ns rounding, never
+        remove time."""
+        cpu = CPU(2_530_000_000)
+        whole = cpu.cycles_to_ns(a + b)
+        split = cpu.cycles_to_ns(a) + cpu.cycles_to_ns(b)
+        assert whole <= split <= whole + 1
+
+
+class TestPhysicalMemoryProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.sampled_from(["alloc", "free", "scan"]),
+                    min_size=1, max_size=200))
+    def test_frame_conservation(self, ops):
+        mem = PhysicalMemory(total_frames=64, kernel_reserved_frames=8)
+        owned = []
+        for op in ops:
+            if op == "alloc":
+                frame = mem.alloc(1, len(owned))
+                if frame is not None:
+                    owned.append(frame.pfn)
+            elif op == "free" and owned:
+                mem.release(owned.pop())
+            elif op == "scan":
+                victim, _ = mem.clock_scan()
+                if victim is not None and victim.pfn in owned:
+                    owned.remove(victim.pfn)
+                    mem.release(victim.pfn)
+            # Invariant: free + used + reserved == total.
+            assert (mem.free_frames + mem.used_frames
+                    + mem.kernel_reserved == mem.total_frames)
+            assert mem.used_frames == len(owned)
+
+
+class TestCfsProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.sampled_from(["enq", "pick", "run"]),
+                              st.integers(-20, 19)),
+                    min_size=1, max_size=120))
+    def test_min_vruntime_monotone_and_pick_is_min(self, ops):
+        sched = CfsScheduler(SchedulerConfig())
+        pid = [0]
+        queued = {}
+        current = None
+        last_min = sched.min_vruntime
+        for op, nice in ops:
+            if op == "enq":
+                pid[0] += 1
+                task = Task(pid[0], f"t{pid[0]}", nice=nice)
+                task.vruntime = sched.min_vruntime
+                sched.enqueue(task)
+                queued[task.pid] = task
+            elif op == "pick":
+                if current is not None:
+                    sched.put_prev(current)
+                    queued[current.pid] = current
+                    current = None
+                picked = sched.pick_next()
+                if picked is not None:
+                    assert picked.vruntime == min(
+                        t.vruntime for t in list(queued.values()))
+                    del queued[picked.pid]
+                    current = picked
+            elif op == "run" and current is not None:
+                sched.update_curr(current, 1_000_000)
+            assert sched.min_vruntime >= last_min
+            last_min = sched.min_vruntime
+            assert sched.nr_runnable == len(queued)
+
+    @given(st.integers(-20, 19), st.integers(-20, 19))
+    def test_weight_ordering(self, a, b):
+        if a < b:
+            assert NICE_TO_WEIGHT[a] > NICE_TO_WEIGHT[b]
+
+
+class TestAddressSpaceProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=64),
+                    min_size=1, max_size=30))
+    def test_mmap_regions_never_overlap(self, sizes):
+        space = AddressSpace(asid=1, page_size=4096)
+        for npages in sizes:
+            space.mmap(npages)
+        regions = sorted(space.regions, key=lambda r: r.start)
+        for left, right in zip(regions, regions[1:]):
+            assert left.end(4096) <= right.start
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=100_000),
+                    min_size=1, max_size=20))
+    def test_brk_monotone(self, increments):
+        space = AddressSpace(asid=1, page_size=4096)
+        last = space.brk(0)
+        for inc in increments:
+            new = space.brk(inc)
+            assert new == last + inc
+            last = new
+
+
+class TestBillingProperties:
+    @given(st.integers(min_value=0, max_value=10**15),
+           st.integers(min_value=0, max_value=10**15))
+    def test_cost_monotone_in_time(self, a, b):
+        plan = PricePlan("p", 28, NS_PER_SEC)
+        lo, hi = sorted((a, b))
+        assert plan.cost_microdollars(lo) <= plan.cost_microdollars(hi)
+
+    @given(st.integers(min_value=1, max_value=10**13))
+    def test_round_up_never_cheaper(self, ns):
+        pro_rata = PricePlan("p", 1000, NS_PER_SEC, round_up=False)
+        rounded = PricePlan("p", 1000, NS_PER_SEC, round_up=True)
+        assert rounded.cost_microdollars(ns) >= pro_rata.cost_microdollars(ns)
+
+    @given(st.integers(min_value=0, max_value=10**13),
+           st.integers(min_value=0, max_value=10**13))
+    def test_subadditive_split_for_round_up(self, a, b):
+        """Splitting a job across two invoices never reduces a round-up
+        bill (why EC2-style rounding favours the provider)."""
+        plan = PricePlan("p", 1000, NS_PER_SEC, round_up=True)
+        assert (plan.cost_microdollars(a) + plan.cost_microdollars(b)
+                >= plan.cost_microdollars(a + b))

@@ -1,0 +1,105 @@
+"""Property-based tests driving whole-machine invariants with random
+guest programs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Machine, default_config
+from repro.hw.cpu import CPUMode
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+
+#: One random "instruction" of a generated guest program.
+op_descriptor = st.one_of(
+    st.tuples(st.just("compute"), st.integers(1, 5_000_000)),
+    st.tuples(st.just("mem"), st.integers(0, 63)),
+    st.tuples(st.just("getpid"), st.just(0)),
+    st.tuples(st.just("sleep"), st.integers(1, 2_000_000)),
+)
+
+
+def build_body(descriptors):
+    def body(ctx):
+        addr = yield Syscall("mmap", (64,))
+        for kind, arg in descriptors:
+            if kind == "compute":
+                yield Compute(arg)
+            elif kind == "mem":
+                yield Mem(addr + arg * 4096, write=True)
+            elif kind == "getpid":
+                yield Syscall("getpid")
+            elif kind == "sleep":
+                yield Syscall("nanosleep", (arg,))
+        return 0
+
+    return body
+
+
+class TestEngineConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(op_descriptor, min_size=1, max_size=40))
+    def test_oracle_accounts_exactly_the_requested_compute(self, descriptors):
+        m = Machine(default_config())
+        fn = GuestFunction("rand", build_body(descriptors), Provenance.USER)
+        task = m.kernel.spawn(fn, name="rand")
+        m.run_until_exit([task], max_ns=60 * 10**9)
+
+        assert task.exit_code == 0
+        requested = sum(arg for kind, arg in descriptors if kind == "compute")
+        expected_ns = m.cpu.cycles_to_ns(requested)
+        user_ns = task.oracle_ns.get((True, Provenance.USER), 0)
+        mem_count = sum(1 for kind, _ in descriptors if kind == "mem")
+        mem_ns_max = m.cpu.cycles_to_ns(
+            (mem_count + 64) * m.cfg.costs.mem_access_cycles)
+        # User-mode oracle time = compute + memory accesses, within slice
+        # rounding (<=1 ns per preemption).
+        assert expected_ns <= user_ns + 1 <= expected_ns + mem_ns_max + 500
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(op_descriptor, min_size=1, max_size=30))
+    def test_wall_clock_bounds_cpu_time(self, descriptors):
+        m = Machine(default_config())
+        fn = GuestFunction("rand", build_body(descriptors), Provenance.USER)
+        task = m.kernel.spawn(fn, name="rand")
+        m.run_until_exit([task], max_ns=60 * 10**9)
+        total_cpu = sum(task.oracle_ns.values())
+        assert total_cpu <= m.clock.now
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(op_descriptor, min_size=1, max_size=25),
+           st.sampled_from(["tick", "tsc"]))
+    def test_tick_count_conserved(self, descriptors, accounting):
+        m = Machine(default_config(accounting=accounting))
+        fn = GuestFunction("rand", build_body(descriptors), Provenance.USER)
+        task = m.kernel.spawn(fn, name="rand")
+        m.run_until_exit([task], max_ns=60 * 10**9)
+        assert (task.acct_ticks + m.kernel.accounting.idle_ticks
+                == m.kernel.timekeeper.jiffies)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(op_descriptor, min_size=1, max_size=25))
+    def test_tsc_billing_matches_oracle(self, descriptors):
+        """Under fine-grained accounting the bill equals the oracle's
+        total for the task, exactly."""
+        m = Machine(default_config(accounting="tsc"))
+        fn = GuestFunction("rand", build_body(descriptors), Provenance.USER)
+        task = m.kernel.spawn(fn, name="rand")
+        m.run_until_exit([task], max_ns=60 * 10**9)
+        billed = m.kernel.accounting.usage(task).total_ns
+        oracle = sum(task.oracle_ns.values())
+        assert billed == oracle
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(op_descriptor, min_size=1, max_size=20))
+    def test_runs_are_bit_reproducible(self, descriptors):
+        def run():
+            m = Machine(default_config())
+            fn = GuestFunction("rand", build_body(descriptors),
+                               Provenance.USER)
+            task = m.kernel.spawn(fn, name="rand")
+            m.run_until_exit([task], max_ns=60 * 10**9)
+            return (m.clock.now, m.cpu.read_tsc(),
+                    tuple(sorted((k[1].value, v)
+                                 for k, v in task.oracle_ns.items())))
+
+        assert run() == run()

@@ -1,0 +1,104 @@
+"""Property-based multi-task stress scenarios.
+
+Generates random machine populations (compute-bound tasks, sleepers,
+forkers) and checks the global invariants that must survive any schedule:
+tick conservation, frame conservation after teardown, oracle/wall bounds,
+and full determinism.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Machine, default_config
+from repro.programs.base import GuestFunction
+from repro.programs.ops import Compute, Mem, Provenance, Syscall
+
+task_spec = st.one_of(
+    # (kind, work parameter, nice)
+    st.tuples(st.just("burner"), st.integers(1_000, 20_000_000),
+              st.integers(-5, 10)),
+    st.tuples(st.just("sleeper"), st.integers(100_000, 20_000_000),
+              st.just(0)),
+    st.tuples(st.just("forker"), st.integers(1, 6), st.just(0)),
+    st.tuples(st.just("toucher"), st.integers(1, 24), st.just(0)),
+)
+
+
+def build_task(machine, spec, index):
+    kind, param, nice = spec
+
+    if kind == "burner":
+        def body(ctx):
+            yield Compute(param)
+    elif kind == "sleeper":
+        def body(ctx):
+            yield Syscall("nanosleep", (param,))
+            yield Compute(10_000)
+    elif kind == "forker":
+        def body(ctx):
+            for _ in range(param):
+                pid = yield Syscall("fork", (None,))
+                if isinstance(pid, int) and pid > 0:
+                    yield Syscall("waitpid", (pid,))
+    else:  # toucher
+        def body(ctx):
+            addr = yield Syscall("mmap", (param,))
+            for page in range(param):
+                yield Mem(addr + page * 4096, write=True)
+
+    fn = GuestFunction(f"{kind}{index}", body, Provenance.USER)
+    return machine.kernel.spawn(fn, name=f"{kind}{index}", uid=0, nice=nice)
+
+
+class TestRandomPopulations:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(task_spec, min_size=1, max_size=8))
+    def test_global_invariants(self, specs):
+        machine = Machine(default_config())
+        free_at_boot = machine.kernel.mm.phys.free_frames
+        tasks = [build_task(machine, spec, i)
+                 for i, spec in enumerate(specs)]
+        machine.run_until_exit(tasks, max_ns=120 * 10**9)
+
+        # Everyone exits cleanly.
+        assert all(t.exit_code == 0 for t in tasks)
+        # Ticks conserved across all tasks (incl. fork children) + idle.
+        total_task_ticks = sum(t.acct_ticks
+                               for t in machine.kernel.tasks.values())
+        assert (total_task_ticks + machine.kernel.accounting.idle_ticks
+                == machine.kernel.timekeeper.jiffies)
+        # CPU time cannot exceed wall time.
+        total_cpu = sum(sum(t.oracle_ns.values())
+                        for t in machine.kernel.tasks.values())
+        assert total_cpu <= machine.clock.now + len(machine.kernel.tasks)
+        # All frames return to the allocator once every task is gone.
+        assert machine.kernel.mm.phys.free_frames == free_at_boot
+        # Scheduler queue is empty.
+        assert machine.kernel.scheduler.nr_runnable == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(task_spec, min_size=1, max_size=6))
+    def test_population_determinism(self, specs):
+        def run():
+            machine = Machine(default_config())
+            tasks = [build_task(machine, spec, i)
+                     for i, spec in enumerate(specs)]
+            machine.run_until_exit(tasks, max_ns=120 * 10**9)
+            return (machine.clock.now,
+                    machine.kernel.context_switches,
+                    tuple(t.acct_ticks for t in tasks))
+
+        assert run() == run()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(task_spec, min_size=2, max_size=6),
+           st.sampled_from(["cfs", "o1", "rr"]))
+    def test_every_scheduler_completes_every_population(self, specs, kind):
+        from repro.config import SchedulerConfig
+
+        machine = Machine(default_config(
+            scheduler=SchedulerConfig(kind=kind)))
+        tasks = [build_task(machine, spec, i)
+                 for i, spec in enumerate(specs)]
+        machine.run_until_exit(tasks, max_ns=120 * 10**9)
+        assert all(not t.alive for t in tasks)

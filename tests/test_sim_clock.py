@@ -1,0 +1,68 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+class TestClockBasics:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_custom_start(self):
+        assert Clock(1_000).now == 1_000
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock(-1)
+
+    def test_advance_returns_new_time(self):
+        clock = Clock()
+        assert clock.advance(5) == 5
+        assert clock.now == 5
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(3)
+        clock.advance(4)
+        assert clock.now == 7
+
+    def test_advance_zero_is_noop(self):
+        clock = Clock(10)
+        clock.advance(0)
+        assert clock.now == 10
+
+    def test_advance_negative_rejected(self):
+        clock = Clock()
+        with pytest.raises(SimulationError):
+            clock.advance(-1)
+
+    def test_advance_to_jumps_forward(self):
+        clock = Clock()
+        clock.advance_to(1_000_000)
+        assert clock.now == 1_000_000
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock(42)
+        clock.advance_to(42)
+        assert clock.now == 42
+
+    def test_advance_to_backwards_rejected(self):
+        clock = Clock(100)
+        with pytest.raises(SimulationError):
+            clock.advance_to(99)
+
+    def test_now_seconds(self):
+        clock = Clock()
+        clock.advance(1_500_000_000)
+        assert clock.now_seconds == pytest.approx(1.5)
+
+    def test_integer_time_no_drift(self):
+        clock = Clock()
+        for _ in range(1_000):
+            clock.advance(333)
+        assert clock.now == 333_000
+
+    def test_repr_mentions_time(self):
+        assert "7ns" in repr(Clock(7))

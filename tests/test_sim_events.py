@@ -1,0 +1,130 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue()
+
+
+class TestScheduling:
+    def test_empty_queue(self, queue):
+        assert len(queue) == 0
+        assert queue.next_time() is None
+        assert queue.pop_due(10**12) is None
+
+    def test_schedule_and_len(self, queue):
+        queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert len(queue) == 2
+
+    def test_negative_time_rejected(self, queue):
+        with pytest.raises(SimulationError):
+            queue.schedule(-1, lambda: None)
+
+    def test_next_time_is_earliest(self, queue):
+        queue.schedule(30, lambda: None)
+        queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert queue.next_time() == 10
+
+    def test_pop_due_respects_now(self, queue):
+        queue.schedule(10, lambda: None)
+        assert queue.pop_due(9) is None
+        assert queue.pop_due(10) is not None
+
+    def test_fifo_for_same_time(self, queue):
+        order = []
+        queue.schedule(5, lambda: order.append("a"))
+        queue.schedule(5, lambda: order.append("b"))
+        queue.schedule(5, lambda: order.append("c"))
+        queue.run_due(5)
+        assert order == ["a", "b", "c"]
+
+    def test_time_order_across_times(self, queue):
+        order = []
+        queue.schedule(20, lambda: order.append(20))
+        queue.schedule(10, lambda: order.append(10))
+        queue.run_due(30)
+        assert order == [10, 20]
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self, queue):
+        fired = []
+        handle = queue.schedule(10, lambda: fired.append(1))
+        assert handle.cancel() is True
+        queue.run_due(100)
+        assert fired == []
+
+    def test_cancel_updates_len(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        handle.cancel()
+        assert len(queue) == 0
+
+    def test_double_cancel_returns_false(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_is_noop(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        queue.run_due(10)
+        assert handle.cancel() is False
+        assert len(queue) == 0
+
+    def test_pending_property(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_cancelled_head_skipped(self, queue):
+        first = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        first.cancel()
+        assert queue.next_time() == 20
+
+
+class TestCascading:
+    def test_callback_may_schedule_more(self, queue):
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule(5, lambda: order.append("nested"))
+
+        queue.schedule(5, first)
+        fired = queue.run_due(5)
+        assert order == ["first", "nested"]
+        assert fired == 2
+
+    def test_nested_future_event_not_fired(self, queue):
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule(50, lambda: order.append("later"))
+
+        queue.schedule(5, first)
+        queue.run_due(5)
+        assert order == ["first"]
+        assert queue.next_time() == 50
+
+    def test_run_due_returns_count(self, queue):
+        for t in (1, 2, 3):
+            queue.schedule(t, lambda: None)
+        assert queue.run_due(2) == 2
+        assert queue.run_due(3) == 1
+
+    def test_clear(self, queue):
+        queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.next_time() is None

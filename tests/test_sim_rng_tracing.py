@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic RNG and the trace log."""
+
+from repro.sim.rng import DeterministicRng
+from repro.sim.tracing import TraceLog
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7).stream("x")
+        b = DeterministicRng(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        rng = DeterministicRng(7)
+        xs = [rng.stream("x").random() for _ in range(5)]
+        ys = [rng.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1).stream("x").random()
+        b = DeterministicRng(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        rng = DeterministicRng(7)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_stream_isolation(self):
+        """Draws on one stream must not perturb another."""
+        rng1 = DeterministicRng(7)
+        rng2 = DeterministicRng(7)
+        rng1.stream("noise").random()  # extra draw on an unrelated stream
+        assert (rng1.stream("x").random()
+                == rng2.stream("x").random())
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            assert 1 <= rng.randint("r", 1, 6) <= 6
+
+    def test_expovariate_ns_positive(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            assert rng.expovariate_ns("e", 1000.0) >= 1
+
+    def test_seed_property(self):
+        assert DeterministicRng(42).seed == 42
+
+
+class TestTraceLog:
+    def test_disabled_by_default(self):
+        log = TraceLog()
+        log.emit(0, "sched", "switch")
+        assert log.records() == []
+
+    def test_counters_always_maintained(self):
+        log = TraceLog()
+        log.emit(0, "sched", "switch")
+        log.emit(1, "sched", "switch")
+        assert log.count("sched") == 2
+
+    def test_enable_category(self):
+        log = TraceLog(enabled=["sched"])
+        log.emit(0, "sched", "switch")
+        log.emit(0, "mm", "fault")
+        assert len(log.records()) == 1
+        assert log.records()[0].category == "sched"
+
+    def test_wildcard(self):
+        log = TraceLog(enabled=["*"])
+        log.emit(0, "a", "x")
+        log.emit(0, "b", "y")
+        assert len(log.records()) == 2
+
+    def test_filter_by_pid(self):
+        log = TraceLog(enabled=["*"])
+        log.emit(0, "a", "x", pid=1)
+        log.emit(0, "a", "y", pid=2)
+        assert len(log.records(pid=1)) == 1
+
+    def test_record_data_access(self):
+        log = TraceLog(enabled=["*"])
+        log.emit(0, "a", "x", pid=1, child=5)
+        record = log.records()[0]
+        assert record.get("child") == 5
+        assert record.get("missing", "d") == "d"
+
+    def test_capacity_drops(self):
+        log = TraceLog(enabled=["*"], capacity=2)
+        for i in range(5):
+            log.emit(i, "a", "x")
+        assert len(log.records()) == 2
+        assert log.dropped == 3
+        assert log.count("a") == 5  # counters unaffected
+
+    def test_enable_disable_runtime(self):
+        log = TraceLog()
+        log.enable("a")
+        log.emit(0, "a", "x")
+        log.disable("a")
+        log.emit(1, "a", "y")
+        assert len(log.records()) == 1
+
+    def test_clear(self):
+        log = TraceLog(enabled=["*"])
+        log.emit(0, "a", "x")
+        log.clear()
+        assert log.records() == []
+        assert log.count("a") == 0
+
+    def test_str_rendering(self):
+        log = TraceLog(enabled=["*"])
+        log.emit(5, "sched", "switch", pid=3, to=4)
+        text = str(log.records()[0])
+        assert "sched" in text and "pid=3" in text and "to=4" in text

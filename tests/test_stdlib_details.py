@@ -1,0 +1,181 @@
+"""Detailed tests of the libc model's less-travelled paths."""
+
+import pytest
+
+from repro import Machine, default_config
+from repro.kernel.loader.library import SharedLibrary
+from repro.programs.base import GuestFunction, Program
+from repro.programs.ops import CallLib, Compute, Provenance, Syscall
+from repro.programs.stdlib import (
+    _ARENA_CHUNK,
+    install_standard_libraries,
+)
+
+
+@pytest.fixture
+def m():
+    machine = Machine(default_config())
+    install_standard_libraries(machine.kernel.libraries)
+    return machine
+
+
+def launch_main(m, main, needed=("libc",)):
+    shell = m.new_shell()
+    task = shell.run_command(Program("t", main, needed_libs=needed))
+    m.run_until_exit([task], max_ns=10**11)
+    return task
+
+
+class TestMallocArena:
+    def test_small_allocs_share_one_brk_chunk(self, m):
+        brks = {}
+
+        def main(ctx):
+            yield CallLib("malloc", (64,))
+            brks["first"] = yield Syscall("brk", (0,))
+            for _ in range(10):
+                yield CallLib("malloc", (64,))
+            brks["after"] = yield Syscall("brk", (0,))
+            return 0
+
+        launch_main(m, main)
+        assert brks["after"] == brks["first"]  # no further brk needed
+
+    def test_large_alloc_grows_by_request(self, m):
+        brks = {}
+
+        def main(ctx):
+            brks["base"] = yield Syscall("brk", (0,))
+            yield CallLib("malloc", (4 * _ARENA_CHUNK,))
+            brks["after"] = yield Syscall("brk", (0,))
+            return 0
+
+        launch_main(m, main)
+        assert brks["after"] - brks["base"] >= 4 * _ARENA_CHUNK
+
+    def test_alignment(self, m):
+        ptrs = []
+
+        def main(ctx):
+            for size in (1, 3, 17, 100):
+                ptr = yield CallLib("malloc", (size,))
+                ptrs.append(ptr)
+            return 0
+
+        launch_main(m, main)
+        assert all(p % 16 == 0 for p in ptrs)
+
+    def test_memcpy_touches_both_buffers(self, m):
+        counts = {}
+
+        def main(ctx):
+            a = yield CallLib("malloc", (8192,))
+            b = yield CallLib("malloc", (8192,))
+            before = None
+            r = yield CallLib("memcpy", (b, a, 4096))
+            counts["ret"] = r
+            return 0
+
+        task = launch_main(m, main)
+        assert counts["ret"] is not None
+        assert task.exit_code == 0
+
+    def test_printf_costs_time(self, m):
+        def main(ctx):
+            yield CallLib("printf", ("hello", 1, 2))
+            return 0
+
+        task = launch_main(m, main)
+        lib_ns = task.oracle_ns.get((True, Provenance.LIB), 0)
+        assert lib_ns > 0
+
+
+class TestDlopenPaths:
+    def test_dlopen_missing_returns_null(self, m):
+        seen = {}
+
+        def main(ctx):
+            seen["h"] = yield CallLib("dlopen", ("libnothere",))
+            return 0
+
+        task = launch_main(m, main)
+        assert seen["h"] == 0
+        assert task.exit_code == 0  # graceful
+
+    def test_dlopen_ctor_charged_to_caller(self, m):
+        fired = []
+
+        def heavy_ctor(ctx):
+            fired.append(True)
+            yield Compute(10_000_000)
+
+        lib = SharedLibrary(
+            "libheavy",
+            symbols={},
+            constructor=GuestFunction("hctor", heavy_ctor, Provenance.LIB))
+        m.kernel.libraries.install(lib)
+
+        def main(ctx):
+            handle = yield CallLib("dlopen", ("libheavy",))
+            yield CallLib("dlclose", (handle,))
+            return 0
+
+        task = launch_main(m, main)
+        assert fired == [True]
+        # ~4 ms of ctor work landed in the caller's user-mode LIB time.
+        assert task.oracle_ns.get((True, Provenance.LIB), 0) >= 3_900_000
+
+    def test_dlclosed_symbols_unresolvable(self, m):
+        lib = SharedLibrary(
+            "libgone",
+            symbols={"f": GuestFunction(
+                "f", lambda ctx: (yield Compute(1)), Provenance.LIB)})
+        m.kernel.libraries.install(lib)
+
+        def main(ctx):
+            handle = yield CallLib("dlopen", ("libgone",))
+            yield CallLib("f")
+            yield CallLib("dlclose", (handle,))
+            yield CallLib("f")  # after dlclose: unresolved -> killed
+            return 0
+
+        task = launch_main(m, main)
+        assert task.exit_code == 127
+
+
+class TestPthreadModel:
+    def test_join_returns_thread_exit_code(self, m):
+        seen = {}
+
+        def worker(ctx):
+            yield Compute(1_000)
+            return 17
+
+        def main(ctx):
+            fn = GuestFunction("w", worker, Provenance.USER)
+            tid = yield CallLib("pthread_create", (fn, ()))
+            seen["code"] = yield CallLib("pthread_join", (tid,))
+            return 0
+
+        launch_main(m, main, needed=("libc", "libpthread"))
+        assert seen["code"] == 17
+
+    def test_threads_share_libc_arena(self, m):
+        ptrs = []
+
+        def worker(ctx):
+            ptr = yield CallLib("malloc", (64,))
+            ptrs.append(ptr)
+            return 0
+
+        def main(ctx):
+            first = yield CallLib("malloc", (64,))
+            ptrs.append(first)
+            fn = GuestFunction("w", worker, Provenance.USER)
+            tid = yield CallLib("pthread_create", (fn, ()))
+            yield CallLib("pthread_join", (tid,))
+            return 0
+
+        launch_main(m, main, needed=("libc", "libpthread"))
+        assert len(ptrs) == 2
+        assert ptrs[0] != ptrs[1]  # one bump arena, distinct chunks
