@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures examples calibrate clean
+.PHONY: install test bench bench-full figures figures-fast sweep examples calibrate clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ bench-full:
 figures:
 	$(PYTHON) -m repro figures
 
+figures-fast:
+	$(PYTHON) -m repro figures --jobs 4 --cache-dir .repro-cache
+
+sweep:
+	$(PYTHON) -m repro sweep --jobs 4 --cache-dir .repro-cache
+
 examples:
 	for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e; done
 
@@ -26,5 +32,5 @@ calibrate:
 	$(PYTHON) -m repro calibrate
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .repro-cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,14 +9,10 @@ Validates the DEFENSE_COVERAGE table empirically:
 * the execution-integrity monitor flags thrashing.
 """
 
-import pytest
-
 from repro.analysis.experiment import run_experiment
 from repro.attacks import (
-    InterruptFloodAttack,
     LibraryConstructorAttack,
     LibrarySubstitutionAttack,
-    SchedulingAttack,
     ShellAttack,
     ThrashingAttack,
 )
@@ -26,32 +22,47 @@ from repro.metering.attestation import compare_to_golden, measure_platform
 from repro.metering.integrity import ExecutionIntegrityMonitor
 from repro.metering.properties import defense_coverage_table
 from repro.programs.stdlib import install_standard_libraries
-from repro.programs.workloads import make_ourprogram, make_whetstone
+from repro.programs.workloads import make_ourprogram
 
-from .conftest import bench_scale
+from repro.runner import ExperimentSpec
+
+from .conftest import bench_runner, bench_scale
 
 
 def test_fine_grained_metering_neutralises_sampling_attacks(benchmark):
     scale = bench_scale()
     loops = max(1, int(4_000 * scale))
     forks = max(1, int(8_000 * scale))
+    iterations = max(1, int(2_000 * scale))
+    schemes = (
+        ("tick", default_config(accounting="tick")),
+        ("tsc+pa", default_config(
+            accounting="tsc", process_aware_irq_accounting=True)))
 
     def measure():
+        specs = []
+        for label, cfg in schemes:
+            specs += [
+                ExperimentSpec(program="W", program_kwargs={"loops": loops},
+                               cfg=cfg, label=f"{label}:base"),
+                ExperimentSpec(program="W", program_kwargs={"loops": loops},
+                               attack="scheduling",
+                               attack_kwargs={"nice": -20, "forks": forks},
+                               cfg=cfg, label=f"{label}:sched"),
+                ExperimentSpec(program="O",
+                               program_kwargs={"iterations": iterations},
+                               cfg=cfg, label=f"{label}:flood-base"),
+                ExperimentSpec(program="O",
+                               program_kwargs={"iterations": iterations},
+                               attack="irq-flood",
+                               attack_kwargs={"rate_pps": 25_000},
+                               cfg=cfg, label=f"{label}:flood"),
+            ]
+        results = bench_runner().run_results(specs)
         out = {}
-        for label, cfg in (
-                ("tick", default_config(accounting="tick")),
-                ("tsc+pa", default_config(
-                    accounting="tsc", process_aware_irq_accounting=True))):
-            base = run_experiment(make_whetstone(loops=loops), cfg=cfg)
-            sched = run_experiment(make_whetstone(loops=loops),
-                                   SchedulingAttack(nice=-20, forks=forks),
-                                   cfg=cfg)
-            flood_base = run_experiment(
-                make_ourprogram(iterations=max(1, int(2_000 * scale))),
-                cfg=cfg)
-            flood = run_experiment(
-                make_ourprogram(iterations=max(1, int(2_000 * scale))),
-                InterruptFloodAttack(rate_pps=25_000), cfg=cfg)
+        for (label, _cfg), chunk in zip(
+                schemes, (results[:4], results[4:])):
+            base, sched, flood_base, flood = chunk
             out[label] = {
                 "sched_inflation": sched.total_s / base.total_s,
                 "flood_stime_delta": flood.stime_s - flood_base.stime_s,

@@ -9,12 +9,10 @@ granularity is the flaw; only exact (TSC) charging removes it — which is
 precisely the paper's fine-grained-metering argument.
 """
 
-from repro.analysis.experiment import run_experiment
-from repro.attacks import SchedulingAttack
 from repro.config import default_config
-from repro.programs.workloads import make_whetstone
+from repro.runner import ExperimentSpec
 
-from .conftest import bench_scale
+from .conftest import bench_runner, bench_scale
 
 HZ_SWEEP = (100, 250, 1000)
 
@@ -25,15 +23,21 @@ def test_scheduling_attack_vs_tick_granularity(benchmark):
     forks = max(1, int(8_000 * scale))
 
     def measure():
-        inflation = {}
+        specs = []
         for hz in HZ_SWEEP:
             cfg = default_config(hz=hz)
-            base = run_experiment(make_whetstone(loops=loops), cfg=cfg)
-            attacked = run_experiment(
-                make_whetstone(loops=loops),
-                SchedulingAttack(nice=-20, forks=forks), cfg=cfg)
-            inflation[hz] = attacked.total_s / base.total_s
-        return inflation
+            specs.append(ExperimentSpec(
+                program="W", program_kwargs={"loops": loops}, cfg=cfg,
+                label=f"hz{hz}:base"))
+            specs.append(ExperimentSpec(
+                program="W", program_kwargs={"loops": loops},
+                attack="scheduling",
+                attack_kwargs={"nice": -20, "forks": forks}, cfg=cfg,
+                label=f"hz{hz}:attacked"))
+        results = bench_runner().run_results(specs)
+        return {hz: attacked.total_s / base.total_s
+                for hz, (base, attacked)
+                in zip(HZ_SWEEP, zip(results[::2], results[1::2]))}
 
     inflation = benchmark.pedantic(measure, rounds=1, iterations=1)
     print()

@@ -10,12 +10,10 @@ the victim and the attack collapses.  The bench records both, plus the
 round-robin control.
 """
 
-from repro.analysis.experiment import run_experiment
-from repro.attacks import SchedulingAttack
 from repro.config import SchedulerConfig, default_config
-from repro.programs.workloads import make_whetstone
+from repro.runner import ExperimentSpec
 
-from .conftest import bench_scale
+from .conftest import bench_runner, bench_scale
 
 SCHEDULERS = ("cfs", "o1", "rr")
 
@@ -26,15 +24,21 @@ def test_scheduling_attack_by_scheduler(benchmark):
     forks = max(1, int(8_000 * scale))
 
     def measure():
-        inflation = {}
+        specs = []
         for kind in SCHEDULERS:
             cfg = default_config(scheduler=SchedulerConfig(kind=kind))
-            base = run_experiment(make_whetstone(loops=loops), cfg=cfg)
-            attacked = run_experiment(
-                make_whetstone(loops=loops),
-                SchedulingAttack(nice=-20, forks=forks), cfg=cfg)
-            inflation[kind] = attacked.total_s / base.total_s
-        return inflation
+            specs.append(ExperimentSpec(
+                program="W", program_kwargs={"loops": loops}, cfg=cfg,
+                label=f"{kind}:base"))
+            specs.append(ExperimentSpec(
+                program="W", program_kwargs={"loops": loops},
+                attack="scheduling",
+                attack_kwargs={"nice": -20, "forks": forks}, cfg=cfg,
+                label=f"{kind}:attacked"))
+        results = bench_runner().run_results(specs)
+        return {kind: attacked.total_s / base.total_s
+                for kind, (base, attacked)
+                in zip(SCHEDULERS, zip(results[::2], results[1::2]))}
 
     inflation = benchmark.pedantic(measure, rounds=1, iterations=1)
     print()

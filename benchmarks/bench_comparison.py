@@ -1,39 +1,38 @@
 """Regenerate the §V-C attack comparison and validate its qualitative
 claims against measured runs."""
 
-from repro.analysis.experiment import run_experiment
-from repro.attacks import (
-    InterruptFloodAttack,
-    ShellAttack,
-    ThrashingAttack,
-    comparison_matrix,
+from repro.attacks import comparison_matrix
+from repro.runner import ExperimentSpec
+
+from .conftest import bench_runner, bench_scale
+
+#: The §V-C strength ladder measured on the O workload.
+ATTACK_GRID = (
+    ("none", {}),
+    ("shell", {"payload_cycles": 506_000_000}),
+    ("thrashing", {"watch_symbol": "i"}),
+    ("irq-flood", {"rate_pps": 20_000}),
 )
-from repro.programs.workloads import make_ourprogram
-
-from .conftest import bench_scale
-
-
-def _o():
-    iterations = max(1, int(2_000 * bench_scale()))
-    return make_ourprogram(iterations=iterations)
 
 
 def test_comparison_matrix(benchmark):
     """Print the matrix and verify the strength ordering empirically:
     launch attacks (arbitrary) > thrashing (tunable) > irq flood (bounded),
     measured as relative inflation on the same workload."""
+    iterations = max(1, int(2_000 * bench_scale()))
 
     def measure():
-        baseline = run_experiment(_o())
-        shell = run_experiment(_o(), ShellAttack(payload_cycles=506_000_000))
-        thrash = run_experiment(_o(), ThrashingAttack("i"))
-        flood = run_experiment(_o(), InterruptFloodAttack(rate_pps=20_000))
+        specs = [
+            ExperimentSpec(program="O",
+                           program_kwargs={"iterations": iterations},
+                           attack=None if name == "none" else name,
+                           attack_kwargs=kwargs, label=f"O:{name}")
+            for name, kwargs in ATTACK_GRID
+        ]
+        baseline, *attacked = bench_runner().run_results(specs)
         base = baseline.total_s
-        return {
-            "shell": shell.total_s / base,
-            "thrashing": thrash.total_s / base,
-            "irq-flood": flood.total_s / base,
-        }
+        return {name: res.total_s / base
+                for (name, _), res in zip(ATTACK_GRID[1:], attacked)}
 
     inflation = benchmark.pedantic(measure, rounds=1, iterations=1)
     print()

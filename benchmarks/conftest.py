@@ -6,7 +6,10 @@ shape checks, and records the headline numbers in ``extra_info`` so
 verification harness.
 
 ``REPRO_BENCH_SCALE`` (default 0.4) stretches workload sizes; 1.0 matches
-EXPERIMENTS.md's reference runs.
+EXPERIMENTS.md's reference runs.  ``REPRO_BENCH_JOBS`` (default 1) fans the
+experiment points of the runner-backed benchmarks across worker processes —
+results are identical either way (the runner is deterministic), only the
+wall time changes.
 """
 
 from __future__ import annotations
@@ -18,6 +21,14 @@ import pytest
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def bench_runner():
+    """The shared batch runner for benchmark sweeps (no cache: benchmarks
+    must measure live runs)."""
+    from repro.runner import BatchRunner
+
+    return BatchRunner(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 @pytest.fixture

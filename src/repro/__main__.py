@@ -2,9 +2,15 @@
 
 Commands:
 
-* ``figure <fig4..fig11> [--scale S]`` — regenerate one evaluation figure
-  and print the chart plus its shape checks (exit 1 if any check fails);
-* ``figures [--scale S]`` — regenerate all eight;
+* ``figure <fig4..fig11> [--scale S] [--jobs N] [--cache-dir D]`` —
+  regenerate one evaluation figure and print the chart plus its shape
+  checks (exit 1 if any check fails);
+* ``figures [--scale S] [--jobs N] [--cache-dir D]`` — regenerate all
+  eight, optionally fanning experiment points across worker processes
+  with result caching (see docs/runner.md);
+* ``sweep [--programs ...] [--attacks ...] [--jobs N] ...`` — run a
+  program × attack grid through the batch runner and print one row per
+  point plus cache/failure telemetry;
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -20,18 +26,114 @@ import sys
 from typing import List, Optional
 
 
+def _make_runner(args: argparse.Namespace, quiet: bool = False):
+    """A BatchRunner per the shared --jobs/--cache-dir/... flags, or None
+    when every knob is at its serial default."""
+    from .runner import BatchRunner, ConsoleProgress, ResultCache
+
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    timeout_s = getattr(args, "timeout_s", None)
+    retries = getattr(args, "retries", 0)
+    if jobs == 1 and cache_dir is None and timeout_s is None and not retries:
+        return None
+    return BatchRunner(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        timeout_s=timeout_s,
+        retries=retries,
+        progress=None if quiet else ConsoleProgress())
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .analysis.figures import FIGURES, run_figure
     from .analysis.report import figure_report
+    from .runner import SweepTelemetry
 
+    runner = _make_runner(args, quiet=True)
+    telemetry = SweepTelemetry()
     fig_ids = sorted(FIGURES) if args.fig_id == "all" else [args.fig_id]
     ok = True
     for fig_id in fig_ids:
-        fig = run_figure(fig_id, scale=args.scale)
+        fig = run_figure(fig_id, scale=args.scale, runner=runner)
+        if runner is not None:
+            telemetry.merge(runner.telemetry)
         print(figure_report(fig))
         print()
         ok = ok and fig.passed
+    if runner is not None:
+        print(telemetry.summary())
     return 0 if ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.figures import paper_workload_params
+    from .programs.workloads import watched_variable
+    from .runner import ExperimentSpec, SpecError
+
+    programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+    attacks = [a.strip() for a in args.attacks.split(",") if a.strip()]
+    params = paper_workload_params(args.scale)
+    forks = max(1, int(8_000 * args.scale))
+
+    def attack_kwargs(attack: str, program: str):
+        defaults = {
+            "none": {},
+            "shell": {"payload_cycles": 506_000_000},
+            "library-ctor": {"payload_cycles": 506_000_000},
+            "library-subst": {"cycles_per_call": 300_000},
+            "library-runtime": {},
+            "scheduling": {"nice": -20, "forks": forks},
+            "thrashing": {"watch_symbol": watched_variable(program)},
+            "irq-flood": {"rate_pps": 20_000.0},
+            "fault-flood": {},
+        }
+        try:
+            return defaults[attack]
+        except KeyError:
+            raise SpecError(f"unknown attack {attack!r}; "
+                            f"have {sorted(k for k in defaults)}") from None
+
+    try:
+        specs = [
+            ExperimentSpec(
+                program=program, program_kwargs=params[program],
+                attack=None if attack == "none" else attack,
+                attack_kwargs=attack_kwargs(attack, program),
+                label=f"{program}:{attack}")
+            for program in programs for attack in attacks
+        ]
+    except KeyError as exc:
+        print(f"unknown program {exc}; have {sorted(params)}",
+              file=sys.stderr)
+        return 2
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    runner = _make_runner(args, quiet=args.quiet) or _make_serial_runner(args)
+    outcomes = runner.run(specs)
+    print(f"{'point':<18} {'status':<8} {'utime_s':>8} {'stime_s':>8} "
+          f"{'wall_s':>7}")
+    for outcome in outcomes:
+        if outcome.ok:
+            status = "cached" if outcome.cached else "run"
+            result = outcome.result
+            print(f"{outcome.spec.name:<18} {status:<8} "
+                  f"{result.utime_s:>8.3f} {result.stime_s:>8.3f} "
+                  f"{outcome.wall_s:>7.2f}")
+        else:
+            print(f"{outcome.spec.name:<18} {'FAILED':<8} "
+                  f"{outcome.failure.error_type}: {outcome.failure.message}")
+    print()
+    print(runner.telemetry.summary())
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
+def _make_serial_runner(args: argparse.Namespace):
+    from .runner import BatchRunner, ConsoleProgress
+
+    return BatchRunner(progress=None if args.quiet else ConsoleProgress())
 
 
 def _cmd_gallery(args: argparse.Namespace) -> int:
@@ -107,14 +209,38 @@ def build_parser() -> argparse.ArgumentParser:
                     "Metering and Accounting' (Liu & Ding, ICDCSW 2010)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial, the default)")
+        cmd.add_argument("--cache-dir", default=None,
+                         help="result-cache directory (off by default)")
+        cmd.add_argument("--timeout-s", type=float, default=None,
+                         help="per-point wall-clock timeout in seconds")
+        cmd.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for a failed point")
+
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id", choices=[f"fig{n}" for n in range(4, 12)])
     fig.add_argument("--scale", type=float, default=0.4)
+    add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
 
     figs = sub.add_parser("figures", help="regenerate all figures")
     figs.add_argument("--scale", type=float, default=0.4)
+    add_runner_flags(figs)
     figs.set_defaults(func=_cmd_figure, fig_id="all")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a program x attack grid through the batch runner")
+    sweep.add_argument("--programs", default="O,P,W,B",
+                       help="comma-separated paper programs (O,P,W,B)")
+    sweep.add_argument("--attacks", default="none,shell,scheduling",
+                       help="comma-separated attack names (or 'none')")
+    sweep.add_argument("--scale", type=float, default=0.4)
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    add_runner_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

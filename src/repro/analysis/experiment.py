@@ -10,7 +10,7 @@ provenance-exact view (what actually happened).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..attacks.base import Attack, NoAttack
 from ..config import MachineConfig, default_config
@@ -70,6 +70,40 @@ class ExperimentResult:
 
     def oracle_injected_s(self) -> float:
         return self.oracle_seconds.get("injected", 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form, exact (all times stay integral ns) — what the
+        runner's result cache persists as JSON."""
+        return {
+            "program": self.program,
+            "attack": self.attack,
+            "usage": {"utime_ns": self.usage.utime_ns,
+                      "stime_ns": self.usage.stime_ns},
+            "attacker_usage": (
+                None if self.attacker_usage is None else
+                {"utime_ns": self.attacker_usage.utime_ns,
+                 "stime_ns": self.attacker_usage.stime_ns}),
+            "wall_ns": self.wall_ns,
+            "rusage": self.rusage,
+            "oracle_seconds": dict(self.oracle_seconds),
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; raises ``KeyError``/``TypeError`` on
+        malformed documents (the cache treats that as a miss)."""
+        attacker = doc["attacker_usage"]
+        return cls(
+            program=doc["program"],
+            attack=doc["attack"],
+            usage=CpuUsage(**doc["usage"]),
+            attacker_usage=None if attacker is None else CpuUsage(**attacker),
+            wall_ns=doc["wall_ns"],
+            rusage=doc["rusage"],
+            oracle_seconds=dict(doc["oracle_seconds"]),
+            stats=dict(doc["stats"]),
+        )
 
 
 def _group_usage(machine: Machine, task: Task) -> CpuUsage:

@@ -11,28 +11,13 @@ nature.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..attacks import (
-    Attack,
-    ExceptionFloodAttack,
-    InterruptFloodAttack,
-    LibraryConstructorAttack,
-    LibrarySubstitutionAttack,
-    SchedulingAttack,
-    ShellAttack,
-    ThrashingAttack,
-)
 from ..config import MachineConfig, default_config
 from ..programs.base import Program
-from ..programs.workloads import (
-    make_brute,
-    make_ourprogram,
-    make_pi,
-    make_whetstone,
-    watched_variable,
-)
-from .experiment import ExperimentResult, run_experiment
+from ..programs.workloads import make_paper_program, watched_variable
+from ..runner import BatchRunner, ExperimentSpec, run_spec
+from .experiment import ExperimentResult
 
 #: The injected payload for the launch-time attacks: the scaled analogue of
 #: the paper's ~34-second loop (~0.34 s at 2.53 GHz).
@@ -51,8 +36,10 @@ NICE_SWEEP: Tuple[Optional[int], ...] = (0, -5, -10, -15, -20)
 SCHED_FORKS = 16_000
 
 
-def paper_workloads(scale: float = 1.0) -> Dict[str, Program]:
-    """The four evaluation programs at the standard scaled sizes.
+def paper_workload_params(scale: float = 1.0) -> Dict[str, Dict[str, int]]:
+    """Factory kwargs for the four evaluation programs at the standard
+    scaled sizes — the declarative form :class:`ExperimentSpec` points
+    carry across process boundaries.
 
     ``scale`` stretches run lengths (1.0 ≈ paper/200); iteration counts
     also set the thrashing-attack hit counts, mirroring the paper's
@@ -63,14 +50,30 @@ def paper_workloads(scale: float = 1.0) -> Dict[str, Program]:
         return max(1, int(x * scale))
 
     return {
-        "O": make_ourprogram(iterations=n(5_000), cycles_per_iter=430_000,
-                             mallocs=n(400)),
-        "P": make_pi(chunks=n(50), y_touches_per_chunk=400,
-                     cycles_per_chunk=9_000_000),
-        "W": make_whetstone(loops=n(8_000)),
-        "B": make_brute(threads=8, candidates_per_thread=n(1_300),
-                        per_thread_tries=1),
+        "O": {"iterations": n(5_000), "cycles_per_iter": 430_000,
+              "mallocs": n(400)},
+        "P": {"chunks": n(50), "y_touches_per_chunk": 400,
+              "cycles_per_chunk": 9_000_000},
+        "W": {"loops": n(8_000)},
+        "B": {"threads": 8, "candidates_per_thread": n(1_300),
+              "per_thread_tries": 1},
     }
+
+
+def paper_workloads(scale: float = 1.0) -> Dict[str, Program]:
+    """The four evaluation programs, built from the standard params."""
+    return {name: make_paper_program(name, **kwargs)
+            for name, kwargs in paper_workload_params(scale).items()}
+
+
+def _execute(specs: List[ExperimentSpec],
+             runner: Optional[BatchRunner]) -> List[ExperimentResult]:
+    """Run sweep points through ``runner`` (parallel/cached) or, absent
+    one, serially in-process — the two paths are equivalent by
+    construction and by the equivalence test suite."""
+    if runner is None:
+        return [run_spec(spec) for spec in specs]
+    return runner.run_results(specs)
 
 
 @dataclass
@@ -121,18 +124,32 @@ def _bar(label: str, res: ExperimentResult) -> Bar:
     return Bar(label, res.utime_s, res.stime_s)
 
 
+#: (attack registry name, constructor kwargs) for one figure point.
+AttackSpec = Tuple[str, Dict[str, Any]]
+
+
 def _run_pairs(fig_id: str, title: str,
-               attack_factory: Callable[[str], Attack],
+               attack_for: Callable[[str], AttackSpec],
                scale: float, cfg: Optional[MachineConfig],
-               programs: Optional[List[str]] = None) -> FigureResult:
+               programs: Optional[List[str]] = None,
+               runner: Optional[BatchRunner] = None) -> FigureResult:
     """Run normal + attacked for each paper program; no checks yet."""
-    workloads = paper_workloads(scale)
+    params = paper_workload_params(scale)
+    names = programs or list(params)
+    specs: List[ExperimentSpec] = []
+    for name in names:
+        attack_name, attack_kwargs = attack_for(name)
+        specs.append(ExperimentSpec(
+            program=name, program_kwargs=params[name], cfg=cfg,
+            label=f"{fig_id}:{name}:normal"))
+        specs.append(ExperimentSpec(
+            program=name, program_kwargs=params[name],
+            attack=attack_name, attack_kwargs=attack_kwargs, cfg=cfg,
+            label=f"{fig_id}:{name}:attacked"))
+    results = _execute(specs, runner)
     fig = FigureResult(fig_id=fig_id, title=title)
-    for name in (programs or list(workloads)):
-        program = workloads[name]
-        normal = run_experiment(program, cfg=cfg)
-        attacked = run_experiment(program, attack=attack_factory(name),
-                                  cfg=cfg)
+    for name, (normal, attacked) in zip(names, zip(results[::2],
+                                                   results[1::2])):
         fig.pairs[name] = (_bar("normal", normal), _bar("attacked", attacked))
         fig.results[f"{name}:normal"] = normal
         fig.results[f"{name}:attacked"] = attacked
@@ -189,12 +206,13 @@ def _check_all_inflated(fig: FigureResult, min_rel: float,
 # ---------------------------------------------------------------------------
 
 def figure4(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 4: the shell attack on O, P, W, B."""
     fig = _run_pairs(
         "fig4", "Shell attack",
-        lambda name: ShellAttack(payload_cycles=LAUNCH_PAYLOAD_CYCLES),
-        scale, cfg)
+        lambda name: ("shell", {"payload_cycles": LAUNCH_PAYLOAD_CYCLES}),
+        scale, cfg, runner=runner)
     payload_s = LAUNCH_PAYLOAD_CYCLES / (cfg or default_config()).cpu_freq_hz
     _check_launch_attack_shape(fig, payload_s)
     fig.meta["payload_seconds"] = payload_s
@@ -202,13 +220,14 @@ def figure4(scale: float = 1.0,
 
 
 def figure5(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 5: the shared-library constructor attack."""
     fig = _run_pairs(
         "fig5", "Shared-library constructor attack",
-        lambda name: LibraryConstructorAttack(
-            payload_cycles=LAUNCH_PAYLOAD_CYCLES),
-        scale, cfg)
+        lambda name: ("library-ctor",
+                      {"payload_cycles": LAUNCH_PAYLOAD_CYCLES}),
+        scale, cfg, runner=runner)
     payload_s = LAUNCH_PAYLOAD_CYCLES / (cfg or default_config()).cpu_freq_hz
     _check_launch_attack_shape(fig, payload_s)
     fig.meta["payload_seconds"] = payload_s
@@ -216,7 +235,8 @@ def figure5(scale: float = 1.0,
 
 
 def figure6(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 6: the function-substitution attack (fake malloc/sqrt).
 
     Inflation is proportional to each program's call count into the
@@ -224,10 +244,10 @@ def figure6(scale: float = 1.0,
     """
     fig = _run_pairs(
         "fig6", "Library function-substitution attack",
-        lambda name: LibrarySubstitutionAttack(
-            symbols=("malloc", "sqrt"),
-            cycles_per_call=SUBST_CYCLES_PER_CALL),
-        scale, cfg)
+        lambda name: ("library-subst",
+                      {"symbols": ("malloc", "sqrt"),
+                       "cycles_per_call": SUBST_CYCLES_PER_CALL}),
+        scale, cfg, runner=runner)
     _check_all_inflated(fig, min_rel=0.03, component="utime")
     for name, (normal, attacked) in fig.pairs.items():
         ds = attacked.stime_s - normal.stime_s
@@ -248,15 +268,27 @@ def figure6(scale: float = 1.0,
 
 
 def _sched_figure(fig_id: str, title: str, victim_name: str,
-                  victim: Program, scale: float,
-                  cfg: Optional[MachineConfig]) -> FigureResult:
+                  scale: float, cfg: Optional[MachineConfig],
+                  runner: Optional[BatchRunner] = None) -> FigureResult:
     fig = FigureResult(fig_id=fig_id, title=title)
     forks = max(1, int(SCHED_FORKS * scale))
-    # "No attack": victim and Fork each run alone (the leftmost bar pair).
-    from ..programs.attackers import make_fork_attacker
+    victim_kwargs = paper_workload_params(scale)[victim_name]
+    # "No attack": victim and Fork each run alone (the leftmost bar pair),
+    # then the nice sweep.
+    specs = [
+        ExperimentSpec(program=victim_name, program_kwargs=victim_kwargs,
+                       cfg=cfg, label=f"{fig_id}:baseline"),
+        ExperimentSpec(program="fork", program_kwargs={"forks": forks},
+                       cfg=cfg, label=f"{fig_id}:fork-alone"),
+    ]
+    for nice in NICE_SWEEP:
+        specs.append(ExperimentSpec(
+            program=victim_name, program_kwargs=victim_kwargs,
+            attack="scheduling", attack_kwargs={"nice": nice, "forks": forks},
+            cfg=cfg, label=f"{fig_id}:nice {nice}"))
+    results = _execute(specs, runner)
 
-    baseline = run_experiment(victim, cfg=cfg)
-    alone = run_experiment(make_fork_attacker(forks=forks), cfg=cfg)
+    baseline, alone = results[0], results[1]
     # Fork's bar includes its reaped children, as time(1) would report.
     cutime = (alone.rusage or {}).get("cutime_ns", 0) / 1e9
     cstime = (alone.rusage or {}).get("cstime_ns", 0) / 1e9
@@ -267,10 +299,8 @@ def _sched_figure(fig_id: str, title: str, victim_name: str,
     fig.results["baseline"] = baseline
     fig.results["fork-alone"] = alone
 
-    for nice in NICE_SWEEP:
+    for nice, res in zip(NICE_SWEEP, results[2:]):
         label = f"nice {nice}"
-        attack = SchedulingAttack(nice=nice, forks=forks)
-        res = run_experiment(victim, attack=attack, cfg=cfg)
         atk = res.attacker_usage
         fig.series.append((label,
                            _bar(victim_name, res),
@@ -280,16 +310,16 @@ def _sched_figure(fig_id: str, title: str, victim_name: str,
 
 
 def figure7(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 7: the process-scheduling attack on Whetstone.
 
     Expected shape: W's billed time rises monotonically as the attacker's
     priority rises, the Fork program's falls, and W+Fork stays roughly
     constant (the miscounted time moves between accounts).
     """
-    victim = paper_workloads(scale)["W"]
     fig = _sched_figure("fig7", "Process scheduling attack on Whetstone",
-                        "W", victim, scale, cfg)
+                        "W", scale, cfg, runner=runner)
     baseline = fig.series[0][1].total_s
     victim_totals = [v.total_s for _label, v, _f in fig.series[1:]]
     fork_totals = [f.total_s for _label, _v, f in fig.series[1:]]
@@ -314,12 +344,12 @@ def figure7(scale: float = 1.0,
 
 
 def figure8(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 8: the scheduling attack on Brute — ineffective on the
     multi-threaded victim."""
-    victim = paper_workloads(scale)["B"]
     fig = _sched_figure("fig8", "Process scheduling attack on Brute",
-                        "B", victim, scale, cfg)
+                        "B", scale, cfg, runner=runner)
     baseline = fig.series[0][1].total_s
     victim_totals = [v.total_s for _label, v, _f in fig.series[1:]]
     worst_rel = max(victim_totals) / baseline if baseline else 1.0
@@ -333,12 +363,13 @@ def figure8(scale: float = 1.0,
 
 
 def figure9(scale: float = 1.0,
-            cfg: Optional[MachineConfig] = None) -> FigureResult:
+            cfg: Optional[MachineConfig] = None,
+            runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 9: the execution-thrashing attack — mostly stime growth."""
     fig = _run_pairs(
         "fig9", "Execution thrashing attack",
-        lambda name: ThrashingAttack(watch_symbol=watched_variable(name)),
-        scale, cfg)
+        lambda name: ("thrashing", {"watch_symbol": watched_variable(name)}),
+        scale, cfg, runner=runner)
     for name, (normal, attacked) in fig.pairs.items():
         du = attacked.utime_s - normal.utime_s
         ds = attacked.stime_s - normal.stime_s
@@ -355,12 +386,13 @@ def figure9(scale: float = 1.0,
 
 
 def figure10(scale: float = 1.0,
-             cfg: Optional[MachineConfig] = None) -> FigureResult:
+             cfg: Optional[MachineConfig] = None,
+             runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 10: the interrupt-flooding attack — slight stime increase."""
     fig = _run_pairs(
         "fig10", "Interrupt flooding attack",
-        lambda name: InterruptFloodAttack(rate_pps=FLOOD_RATE_PPS),
-        scale, cfg)
+        lambda name: ("irq-flood", {"rate_pps": FLOOD_RATE_PPS}),
+        scale, cfg, runner=runner)
     for name, (normal, attacked) in fig.pairs.items():
         ds = attacked.stime_s - normal.stime_s
         du = attacked.utime_s - normal.utime_s
@@ -386,13 +418,14 @@ def fig11_config() -> MachineConfig:
 
 
 def figure11(scale: float = 1.0,
-             cfg: Optional[MachineConfig] = None) -> FigureResult:
+             cfg: Optional[MachineConfig] = None,
+             runner: Optional[BatchRunner] = None) -> FigureResult:
     """Fig. 11: the exception-flooding attack — stime up from direct
     reclaim, fault handling and swap-I/O completions."""
     fig = _run_pairs(
         "fig11", "Exception flooding attack",
-        lambda name: ExceptionFloodAttack(),
-        scale, cfg or fig11_config())
+        lambda name: ("fault-flood", {}),
+        scale, cfg or fig11_config(), runner=runner)
     for name, (normal, attacked) in fig.pairs.items():
         ds = attacked.stime_s - normal.stime_s
         res = fig.results[f"{name}:attacked"]
@@ -428,12 +461,13 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
 
 
 def run_figure(fig_id: str, scale: float = 1.0,
-               cfg: Optional[MachineConfig] = None) -> FigureResult:
+               cfg: Optional[MachineConfig] = None,
+               runner: Optional[BatchRunner] = None) -> FigureResult:
     try:
         generator = FIGURES[fig_id]
     except KeyError:
         raise KeyError(f"unknown figure {fig_id!r}; have {sorted(FIGURES)}")
-    return generator(scale=scale, cfg=cfg)
+    return generator(scale=scale, cfg=cfg, runner=runner)
 
 
 #: Values eyeballed from the published figures, for context only (seconds).

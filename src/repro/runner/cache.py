@@ -1,0 +1,104 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is
+:func:`repro.runner.specs.spec_key` — a SHA-256 over the canonical spec,
+the machine config (including the RNG seed) and the repro version.  The
+simulator is deterministic, so a hit can be returned verbatim; any change
+to the point's inputs changes the key and forces a live run.
+
+Entries are written atomically (temp file + ``os.replace``) so a sweep
+killed mid-write never leaves a truncated entry behind — and if one appears
+anyway, :meth:`ResultCache.get` treats any unreadable/ill-formed entry as a
+miss rather than raising, so a corrupted cache only costs a re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from .specs import ExperimentSpec, spec_identity, spec_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: analysis.figures pulls in the runner package at import time)
+    from ..analysis.experiment import ExperimentResult
+
+#: Bumped when the entry schema changes; mismatched entries read as misses.
+ENTRY_SCHEMA = 1
+
+
+class ResultCache:
+    """Maps spec keys to cached :class:`ExperimentResult` documents."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional["ExperimentResult"]:
+        """The cached result for ``spec``, or ``None``.
+
+        Never raises on a bad entry: unreadable JSON, a schema mismatch or
+        a malformed result document all count as misses (and the offending
+        file is removed so it is rewritten on the next store).
+        """
+        from ..analysis.experiment import ExperimentResult
+
+        key = spec_key(spec)
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if doc.get("schema") != ENTRY_SCHEMA or doc.get("key") != key:
+                raise ValueError("stale or foreign cache entry")
+            result = ExperimentResult.from_dict(doc["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: "ExperimentResult") -> str:
+        """Store ``result`` under ``spec``'s key; returns the key."""
+        key = spec_key(spec)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc: Dict[str, Any] = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "spec": spec_identity(spec),
+            "label": spec.name,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            self._evict(Path(tmp))
+            raise
+        return key
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def clear(self) -> None:
+        for entry in self.cache_dir.glob("*/*.json"):
+            self._evict(entry)

@@ -1,0 +1,185 @@
+"""Declarative, picklable experiment specifications.
+
+``run_experiment`` takes live :class:`Program` and :class:`Attack` objects,
+which hold machine references and guest closures — neither survives a trip
+through ``pickle`` to a worker process.  An :class:`ExperimentSpec` instead
+names the program and attack by registry key and carries only plain
+constructor kwargs, so a sweep point can be shipped to a
+``ProcessPoolExecutor`` worker, rebuilt there from scratch, and executed
+with :func:`run_spec` — producing the exact same result the serial path
+would (the simulator is deterministic given the spec's config and seed).
+
+The spec is also the cache identity: :func:`spec_key` hashes the canonical
+JSON form of (spec, seed, repro version), so any change to the workload,
+the attack parameters, the machine config or the simulator version misses
+the cache and re-runs the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from .. import __version__
+from ..attacks import (
+    Attack,
+    ExceptionFloodAttack,
+    InterruptFloodAttack,
+    LibraryConstructorAttack,
+    LibrarySubstitutionAttack,
+    RuntimeLibraryAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from ..config import MachineConfig, default_config
+from ..errors import ReproError
+from ..programs.attackers import make_busyloop, make_fork_attacker
+from ..programs.base import Program
+from ..programs.workloads import PAPER_PROGRAMS, make_paper_program
+
+#: program registry key → factory.  The paper programs go through
+#: ``make_paper_program``; the attacker-side programs are addressable too so
+#: sweep grids and the scheduling figures can run them standalone.
+PROGRAM_FACTORIES: Dict[str, Callable[..., Program]] = {
+    **{name: (lambda name: lambda **kw: make_paper_program(name, **kw))(name)
+       for name in PAPER_PROGRAMS},
+    "fork": make_fork_attacker,
+    "busyloop": make_busyloop,
+}
+
+#: attack registry key → class.  Keys match the comparison-matrix names.
+ATTACK_CLASSES: Dict[str, Callable[..., Attack]] = {
+    "shell": ShellAttack,
+    "library-ctor": LibraryConstructorAttack,
+    "library-subst": LibrarySubstitutionAttack,
+    "library-runtime": RuntimeLibraryAttack,
+    "scheduling": SchedulingAttack,
+    "thrashing": ThrashingAttack,
+    "irq-flood": InterruptFloodAttack,
+    "fault-flood": ExceptionFloodAttack,
+}
+
+
+class SpecError(ReproError):
+    """An :class:`ExperimentSpec` references an unknown program/attack."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of a sweep: program × attack × config, all by value.
+
+    ``attack=None`` (or ``"none"``) is the honest-platform control run.
+    ``cfg=None`` means :func:`repro.config.default_config`.  ``label`` is
+    cosmetic — it names the point in telemetry and reports but is excluded
+    from the cache key.
+    """
+
+    program: str
+    program_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    attack: Optional[str] = None
+    attack_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    cfg: Optional[MachineConfig] = None
+    run_attacker_to_completion: Optional[bool] = None
+    max_ns: Optional[int] = None
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        return f"{self.program}:{self.attack or 'none'}"
+
+    def resolved_config(self) -> MachineConfig:
+        return self.cfg if self.cfg is not None else default_config()
+
+    def build_program(self) -> Program:
+        try:
+            factory = PROGRAM_FACTORIES[self.program]
+        except KeyError:
+            raise SpecError(f"unknown program {self.program!r}; "
+                            f"have {sorted(PROGRAM_FACTORIES)}") from None
+        return factory(**dict(self.program_kwargs))
+
+    def build_attack(self) -> Optional[Attack]:
+        if self.attack is None or self.attack == "none":
+            return None
+        try:
+            cls = ATTACK_CLASSES[self.attack]
+        except KeyError:
+            raise SpecError(f"unknown attack {self.attack!r}; "
+                            f"have {sorted(ATTACK_CLASSES)}") from None
+        return cls(**dict(self.attack_kwargs))
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce spec fields to a canonical JSON-compatible form (tuples and
+    lists collapse to lists; mapping keys are sorted by json.dumps)."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The JSON document hashed by :func:`spec_key`.
+
+    Includes everything that can change the outcome: the full machine
+    config (which carries the RNG seed) and the repro version, per the
+    "results are only reusable for the code that produced them" rule.
+    """
+    return {
+        "program": spec.program,
+        "program_kwargs": _canonical(spec.program_kwargs),
+        "attack": spec.attack or "none",
+        "attack_kwargs": _canonical(spec.attack_kwargs),
+        "cfg": _canonical(asdict(spec.resolved_config())),
+        "run_attacker_to_completion": spec.run_attacker_to_completion,
+        "max_ns": spec.max_ns,
+        "repro_version": __version__,
+    }
+
+
+def spec_key(spec: ExperimentSpec) -> str:
+    """Stable content hash of the spec — the cache key."""
+    doc = json.dumps(spec_identity(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def run_spec(spec: ExperimentSpec):
+    """Execute one spec on a fresh machine — the worker-side entry point.
+
+    Equivalent to building the program/attack by hand and calling
+    :func:`repro.analysis.experiment.run_experiment`; the equivalence suite
+    (tests/test_runner_equivalence.py) holds this to field-by-field
+    equality.
+    """
+    from ..analysis.experiment import run_experiment
+
+    kwargs: Dict[str, Any] = {}
+    if spec.max_ns is not None:
+        kwargs["max_ns"] = spec.max_ns
+    return run_experiment(
+        spec.build_program(),
+        attack=spec.build_attack(),
+        cfg=spec.cfg,
+        run_attacker_to_completion=spec.run_attacker_to_completion,
+        **kwargs)
+
+
+def grid(programs, attacks, cfg: Optional[MachineConfig] = None,
+         **common) -> Tuple[ExperimentSpec, ...]:
+    """Cartesian sweep helper: ``programs`` and ``attacks`` are mappings
+    name → kwargs; returns one spec per (program, attack) pair."""
+    specs = []
+    for pname, pkw in programs.items():
+        for aname, akw in attacks.items():
+            specs.append(ExperimentSpec(
+                program=pname, program_kwargs=dict(pkw),
+                attack=None if aname == "none" else aname,
+                attack_kwargs=dict(akw), cfg=cfg,
+                label=f"{pname}:{aname}", **common))
+    return tuple(specs)

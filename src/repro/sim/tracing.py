@@ -46,6 +46,7 @@ class TraceLog:
         self._enabled: Set[str] = set(enabled)
         self._records: List[TraceRecord] = []
         self._counters: Dict[str, int] = {}
+        self._dropped_by_category: Dict[str, int] = {}
         self._capacity = capacity
         self.dropped = 0
 
@@ -64,7 +65,11 @@ class TraceLog:
         if not self.enabled(category):
             return
         if len(self._records) >= self._capacity:
+            # Count every record that could not be stored, per attempt, so
+            # capacity exhaustion stays visible in sweep telemetry.
             self.dropped += 1
+            self._dropped_by_category[category] = \
+                self._dropped_by_category.get(category, 0) + 1
             return
         self._records.append(TraceRecord(
             time_ns=time_ns, category=category, message=message, pid=pid,
@@ -75,7 +80,15 @@ class TraceLog:
 
     @property
     def counters(self) -> Dict[str, int]:
-        return dict(self._counters)
+        """All per-category counters, plus the reserved ``dropped`` key (the
+        number of enabled records lost to capacity — always present)."""
+        out = dict(self._counters)
+        out["dropped"] = self.dropped
+        return out
+
+    def dropped_by_category(self) -> Dict[str, int]:
+        """Per-category breakdown of records lost to capacity."""
+        return dict(self._dropped_by_category)
 
     def records(self, category: Optional[str] = None,
                 pid: Optional[int] = None) -> List[TraceRecord]:
@@ -89,4 +102,5 @@ class TraceLog:
     def clear(self) -> None:
         self._records.clear()
         self._counters.clear()
+        self._dropped_by_category.clear()
         self.dropped = 0

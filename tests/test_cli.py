@@ -21,6 +21,21 @@ class TestParser:
         args = build_parser().parse_args(["figure", "fig5", "--scale", "0.2"])
         assert args.scale == 0.2
 
+    def test_runner_flags(self):
+        args = build_parser().parse_args(
+            ["figures", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--retries", "2", "--timeout-s", "30"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.retries == 2
+        assert args.timeout_s == 30.0
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.programs == "O,P,W,B"
+        assert args.attacks == "none,shell,scheduling"
+        assert args.jobs == 1
+
 
 class TestCommands:
     def test_comparison(self, capsys):
@@ -51,3 +66,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "scheduling" in out
         assert "baseline" in out
+
+    def test_sweep_grid(self, capsys):
+        assert main(["sweep", "--programs", "O,P", "--attacks", "none,shell",
+                     "--scale", "0.05", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "O:shell" in out
+        assert "P:none" in out
+        assert "4 points" in out
+        assert "0 failed" in out
+
+    def test_sweep_warm_cache_runs_nothing(self, capsys, tmp_path):
+        argv = ["sweep", "--programs", "O", "--attacks", "none,shell",
+                "--scale", "0.05", "--quiet",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "2 run, 0 cached" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 run, 2 cached" in warm
+
+    def test_sweep_unknown_attack_rejected(self, capsys):
+        assert main(["sweep", "--attacks", "nope", "--quiet"]) == 2
+
+    def test_figure_with_cache_dir(self, capsys, tmp_path):
+        argv = ["figure", "fig4", "--scale", "0.05",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "8 points" in capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 run, 8 cached" in warm
+        assert "[FAIL]" not in warm

@@ -93,6 +93,28 @@ class TestTraceLog:
         assert log.dropped == 3
         assert log.count("a") == 5  # counters unaffected
 
+    def test_drops_surface_in_counters(self):
+        """Regression: capacity exhaustion must be visible in the counters
+        snapshot sweep telemetry reads — one drop per record attempted,
+        broken down by category, reset by clear()."""
+        log = TraceLog(enabled=["a", "b"], capacity=1)
+        assert log.counters["dropped"] == 0
+        log.emit(0, "a", "kept")
+        for i in range(3):
+            log.emit(i, "a", "lost")
+        for i in range(2):
+            log.emit(i, "b", "lost")
+        log.emit(0, "c", "untraced: not an attempted record, not a drop")
+        assert log.dropped == 5
+        assert log.counters["dropped"] == 5
+        assert log.dropped_by_category() == {"a": 3, "b": 2}
+        # Raw emission counters still see every emit, dropped or not.
+        assert log.counters["a"] == 4
+        assert log.counters["c"] == 1
+        log.clear()
+        assert log.counters["dropped"] == 0
+        assert log.dropped_by_category() == {}
+
     def test_enable_disable_runtime(self):
         log = TraceLog()
         log.enable("a")
