@@ -43,8 +43,16 @@ from .programs.ops import (
     Provenance,
     Syscall,
 )
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+# Imported after __version__: repro.verify pulls in the runner, whose spec
+# hashing reads the version back from this module.
+from .verify.invariants import (  # noqa: E402
+    InvariantChecker,
+    InvariantViolation,
+    default_invariants,
+    set_default_invariants,
+)
 
 __all__ = [
     "CostModel",
@@ -71,5 +79,9 @@ __all__ = [
     "Mem",
     "Provenance",
     "Syscall",
+    "InvariantChecker",
+    "InvariantViolation",
+    "default_invariants",
+    "set_default_invariants",
     "__version__",
 ]

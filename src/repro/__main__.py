@@ -11,6 +11,11 @@ Commands:
 * ``sweep [--programs ...] [--attacks ...] [--jobs N] ...`` — run a
   program × attack grid through the batch runner and print one row per
   point plus cache/failure telemetry;
+* ``fuzz [--iterations N] [--seed S] [--out D] [--replay FILE]`` —
+  randomized differential conformance testing: seeded scenarios run under
+  every scheduler with runtime invariants on, cross-checked serial vs
+  batch and across schedulers; failures shrink to replayable JSON specs
+  (see docs/invariants.md);
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -45,11 +50,21 @@ def _make_runner(args: argparse.Namespace, quiet: bool = False):
         progress=None if quiet else ConsoleProgress())
 
 
+def _apply_invariants_flag(args: argparse.Namespace) -> None:
+    """``--check-invariants`` flips the process-wide default, so every
+    serially-run experiment (figures, gallery) gets the checker."""
+    if getattr(args, "check_invariants", False):
+        from .verify import set_default_invariants
+
+        set_default_invariants(True)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .analysis.figures import FIGURES, run_figure
     from .analysis.report import figure_report
     from .runner import SweepTelemetry
 
+    _apply_invariants_flag(args)
     runner = _make_runner(args, quiet=True)
     telemetry = SweepTelemetry()
     fig_ids = sorted(FIGURES) if args.fig_id == "all" else [args.fig_id]
@@ -71,10 +86,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .programs.workloads import watched_variable
     from .runner import ExperimentSpec, SpecError
 
+    _apply_invariants_flag(args)
     programs = [p.strip() for p in args.programs.split(",") if p.strip()]
     attacks = [a.strip() for a in args.attacks.split(",") if a.strip()]
     params = paper_workload_params(args.scale)
     forks = max(1, int(8_000 * args.scale))
+    # The spec field (not just the process default) so worker processes
+    # check too when --jobs > 1.
+    check_invariants = True if args.check_invariants else None
 
     def attack_kwargs(attack: str, program: str):
         defaults = {
@@ -100,6 +119,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 program=program, program_kwargs=params[program],
                 attack=None if attack == "none" else attack,
                 attack_kwargs=attack_kwargs(attack, program),
+                check_invariants=check_invariants,
                 label=f"{program}:{attack}")
             for program in programs for attack in attacks
         ]
@@ -134,6 +154,39 @@ def _make_serial_runner(args: argparse.Namespace):
     from .runner import BatchRunner, ConsoleProgress
 
     return BatchRunner(progress=None if args.quiet else ConsoleProgress())
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify.fuzz import replay_failure, run_fuzz
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+
+    if args.replay:
+        report, identical = replay_failure(args.replay)
+        print(f"replayed {args.replay}")
+        print(f"  scenario: {report.scenario}")
+        for failure in report.failures:
+            print(f"  failure: {failure}")
+        if not report.failures:
+            print("  no failures reproduced")
+        print(f"  digest {'matches' if identical else 'DIVERGES from'} "
+              f"the recorded run")
+        # Replay succeeds when the run is bit-identical to the recording —
+        # whether the recording was a failure or a detection record.
+        return 0 if identical else 1
+
+    summary = run_fuzz(
+        iterations=args.iterations,
+        seed=args.seed,
+        schedulers=schedulers,
+        out_dir=args.out,
+        inject_probability=args.inject_probability,
+        progress=None if args.quiet else print)
+    print(f"\n{summary.iterations} scenarios, "
+          f"{len(summary.failures)} failing")
+    for saved in summary.saved:
+        print(f"  replay spec: {saved}")
+    return 0 if summary.ok else 1
 
 
 def _cmd_gallery(args: argparse.Namespace) -> int:
@@ -218,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-point wall-clock timeout in seconds")
         cmd.add_argument("--retries", type=int, default=0,
                          help="extra attempts for a failed point")
+        cmd.add_argument("--check-invariants", action="store_true",
+                         help="run every experiment under the runtime "
+                              "invariant checker (docs/invariants.md)")
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id", choices=[f"fig{n}" for n in range(4, 12)])
@@ -241,6 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-point progress lines")
     add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="randomized differential conformance testing")
+    fuzz.add_argument("--iterations", type=int, default=50,
+                      help="number of random scenarios to run")
+    fuzz.add_argument("--seed", type=int, default=2010,
+                      help="master seed for scenario generation")
+    fuzz.add_argument("--out", default=None,
+                      help="directory for failing-scenario replay specs")
+    fuzz.add_argument("--schedulers", default="cfs,o1,rr",
+                      help="comma-separated schedulers to cross-check")
+    fuzz.add_argument("--inject-probability", type=float, default=0.15,
+                      help="share of scenarios carrying deliberate "
+                           "accounting corruption (detection soundness)")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="re-run a saved failure spec and verify the "
+                           "outcome digest bit-identically")
+    fuzz.add_argument("--check-invariants", action="store_true",
+                      help="accepted for symmetry; fuzz scenarios always "
+                           "run with the invariant checker on")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-scenario progress lines")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

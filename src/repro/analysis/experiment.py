@@ -127,15 +127,30 @@ def run_experiment(program: Program,
                    run_attacker_to_completion: Optional[bool] = None,
                    max_ns: int = DEFAULT_MAX_NS,
                    extra_libraries=(),
-                   trace=()) -> ExperimentResult:
+                   trace=(),
+                   check_invariants: Optional[bool] = None,
+                   machine_hook=None) -> ExperimentResult:
     """Execute ``program`` under ``attack`` on a fresh machine.
 
     ``extra_libraries`` installs additional shared objects (e.g. a plugin
     the program dlopens) before the attack's ``install`` hook runs, so
     attacks may tamper with them.
+
+    ``check_invariants`` enables the runtime invariant checker for this
+    run; None defers to the process-wide default (see
+    :func:`repro.verify.set_default_invariants`).  ``machine_hook``, when
+    given, is called with the booted :class:`Machine` before any library
+    or attack installation — the fuzzer uses it to inject deliberate
+    accounting corruption.
     """
     attack = attack or NoAttack()
-    machine = Machine(cfg or default_config(), trace=trace)
+    if check_invariants is None:
+        from ..verify.invariants import default_invariants
+        check_invariants = default_invariants()
+    machine = Machine(cfg or default_config(), trace=trace,
+                      invariants=bool(check_invariants))
+    if machine_hook is not None:
+        machine_hook(machine)
     install_standard_libraries(machine.kernel.libraries)
     for library in extra_libraries:
         machine.kernel.libraries.install(library, replace=True)
@@ -172,6 +187,8 @@ def run_experiment(program: Program,
         logged = victim.guest_ctx.shared.get("rusage")
         if isinstance(logged, dict):
             rusage = logged
+
+    machine.check_invariants()
 
     group = machine.kernel.thread_group(victim)
     stats = {

@@ -40,7 +40,12 @@ class Machine:
     """A complete simulated computer."""
 
     def __init__(self, cfg: Optional[MachineConfig] = None,
-                 trace: Iterable[str] = ()) -> None:
+                 trace: Iterable[str] = (),
+                 invariants=None) -> None:
+        """``invariants`` enables the runtime invariant checker: False/None
+        (off), True (raise on first violation), ``"collect"`` (record
+        violations on ``machine.invariant_checker.violations``), or a
+        pre-built :class:`~repro.verify.InvariantChecker`."""
         self.cfg = cfg or default_config()
         self.cfg.validate()
         self.clock = Clock()
@@ -56,7 +61,27 @@ class Machine:
         self.kernel = Kernel(self.cfg, self.clock, self.events, self.cpu,
                              self.pic, self.disk, self.nic, self.rng,
                              self.trace_log)
+        self.invariant_checker = self._make_checker(invariants)
+        if self.invariant_checker is not None:
+            self.invariant_checker.attach(self.kernel)
         self.timer.start()
+
+    @staticmethod
+    def _make_checker(invariants):
+        if not invariants:
+            return None
+        from ..verify.invariants import InvariantChecker
+
+        if isinstance(invariants, InvariantChecker):
+            return invariants
+        if invariants == "collect":
+            return InvariantChecker(mode="collect")
+        return InvariantChecker()
+
+    def check_invariants(self) -> None:
+        """Run a full invariant sweep now (no-op when checking is off)."""
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_full()
 
     # ------------------------------------------------------------------
     # conveniences
@@ -95,10 +120,14 @@ class Machine:
             current = kernel.current
 
         next_time = self.events.next_time()
+        checker = self.invariant_checker
         if current is None:
             if next_time is None:
                 return False  # fully idle, nothing scheduled
+            idle_ns = next_time - self.clock.now
             self.clock.advance_to(next_time)
+            if checker is not None and idle_ns > 0:
+                checker.on_idle_advance(idle_ns)
             return True
 
         budget = (next_time - self.clock.now
@@ -106,6 +135,8 @@ class Machine:
         if budget <= 0:
             return True  # events due right now; drained next iteration
         kernel.engine.run(current, budget)
+        if checker is not None:
+            checker.on_step()
         return True
 
     def run_for(self, duration_ns: int) -> None:
@@ -113,7 +144,10 @@ class Machine:
         deadline = self.clock.now + duration_ns
         while self.clock.now < deadline:
             if not self.step():
+                idle_ns = deadline - self.clock.now
                 self.clock.advance_to(deadline)
+                if self.invariant_checker is not None and idle_ns > 0:
+                    self.invariant_checker.on_idle_advance(idle_ns)
                 return
 
     def run_until(self, predicate: Callable[[], bool],

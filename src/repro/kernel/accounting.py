@@ -80,6 +80,13 @@ class AccountingScheme:
     """Interface shared by all accounting schemes."""
 
     name = "abstract"
+    #: True when ``usage`` is derived purely from jiffy sampling, so the
+    #: tick identity (billed == per-mode ticks x jiffy, minus diversions)
+    #: must hold exactly.  Consumed by the invariant checker.
+    tick_sampled = False
+    #: True when ``system_ns`` is a tick-resolution approximation (clamped
+    #: per jiffy) rather than the exact sum of diverted IRQ nanoseconds.
+    tick_sampled_system = False
 
     def __init__(self, tick_ns: int, process_aware_irq: bool = False) -> None:
         self.tick_ns = tick_ns
@@ -101,6 +108,24 @@ class AccountingScheme:
         """The scheme's billing view of ``task`` (what getrusage returns)."""
         raise NotImplementedError
 
+    def audit_view(self, task: "Task") -> Optional[CpuUsage]:
+        """The scheme's nanosecond-exact per-task view, when it keeps one.
+
+        The invariant checker compares this against its own shadow ledger.
+        Tick sampling keeps no exact view, hence the None default.
+        """
+        return None
+
+    def billing_gap_ns(self, tasks, busy_ticks: int) -> Optional[int]:
+        """Global conservation gap of the billing view, in nanoseconds.
+
+        Zero when the books balance; None when the scheme has no
+        closed-form identity (TSC charging is checked per-task via
+        :meth:`audit_view` instead).  ``busy_ticks`` is the number of
+        jiffies that sampled a running task.
+        """
+        return None
+
 
 class TickAccounting(AccountingScheme):
     """The commodity scheme: one whole jiffy to the current task per tick.
@@ -113,6 +138,8 @@ class TickAccounting(AccountingScheme):
     """
 
     name = "tick"
+    tick_sampled = True
+    tick_sampled_system = True
 
     def __init__(self, tick_ns: int, process_aware_irq: bool = False) -> None:
         super().__init__(tick_ns, process_aware_irq)
@@ -141,6 +168,12 @@ class TickAccounting(AccountingScheme):
 
     def usage(self, task: "Task") -> CpuUsage:
         return CpuUsage(task.acct_utime_ns, task.acct_stime_ns)
+
+    def billing_gap_ns(self, tasks, busy_ticks: int) -> int:
+        # Every busy jiffy hands out exactly tick_ns, split between the
+        # sampled task and (with process-aware IRQ) the system account.
+        billed = sum(t.acct_utime_ns + t.acct_stime_ns for t in tasks)
+        return billed + self.system_ns - busy_ticks * self.tick_ns
 
 
 class TscAccounting(AccountingScheme):
@@ -176,6 +209,10 @@ class TscAccounting(AccountingScheme):
     def usage(self, task: "Task") -> CpuUsage:
         return CpuUsage(task.acct_utime_ns, task.acct_stime_ns)
 
+    def audit_view(self, task: "Task") -> CpuUsage:
+        # TSC billing *is* the precise view.
+        return self.usage(task)
+
 
 class DualAccounting(AccountingScheme):
     """Bill by ticks, audit by TSC.
@@ -193,6 +230,7 @@ class DualAccounting(AccountingScheme):
     """
 
     name = "dual"
+    tick_sampled = True
 
     def __init__(self, tick_ns: int, process_aware_irq: bool = False) -> None:
         super().__init__(tick_ns, process_aware_irq)
@@ -223,6 +261,14 @@ class DualAccounting(AccountingScheme):
     def audit_usage(self, task) -> CpuUsage:
         side = self._precise.get(task.pid)
         return CpuUsage(side.utime_ns, side.stime_ns) if side else CpuUsage()
+
+    def audit_view(self, task) -> CpuUsage:
+        return self.audit_usage(task)
+
+    def billing_gap_ns(self, tasks, busy_ticks: int) -> int:
+        # The billable view follows the legacy tick identity (with the
+        # inner scheme's own tick-resolution system account).
+        return self._tick.billing_gap_ns(tasks, busy_ticks)
 
     def divergence_ns(self, task) -> int:
         """Billed minus precise: positive = the task is overbilled."""

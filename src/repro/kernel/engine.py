@@ -177,6 +177,19 @@ class ExecutionEngine:
         first of: budget exhaustion, a kernel resched request, the task
         blocking/stopping/exiting.
         """
+        checker = self.kernel.invariants
+        if checker is None:
+            return self._run_loop(task, budget_ns)
+        # Under invariant checking, hold the engine to its own contract:
+        # the consumed total it reports is exactly the time the clock
+        # moved while it ran, and it never overruns its budget.
+        start_ns = self.kernel.clock.now
+        consumed, reason = self._run_loop(task, budget_ns)
+        checker.on_engine_stop(task, consumed,
+                               self.kernel.clock.now - start_ns, budget_ns)
+        return consumed, reason
+
+    def _run_loop(self, task: "Task", budget_ns: int) -> Tuple[int, StopReason]:
         kernel = self.kernel
         consumed = 0
         st = task.exec_state

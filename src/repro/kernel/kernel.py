@@ -96,6 +96,9 @@ class Kernel:
         self._next_pid = 1
         self.current: Optional[Task] = None
         self.need_resched = False
+        #: Optional runtime invariant checker (see repro.verify); attached
+        #: by the machine when invariant checking is enabled.
+        self.invariants = None
         #: LSM-style policy: may non-root users ptrace their own processes?
         self.policy_allow_user_ptrace = True
 
@@ -133,6 +136,8 @@ class Kernel:
         mode = CPUMode.USER if user_mode else CPUMode.KERNEL
         self.accounting.charge(task, mode, ns, kind)
         task.oracle_charge(user_mode, provenance, ns)
+        if self.invariants is not None:
+            self.invariants.on_charge(task, ns, user_mode, kind)
 
     def consume_irq(self, cycles: int, provenance: Provenance) -> None:
         """Advance time for an interrupt handler, billed to the current task
@@ -147,6 +152,8 @@ class Kernel:
             self.current.oracle_charge(False, provenance, ns)
         else:
             self.idle_irq_ns += ns
+        if self.invariants is not None:
+            self.invariants.on_charge(self.current, ns, False, ChargeKind.IRQ)
 
     # ------------------------------------------------------------------
     # IRQ handlers
@@ -167,6 +174,8 @@ class Kernel:
             mode = CPUMode.KERNEL
         self.timekeeper.tick(current is not None, mode is CPUMode.USER)
         self.accounting.on_tick(current, mode)
+        if self.invariants is not None:
+            self.invariants.on_tick(current, mode is CPUMode.USER)
         if current is not None:
             self._update_curr(current)
             if self.scheduler.task_tick(current):
@@ -242,6 +251,8 @@ class Kernel:
         self.cpu.retire_cycles(cycles)
         self.accounting.charge(target, CPUMode.KERNEL, ns, ChargeKind.SWITCH)
         target.oracle_charge(False, Provenance.SYSTEM, ns)
+        if self.invariants is not None:
+            self.invariants.on_charge(target, ns, False, ChargeKind.SWITCH)
 
     # ------------------------------------------------------------------
     # blocking and waking
@@ -618,6 +629,9 @@ class Kernel:
         if task.parent is not None:
             self.post_signal(task.parent, SIGCHLD, sender_pid=task.pid)
             self.wake_channel(f"wait:{task.parent.pid}")
+        if self.invariants is not None:
+            # Exit reconciliation: the dying task's books must balance.
+            self.invariants.on_exit(task)
 
     def reap(self, parent: Task, zombie: Task) -> None:
         if zombie.state is not TaskState.ZOMBIE:

@@ -48,6 +48,15 @@ class Scheduler:
     def nr_runnable(self) -> int:
         raise NotImplementedError
 
+    def queued_pids(self) -> Optional[list]:
+        """Every queued task's pid, one entry per queue membership.
+
+        Used by the invariant checker to verify run-queue consistency
+        (READY tasks queued exactly once, nobody else queued at all).
+        Returning None opts a scheduler out of the check.
+        """
+        return None
+
     # -- time hooks -----------------------------------------------------------
 
     def update_curr(self, task: "Task", delta_ns: int) -> None:

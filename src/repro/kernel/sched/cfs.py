@@ -69,6 +69,10 @@ class CfsScheduler(Scheduler):
     def nr_runnable(self) -> int:
         return len(self._queued)
 
+    def queued_pids(self):
+        # The _queued dict is authoritative; the heap may hold stale entries.
+        return list(self._queued)
+
     def _push(self, task: "Task") -> None:
         task.enqueue_seq = self._next_seq()
         heapq.heappush(self._heap, (task.vruntime, task.enqueue_seq, task))

@@ -51,6 +51,9 @@ class _PrioArray:
             return None
         return min(prio for prio, q in self.queues.items() if q)
 
+    def pids(self):
+        return [task.pid for q in self.queues.values() for task in q]
+
     def remove(self, task: "Task") -> bool:
         # Usually the task sits at its current static_prio, but a nice
         # change may have moved the label out from under us — fall back to
@@ -95,6 +98,9 @@ class O1Scheduler(Scheduler):
     @property
     def nr_runnable(self) -> int:
         return self._active.count + self._expired.count
+
+    def queued_pids(self):
+        return self._active.pids() + self._expired.pids()
 
     def enqueue(self, task: "Task", wakeup: bool = False) -> None:
         if task.timeslice_ns <= 0:

@@ -31,6 +31,9 @@ class RoundRobinScheduler(Scheduler):
     def nr_runnable(self) -> int:
         return len(self._queue)
 
+    def queued_pids(self):
+        return [task.pid for task in self._queue]
+
     def enqueue(self, task: "Task", wakeup: bool = False) -> None:
         if task in self._queue:
             raise SimulationError(f"task {task.pid} enqueued twice")

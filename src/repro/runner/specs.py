@@ -84,6 +84,9 @@ class ExperimentSpec:
     cfg: Optional[MachineConfig] = None
     run_attacker_to_completion: Optional[bool] = None
     max_ns: Optional[int] = None
+    #: None defers to the process-wide default (set by --check-invariants);
+    #: True/False pin the runtime invariant checker on/off for this point.
+    check_invariants: Optional[bool] = None
     label: str = ""
 
     @property
@@ -130,6 +133,8 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
     Includes everything that can change the outcome: the full machine
     config (which carries the RNG seed) and the repro version, per the
     "results are only reusable for the code that produced them" rule.
+    ``check_invariants`` is deliberately excluded — the checker observes
+    the run without altering it, so results are interchangeable.
     """
     return {
         "program": spec.program,
@@ -167,6 +172,7 @@ def run_spec(spec: ExperimentSpec):
         attack=spec.build_attack(),
         cfg=spec.cfg,
         run_attacker_to_completion=spec.run_attacker_to_completion,
+        check_invariants=spec.check_invariants,
         **kwargs)
 
 

@@ -14,12 +14,15 @@ from ..errors import SimulationError
 class Clock:
     """Monotonic integer-nanosecond clock."""
 
-    __slots__ = ("_now",)
+    __slots__ = ("_now", "on_advance")
 
     def __init__(self, start_ns: int = 0) -> None:
         if start_ns < 0:
             raise SimulationError("clock cannot start before zero")
         self._now = int(start_ns)
+        #: Optional observer called with each positive delta — the invariant
+        #: checker's independent record that time actually moved.
+        self.on_advance = None
 
     @property
     def now(self) -> int:
@@ -36,6 +39,8 @@ class Clock:
         if delta_ns < 0:
             raise SimulationError(f"cannot advance clock by {delta_ns} ns")
         self._now += int(delta_ns)
+        if self.on_advance is not None and delta_ns:
+            self.on_advance(int(delta_ns))
         return self._now
 
     def advance_to(self, t_ns: int) -> int:
@@ -43,7 +48,10 @@ class Clock:
         if t_ns < self._now:
             raise SimulationError(
                 f"cannot move clock backwards: now={self._now}, target={t_ns}")
+        delta = int(t_ns) - self._now
         self._now = int(t_ns)
+        if self.on_advance is not None and delta:
+            self.on_advance(delta)
         return self._now
 
     def __repr__(self) -> str:

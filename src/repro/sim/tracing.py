@@ -11,6 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+#: Category used by the invariant checker for violation reports.  Records
+#: in this category are always stored, even when the category was not
+#: enabled: a broken conservation law must never be silently dropped.
+INVARIANT_CATEGORY = "invariant"
+
+#: Categories stored regardless of the enabled set.
+ALWAYS_STORED_CATEGORIES = frozenset({INVARIANT_CATEGORY})
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -62,7 +70,8 @@ class TraceLog:
     def emit(self, time_ns: int, category: str, message: str,
              pid: Optional[int] = None, **data) -> None:
         self._counters[category] = self._counters.get(category, 0) + 1
-        if not self.enabled(category):
+        if not self.enabled(category) \
+                and category not in ALWAYS_STORED_CATEGORIES:
             return
         if len(self._records) >= self._capacity:
             # Count every record that could not be stored, per attempt, so

@@ -1,0 +1,56 @@
+"""Verification subsystem: runtime invariants + differential fuzzing.
+
+Two layers of machine-checked trust in the simulator itself:
+
+* :mod:`repro.verify.invariants` — an :class:`InvariantChecker` wired into
+  the kernel's charge/tick/exit/clock paths, holding every run to
+  conservation laws (each jiffy charged exactly once, attributed time sums
+  to elapsed time, oracle and billing views reconcile at exit, ...);
+* :mod:`repro.verify.fuzz` — a seeded scenario fuzzer and differential
+  harness cross-checking serial vs batch execution, scheduler-invariant
+  ground truth, and the checker's own detection soundness.
+"""
+
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+    default_invariants,
+    set_default_invariants,
+)
+from .fuzz import (
+    INJECT_KINDS,
+    SCHEDULE_INDEPENDENT_ATTACKS,
+    FuzzSummary,
+    Scenario,
+    ScenarioReport,
+    generate_scenario,
+    load_failure,
+    make_injector,
+    replay_failure,
+    run_fuzz,
+    run_scenario,
+    save_failure,
+    shrink_scenario,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "default_invariants",
+    "set_default_invariants",
+    "INJECT_KINDS",
+    "SCHEDULE_INDEPENDENT_ATTACKS",
+    "FuzzSummary",
+    "Scenario",
+    "ScenarioReport",
+    "generate_scenario",
+    "load_failure",
+    "make_injector",
+    "replay_failure",
+    "run_fuzz",
+    "run_scenario",
+    "save_failure",
+    "shrink_scenario",
+]

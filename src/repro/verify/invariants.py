@@ -1,0 +1,481 @@
+"""Runtime invariant checking: machine-checked accounting identities.
+
+The simulator's whole reason to exist is trustworthy attribution of CPU
+time, so the simulator itself must be held to conservation laws, not spot
+figures.  The :class:`InvariantChecker` keeps an independent *shadow
+ledger* fed by kernel hooks (every charge, every tick, every exit, every
+clock advance) and continuously cross-checks it against the kernel's own
+books:
+
+* **time-conservation** — every advanced nanosecond is attributed to
+  exactly one account (a task, idle interrupt time, or the idle loop);
+  per-task attribution equals the oracle's provenance ledger; the engine
+  never consumes more than the clock moved.
+* **tick-conservation** — each jiffy is charged to exactly one account:
+  ``timekeeper.jiffies`` equals the observed tick count, per-task
+  ``acct_ticks`` equals the ticks the checker saw land on that task, and
+  idle ticks balance.
+* **billing-conservation** — scheme-specific closed-form identities: under
+  tick sampling, billed time is exactly (per-mode ticks x jiffy length)
+  minus process-aware diversions; under TSC charging, billed time equals
+  the shadow ledger nanosecond for nanosecond (ditto the audit side of the
+  dual scheme).
+* **oracle-reconciliation** — at exit (and on every full sweep) a task's
+  oracle total equals the time actually charged to it.
+* **runqueue** — READY tasks sit in the scheduler queue exactly once,
+  WAITING tasks on exactly one wait channel, the current task and the
+  dead in neither; ``nr_runnable`` agrees with queue contents.
+* **clock-monotonic** — simulated time and jiffies never move backwards.
+
+Checks are two-tier: O(1) hooks run on every event, and a full O(tasks)
+sweep runs every ``full_check_every_ticks`` jiffies, at every task exit
+(that task only) and at :meth:`check_full`.  Violations either raise
+:class:`InvariantViolation` (default) or are collected for inspection
+(``mode="collect"``), and are always emitted to the trace log under the
+:data:`~repro.sim.tracing.INVARIANT_CATEGORY` category.
+
+Enable via ``Machine(cfg, invariants=True)``, per-experiment via
+``run_experiment(..., check_invariants=True)``, process-wide via
+:func:`set_default_invariants` (the CLI's ``--check-invariants``), or on
+sweep points via ``ExperimentSpec(check_invariants=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..errors import SimulationError
+from ..sim.tracing import INVARIANT_CATEGORY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernel.accounting import ChargeKind
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Task
+
+#: Process-wide default consulted by ``run_experiment`` when its
+#: ``check_invariants`` argument is left as None (the CLI flag sets this).
+_DEFAULT_INVARIANTS = False
+
+
+def set_default_invariants(enabled: bool) -> None:
+    """Turn invariant checking on/off for runs that don't specify it."""
+    global _DEFAULT_INVARIANTS
+    _DEFAULT_INVARIANTS = bool(enabled)
+
+
+def default_invariants() -> bool:
+    return _DEFAULT_INVARIANTS
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach."""
+
+    category: str
+    message: str
+    pid: Optional[int]
+    tick: int
+    time_ns: int
+
+    def __str__(self) -> str:
+        where = f" pid={self.pid}" if self.pid is not None else ""
+        return (f"[{self.category}] tick={self.tick} t={self.time_ns}ns"
+                f"{where}: {self.message}")
+
+
+class InvariantViolation(SimulationError):
+    """Raised (in ``raise`` mode) when a conservation law is broken."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+    @property
+    def category(self) -> str:
+        return self.violation.category
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.violation.pid
+
+    @property
+    def tick(self) -> int:
+        return self.violation.tick
+
+
+class _TaskShadow:
+    """The checker's independent per-task ledger."""
+
+    __slots__ = ("attributed_ns", "ticks_user", "ticks_kernel",
+                 "billable_user_ns", "billable_kernel_ns")
+
+    def __init__(self) -> None:
+        self.attributed_ns = 0
+        self.ticks_user = 0
+        self.ticks_kernel = 0
+        #: ns the active scheme should bill (diverted IRQ time excluded).
+        self.billable_user_ns = 0
+        self.billable_kernel_ns = 0
+
+    @property
+    def ticks(self) -> int:
+        return self.ticks_user + self.ticks_kernel
+
+
+class InvariantChecker:
+    """Shadow-ledger invariant checker wired into a running machine."""
+
+    def __init__(self, mode: str = "raise",
+                 full_check_every_ticks: int = 16,
+                 max_recorded: int = 200) -> None:
+        if mode not in ("raise", "collect"):
+            raise SimulationError(f"unknown invariant mode {mode!r}")
+        self.mode = mode
+        self.full_check_every_ticks = max(1, int(full_check_every_ticks))
+        self.max_recorded = max_recorded
+        self.violations: List[Violation] = []
+        #: (category, pid) pairs already recorded (collect-mode dedup).
+        self._seen: Set[Tuple[str, Optional[int]]] = set()
+        self.suppressed = 0
+
+        self.kernel: Optional["Kernel"] = None
+        self._tick_ns = 0
+        self._attach_now = 0
+        self._attach_jiffies = 0
+
+        # Shadow ledger.
+        self._tasks: Dict[int, _TaskShadow] = {}
+        self._clock_total = 0
+        #: ns advanced but not yet attributed by a charge/idle hook.
+        self._pending_ns = 0
+        self._attributed_total = 0
+        self._idle_irq_ns = 0
+        self._idle_ns = 0
+        self._system_ns = 0
+        self._ticks_total = 0
+        self._idle_ticks = 0
+        self._last_now = 0
+        self._last_jiffies = 0
+        self.full_checks = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._tick_ns = kernel.cfg.tick_ns
+        self._attach_now = kernel.clock.now
+        self._attach_jiffies = kernel.timekeeper.jiffies
+        self._last_now = kernel.clock.now
+        self._last_jiffies = kernel.timekeeper.jiffies
+        kernel.invariants = self
+        kernel.clock.on_advance = self.on_clock_advance
+
+    def _shadow(self, pid: int) -> _TaskShadow:
+        shadow = self._tasks.get(pid)
+        if shadow is None:
+            shadow = self._tasks[pid] = _TaskShadow()
+        return shadow
+
+    def _report(self, category: str, message: str,
+                pid: Optional[int] = None) -> None:
+        kernel = self.kernel
+        tick = kernel.timekeeper.jiffies if kernel is not None else 0
+        now = kernel.clock.now if kernel is not None else 0
+        violation = Violation(category=category, message=message, pid=pid,
+                              tick=tick, time_ns=now)
+        if kernel is not None:
+            kernel.trace(INVARIANT_CATEGORY, f"{category}: {message}", pid)
+        if self.mode == "raise":
+            raise InvariantViolation(violation)
+        key = (category, pid)
+        if key in self._seen or len(self.violations) >= self.max_recorded:
+            self.suppressed += 1
+            return
+        self._seen.add(key)
+        self.violations.append(violation)
+
+    # ------------------------------------------------------------------
+    # hooks (called by clock/kernel/engine/machine)
+    # ------------------------------------------------------------------
+
+    def on_clock_advance(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            self._report("clock-monotonic",
+                         f"clock advanced by negative delta {delta_ns}")
+            return
+        self._clock_total += delta_ns
+        self._pending_ns += delta_ns
+
+    def on_charge(self, task: Optional["Task"], ns: int, user_mode: bool,
+                  kind: "ChargeKind") -> None:
+        """Every charged slice: consume, IRQ handlers, switch cost."""
+        self._pending_ns -= ns
+        if self._pending_ns < 0:
+            self._report(
+                "time-conservation",
+                f"charged {ns}ns exceeding clock advance (pending "
+                f"{self._pending_ns + ns}ns)",
+                task.pid if task is not None else None)
+            self._pending_ns = 0
+        if task is None:
+            self._idle_irq_ns += ns
+            return
+        shadow = self._shadow(task.pid)
+        shadow.attributed_ns += ns
+        self._attributed_total += ns
+        kernel = self.kernel
+        if (kind.value == "irq"
+                and kernel.accounting.process_aware_irq):
+            self._system_ns += ns
+            return
+        if user_mode:
+            shadow.billable_user_ns += ns
+        else:
+            shadow.billable_kernel_ns += ns
+
+    def on_idle_advance(self, delta_ns: int) -> None:
+        """The machine advanced the clock with no task to charge."""
+        self._pending_ns -= delta_ns
+        if self._pending_ns < 0:
+            self._report("time-conservation",
+                         f"idle advance of {delta_ns}ns exceeds clock delta")
+            self._pending_ns = 0
+        self._idle_ns += delta_ns
+
+    def on_tick(self, task: Optional["Task"], user_mode: bool) -> None:
+        """After the accounting scheme sampled this jiffy."""
+        self._ticks_total += 1
+        if task is None:
+            self._idle_ticks += 1
+        else:
+            shadow = self._shadow(task.pid)
+            if user_mode:
+                shadow.ticks_user += 1
+            else:
+                shadow.ticks_kernel += 1
+        if self._ticks_total % self.full_check_every_ticks == 0:
+            self.check_full()
+
+    def on_exit(self, task: "Task") -> None:
+        """Exit reconciliation: the dying task's books must balance now."""
+        self._check_task(task)
+
+    def on_engine_stop(self, task: "Task", consumed_ns: int,
+                       clock_delta_ns: int, budget_ns: int) -> None:
+        if consumed_ns != clock_delta_ns:
+            self._report(
+                "time-conservation",
+                f"engine consumed {consumed_ns}ns but the clock moved "
+                f"{clock_delta_ns}ns", task.pid)
+        if consumed_ns > budget_ns:
+            self._report(
+                "engine-budget",
+                f"engine consumed {consumed_ns}ns of a {budget_ns}ns budget",
+                task.pid)
+
+    def on_step(self) -> None:
+        """Cheap per-iteration check from the machine loop."""
+        if self._pending_ns != 0:
+            self._report(
+                "time-conservation",
+                f"{self._pending_ns}ns advanced without attribution")
+        kernel = self.kernel
+        if kernel.clock.now < self._last_now:
+            self._report("clock-monotonic",
+                         f"clock moved backwards to {kernel.clock.now}ns")
+        self._last_now = kernel.clock.now
+
+    # ------------------------------------------------------------------
+    # full sweep
+    # ------------------------------------------------------------------
+
+    def check_full(self) -> None:
+        """Run every global and per-task identity check."""
+        kernel = self.kernel
+        if kernel is None:
+            return
+        self.full_checks += 1
+        self._check_time_conservation()
+        self._check_tick_conservation()
+        self._check_billing_global()
+        for task in kernel.tasks.values():
+            self._check_task(task)
+        self._check_runqueue()
+
+    def _check_time_conservation(self) -> None:
+        kernel = self.kernel
+        if self._pending_ns != 0:
+            self._report(
+                "time-conservation",
+                f"{self._pending_ns}ns advanced without attribution")
+        observed = kernel.clock.now - self._attach_now
+        if observed != self._clock_total:
+            self._report(
+                "clock-monotonic",
+                f"clock moved {observed}ns but only {self._clock_total}ns "
+                f"passed through advance()")
+        if kernel.idle_irq_ns != self._idle_irq_ns:
+            self._report(
+                "time-conservation",
+                f"kernel idle IRQ time {kernel.idle_irq_ns}ns != shadow "
+                f"{self._idle_irq_ns}ns")
+        accounted = (self._attributed_total + self._idle_irq_ns
+                     + self._idle_ns + self._pending_ns)
+        if accounted != self._clock_total:
+            self._report(
+                "time-conservation",
+                f"{self._clock_total}ns elapsed but {accounted}ns accounted")
+
+    def _check_tick_conservation(self) -> None:
+        kernel = self.kernel
+        jiffies = kernel.timekeeper.jiffies - self._attach_jiffies
+        if jiffies < self._last_jiffies - self._attach_jiffies:
+            self._report("clock-monotonic", "jiffies moved backwards")
+        self._last_jiffies = kernel.timekeeper.jiffies
+        if jiffies != self._ticks_total:
+            self._report(
+                "tick-conservation",
+                f"timekeeper counted {jiffies} jiffies, checker saw "
+                f"{self._ticks_total} ticks")
+        if kernel.accounting.idle_ticks != self._idle_ticks:
+            self._report(
+                "tick-conservation",
+                f"scheme idle_ticks {kernel.accounting.idle_ticks} != "
+                f"shadow {self._idle_ticks}")
+        tk = kernel.timekeeper
+        if tk.ticks_user + tk.ticks_kernel + tk.ticks_idle != tk.jiffies:
+            self._report(
+                "tick-conservation",
+                "per-mode tick counters do not sum to jiffies")
+
+    def _check_billing_global(self) -> None:
+        kernel = self.kernel
+        busy_ticks = self._ticks_total - self._idle_ticks
+        gap = kernel.accounting.billing_gap_ns(
+            kernel.tasks.values(), busy_ticks)
+        if gap is not None and gap != 0:
+            self._report(
+                "billing-conservation",
+                f"billed time off by {gap}ns against "
+                f"{busy_ticks} busy ticks")
+        scheme = kernel.accounting
+        if scheme.process_aware_irq and not scheme.tick_sampled_system:
+            # TSC-style diversion: the system account must equal exactly
+            # the IRQ nanoseconds the checker watched being diverted.
+            if scheme.system_ns != self._system_ns:
+                self._report(
+                    "billing-conservation",
+                    f"system account {scheme.system_ns}ns != diverted IRQ "
+                    f"shadow {self._system_ns}ns")
+
+    def _check_task(self, task: "Task") -> None:
+        kernel = self.kernel
+        shadow = self._tasks.get(task.pid)
+        if shadow is None:
+            shadow = _TaskShadow()
+        oracle_total = sum(task.oracle_ns.values())
+        if oracle_total != shadow.attributed_ns:
+            self._report(
+                "oracle-reconciliation",
+                f"oracle recorded {oracle_total}ns but {shadow.attributed_ns}"
+                f"ns were charged", task.pid)
+        if task.acct_ticks != shadow.ticks:
+            self._report(
+                "tick-conservation",
+                f"task sampled {task.acct_ticks} ticks, checker saw "
+                f"{shadow.ticks}", task.pid)
+        scheme = kernel.accounting
+        usage = scheme.usage(task)
+        if scheme.tick_sampled:
+            if not scheme.process_aware_irq:
+                expect_u = shadow.ticks_user * self._tick_ns
+                expect_k = shadow.ticks_kernel * self._tick_ns
+                if (usage.utime_ns, usage.stime_ns) != (expect_u, expect_k):
+                    self._report(
+                        "billing-conservation",
+                        f"billed {usage.utime_ns}u+{usage.stime_ns}s ns, "
+                        f"tick identity expects {expect_u}u+{expect_k}s ns",
+                        task.pid)
+            elif usage.total_ns > shadow.ticks * self._tick_ns:
+                self._report(
+                    "billing-conservation",
+                    f"billed {usage.total_ns}ns exceeds {shadow.ticks} "
+                    f"sampled jiffies", task.pid)
+        audit = scheme.audit_view(task)
+        if audit is not None:
+            if (audit.utime_ns != shadow.billable_user_ns
+                    or audit.stime_ns != shadow.billable_kernel_ns):
+                self._report(
+                    "billing-conservation",
+                    f"precise view {audit.utime_ns}u+{audit.stime_ns}s ns "
+                    f"!= shadow {shadow.billable_user_ns}u+"
+                    f"{shadow.billable_kernel_ns}s ns", task.pid)
+
+    def _check_runqueue(self) -> None:
+        from ..kernel.process import TaskState
+
+        kernel = self.kernel
+        queued = kernel.scheduler.queued_pids()
+        if queued is None:
+            return
+        if len(queued) != len(set(queued)):
+            dupes = sorted({p for p in queued if queued.count(p) > 1})
+            self._report("runqueue",
+                         f"pids queued more than once: {dupes}",
+                         dupes[0] if dupes else None)
+        queued_set = set(queued)
+        if kernel.scheduler.nr_runnable != len(queued):
+            self._report(
+                "runqueue",
+                f"nr_runnable {kernel.scheduler.nr_runnable} != "
+                f"{len(queued)} queued tasks")
+        current = kernel.current
+        if current is not None and current.pid in queued_set:
+            self._report("runqueue", "current task is on the run queue",
+                         current.pid)
+        waiting_members: Dict[int, str] = {}
+        for channel, tasks in kernel._wait_queues.items():
+            for task in tasks:
+                if task.pid in waiting_members:
+                    self._report("runqueue",
+                                 "task parked on two wait channels",
+                                 task.pid)
+                waiting_members[task.pid] = channel
+                if task.state not in (TaskState.WAITING, TaskState.STOPPED):
+                    self._report(
+                        "runqueue",
+                        f"{task.state.value} task parked on {channel!r}",
+                        task.pid)
+                if task.wait_channel != channel:
+                    self._report(
+                        "runqueue",
+                        f"task parked on {channel!r} but wait_channel is "
+                        f"{task.wait_channel!r}", task.pid)
+        for task in kernel.tasks.values():
+            state = task.state
+            if state is TaskState.READY:
+                if task.pid not in queued_set:
+                    self._report("runqueue",
+                                 "READY task missing from the run queue",
+                                 task.pid)
+            elif task.pid in queued_set:
+                self._report("runqueue",
+                             f"{state.value} task sitting on the run queue",
+                             task.pid)
+            if state is TaskState.WAITING:
+                if task.wait_channel is None:
+                    self._report("runqueue",
+                                 "WAITING task has no wait channel", task.pid)
+                elif waiting_members.get(task.pid) != task.wait_channel:
+                    self._report(
+                        "runqueue",
+                        f"WAITING task not parked on its channel "
+                        f"{task.wait_channel!r}", task.pid)
+            if state in (TaskState.ZOMBIE, TaskState.DEAD):
+                if task.pid in waiting_members:
+                    self._report("runqueue",
+                                 "dead task still parked on a wait channel",
+                                 task.pid)

