@@ -1,0 +1,36 @@
+"""Performance benchmark harness for the simulator.
+
+Two layers, mirroring how the hot paths were optimised:
+
+* :mod:`repro.bench.micro` — microbenchmarks of the individual hot paths
+  (engine slice loop, tick delivery + accounting, scheduler pick_next,
+  trace append, result-cache round trips);
+* :mod:`repro.bench.e2e` — end-to-end timings (cold figure generation and
+  a representative sweep through the batch runner).
+
+``repro bench`` runs both, prints a table and writes a ``BENCH_<stamp>.json``
+report; ``--baseline`` compares against a previous report so CI can flag
+perf regressions (``--warn-only`` downgrades the failure to a warning).
+"""
+
+from .harness import (
+    BENCH_SCHEMA,
+    BenchResult,
+    build_report,
+    compare_reports,
+    format_table,
+    load_report,
+    run_suite,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "build_report",
+    "compare_reports",
+    "format_table",
+    "load_report",
+    "run_suite",
+    "write_report",
+]

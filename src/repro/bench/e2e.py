@@ -1,0 +1,64 @@
+"""End-to-end benchmarks: whole-pipeline wall-clock timings.
+
+These are the numbers a user actually feels: how long a cold figure takes
+to regenerate and how long the batch runner needs for a small sweep.  Both
+run cache-less (cold) so they measure simulation throughput rather than
+cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .harness import BenchSpec
+
+
+def _bench_figure(quick: bool) -> BenchSpec:
+    from ..analysis.figures import figure4
+
+    scale = 0.1 if quick else 0.3
+
+    def fn(ops: int) -> None:
+        for _ in range(ops):
+            figure4(scale=scale)
+
+    return BenchSpec(name="e2e.figure4_cold", kind="e2e", ops=1, fn=fn,
+                     note=f"figure4 at scale {scale}, no cache")
+
+
+def _bench_sweep(quick: bool) -> BenchSpec:
+    from ..analysis.figures import paper_workload_params
+    from ..runner.pool import BatchRunner
+    from ..runner.specs import ExperimentSpec
+
+    params = paper_workload_params(0.03 if quick else 0.08)
+    specs: List[ExperimentSpec] = []
+    for program in ("O", "P"):
+        for attack in (None, "shell"):
+            specs.append(ExperimentSpec(program=program,
+                                        program_kwargs=params[program],
+                                        attack=attack))
+    runner = BatchRunner(jobs=1)
+
+    def fn(ops: int) -> None:
+        outcomes = runner.run(specs)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            raise RuntimeError(
+                f"benchmark sweep failed: {failures[0].failure}")
+
+    return BenchSpec(name="e2e.sweep_serial", kind="e2e", ops=len(specs),
+                     fn=fn, note="O/P x none/shell through BatchRunner, "
+                                 "serial, no cache")
+
+
+#: name → builder(quick) pairs; see ``MICRO_BUILDERS`` in micro.py.
+E2E_BUILDERS = [
+    ("e2e.sweep_serial", _bench_sweep),
+    ("e2e.figure4_cold", _bench_figure),
+]
+
+
+def e2e_benchmarks(quick: bool = False) -> Iterator[BenchSpec]:
+    """The e2e suite (lazy: each spec is built as it is yielded)."""
+    return (builder(quick) for _, builder in E2E_BUILDERS)

@@ -1,0 +1,208 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Each benchmark targets one of the paths the engine optimisation work
+touched, so a regression here points at the responsible subsystem before
+it shows up as a slow figure run:
+
+* ``engine.slice_loop`` — the execution-engine charge loop, driven through
+  a full machine running a compute-heavy workload (ops = simulated
+  jiffies, so the number is "wall ns per simulated jiffy");
+* ``acct.charge_tick.<scheme>`` — one exact charge + one timer-tick sample
+  per op, for each accounting scheme;
+* ``sched.pick_next.<kind>`` — one pick_next/update_curr/put_prev rotation
+  per op, with a populated run queue;
+* ``trace.emit.stored`` / ``trace.emit.suppressed`` — the trace append
+  path for an enabled and a disabled category (the suppressed path is the
+  one experiments pay millions of times);
+* ``cache.roundtrip`` — one ResultCache put + get of a real (tiny)
+  experiment result per op.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import replace
+from typing import Iterator
+
+from .harness import BenchSpec
+
+#: Run-queue depth for the scheduler benchmarks.
+SCHED_QUEUE_DEPTH = 16
+
+
+# ---------------------------------------------------------------------------
+# engine slice loop
+# ---------------------------------------------------------------------------
+
+def _bench_engine(quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..hw.machine import Machine
+    from ..programs.stdlib import install_standard_libraries
+    from ..programs.workloads import make_ourprogram
+
+    cfg = default_config()
+    machine = Machine(cfg)
+    install_standard_libraries(machine.kernel.libraries)
+    shell = machine.new_shell()
+    # Large enough to outlive the measurement: the engine must stay busy
+    # for every measured jiffy (an exited task would turn the tail of the
+    # run into fast-forwarded idle time and flatter the number).
+    shell.run_command(make_ourprogram(iterations=10_000_000,
+                                      cycles_per_iter=430_000,
+                                      mallocs=64))
+    tick_ns = cfg.tick_ns
+    jiffies = 200 if quick else 1200
+
+    def fn(ops: int) -> None:
+        machine.run_for(ops * tick_ns)
+
+    return BenchSpec(name="engine.slice_loop", kind="micro", ops=jiffies,
+                     fn=fn, note="wall ns per simulated jiffy")
+
+
+# ---------------------------------------------------------------------------
+# accounting: exact charge + tick sample
+# ---------------------------------------------------------------------------
+
+def _bench_accounting(scheme: str, quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..hw.cpu import CPUMode
+    from ..kernel.accounting import ChargeKind, make_accounting
+    from ..kernel.process import Task
+
+    cfg = replace(default_config(), accounting=scheme,
+                  process_aware_irq_accounting=True)
+    acct = make_accounting(cfg)
+    task = Task(pid=1, name="bench")
+    user, kernel = CPUMode.USER, CPUMode.KERNEL
+    charge_user, charge_irq = ChargeKind.USER, ChargeKind.IRQ
+    ops = 40_000 if quick else 200_000
+
+    def fn(n: int) -> None:
+        charge = acct.charge
+        on_tick = acct.on_tick
+        for i in range(n):
+            charge(task, user, 1_200, charge_user)
+            charge(task, kernel, 300, charge_irq)
+            on_tick(task, user if i & 1 else kernel)
+
+    return BenchSpec(name=f"acct.charge_tick.{scheme}", kind="micro",
+                     ops=ops, fn=fn,
+                     note="2 charges + 1 tick sample per op")
+
+
+# ---------------------------------------------------------------------------
+# scheduler pick_next rotation
+# ---------------------------------------------------------------------------
+
+def _bench_scheduler(kind: str, quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..kernel.process import Task, TaskState
+    from ..kernel.sched import make_scheduler
+
+    cfg = default_config()
+    cfg = replace(cfg, scheduler=replace(cfg.scheduler, kind=kind))
+    sched = make_scheduler(cfg)
+    for i in range(SCHED_QUEUE_DEPTH):
+        task = Task(pid=i + 1, name=f"bench{i}", nice=(i % 5) - 2)
+        task.state = TaskState.READY
+        sched.enqueue(task, wakeup=True)
+    ops = 20_000 if quick else 100_000
+
+    def fn(n: int) -> None:
+        pick = sched.pick_next
+        update = sched.update_curr
+        put = sched.put_prev
+        for _ in range(n):
+            task = pick()
+            update(task, 1_000_000)
+            put(task)
+
+    return BenchSpec(name=f"sched.pick_next.{kind}", kind="micro", ops=ops,
+                     fn=fn,
+                     note=f"pick/update_curr/put_prev over "
+                          f"{SCHED_QUEUE_DEPTH} tasks")
+
+
+# ---------------------------------------------------------------------------
+# trace append
+# ---------------------------------------------------------------------------
+
+def _bench_trace(stored: bool, quick: bool) -> BenchSpec:
+    from ..sim.tracing import TraceLog
+
+    if stored:
+        ops = 40_000 if quick else 200_000
+        name, category = "trace.emit.stored", "bench"
+    else:
+        ops = 100_000 if quick else 500_000
+        name, category = "trace.emit.suppressed", "quiet"
+
+    def fn(n: int) -> None:
+        log = TraceLog(enabled=("bench",), capacity=n + 1)
+        emit = log.emit
+        for i in range(n):
+            emit(i, category, "bench event", pid=1, value=i)
+
+    return BenchSpec(name=name, kind="micro", ops=ops, fn=fn)
+
+
+# ---------------------------------------------------------------------------
+# result-cache round trip
+# ---------------------------------------------------------------------------
+
+def _bench_cache(quick: bool) -> BenchSpec:
+    from ..runner.cache import ResultCache
+    from ..runner.specs import ExperimentSpec, run_spec
+
+    # A genuinely tiny point: one real result exercises the full
+    # to_dict/from_dict serialisation both ways per op.
+    spec = ExperimentSpec(program="O",
+                          program_kwargs={"iterations": 3,
+                                          "cycles_per_iter": 50_000,
+                                          "mallocs": 1})
+    result = run_spec(spec)
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    cache = ResultCache(tmpdir)
+    ops = 60 if quick else 300
+
+    def fn(n: int) -> None:
+        try:
+            for _ in range(n):
+                cache.put(spec, result)
+                cache.get(spec)
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return BenchSpec(name="cache.roundtrip", kind="micro", ops=ops, fn=fn,
+                     note="1 put + 1 get of a real result per op")
+
+
+#: name → builder(quick) pairs, dependency-light first.  The names are
+#: static so :func:`repro.bench.harness.run_suite` can filter *before*
+#: constructing a benchmark (construction does the setup work — building
+#: machines, running the tiny cache-seed experiment — which is also why
+#: it happens outside the timed window).
+MICRO_BUILDERS = [
+    ("trace.emit.suppressed",
+     lambda quick: _bench_trace(stored=False, quick=quick)),
+    ("trace.emit.stored",
+     lambda quick: _bench_trace(stored=True, quick=quick)),
+] + [
+    (f"acct.charge_tick.{scheme}",
+     lambda quick, scheme=scheme: _bench_accounting(scheme, quick))
+    for scheme in ("tick", "tsc", "dual")
+] + [
+    (f"sched.pick_next.{kind}",
+     lambda quick, kind=kind: _bench_scheduler(kind, quick))
+    for kind in ("cfs", "o1", "rr")
+] + [
+    ("cache.roundtrip", _bench_cache),
+    ("engine.slice_loop", _bench_engine),
+]
+
+
+def micro_benchmarks(quick: bool = False) -> Iterator[BenchSpec]:
+    """The micro suite (lazy: each spec is built as it is yielded)."""
+    return (builder(quick) for _, builder in MICRO_BUILDERS)

@@ -46,12 +46,11 @@ class PhysicalMemory:
     def __init__(self, total_frames: int, kernel_reserved_frames: int = 64) -> None:
         if total_frames <= kernel_reserved_frames:
             raise SimulationError("not enough frames for the kernel reservation")
-        self.frames: List[Frame] = [Frame(pfn) for pfn in range(total_frames)]
-        self._free: Deque[int] = deque()
+        self.frames: List[Frame] = list(map(Frame, range(total_frames)))
+        self._free: Deque[int] = deque(range(kernel_reserved_frames,
+                                             total_frames))
         for frame in self.frames[:kernel_reserved_frames]:
             frame.pinned = True
-        for frame in self.frames[kernel_reserved_frames:]:
-            self._free.append(frame.pfn)
         self._clock_hand = kernel_reserved_frames
         self.kernel_reserved = kernel_reserved_frames
 

@@ -22,13 +22,13 @@ from ..hw.disk import Disk
 from ..hw.irq import IRQ_DISK, IRQ_NIC, IRQ_TIMER, InterruptController
 from ..hw.nic import NetworkCard
 from ..programs.base import GuestContext, GuestFunction, Program
-from ..programs.ops import Provenance, Syscall
+from ..programs.ops import Compute, Provenance, Syscall
 from ..sim.clock import Clock
 from ..sim.events import EventQueue
 from ..sim.rng import DeterministicRng
 from ..sim.tracing import TraceLog
 from .accounting import AccountingScheme, ChargeKind, CpuUsage, make_accounting
-from .engine import ExecState, ExecutionEngine, Frame
+from .engine import ExecState, ExecutionEngine, Frame, Segment
 from .loader.linker import LinkMap, build_link_map, process_body
 from .loader.registry import LibraryRegistry
 from .mm.manager import MemoryManager
@@ -50,6 +50,12 @@ from .timekeeping import TimeKeeper
 
 #: Sentinel distinguishing "no wake arrived while stopped" from payload None.
 _NO_WAKE = object()
+
+#: Hoisted enum members for the charge path.
+_MODE_USER = CPUMode.USER
+_MODE_KERNEL = CPUMode.KERNEL
+#: Oracle key of context-switch overhead (kernel mode, system provenance).
+_KEY_SWITCH = (False, Provenance.SYSTEM)
 
 
 def _close_frames(frames) -> None:
@@ -112,6 +118,16 @@ class Kernel:
         #: sample deferred ticks as system time (see _timer_irq).
         self._irq_window = (0, 0)
 
+        #: Hot-path precomputations.  Ops are immutable, so the fixed
+        #: entry/exit costs of every syscall share two Compute instances;
+        #: the context-switch charge is the same pair of numbers each time.
+        self.syscall_entry_op = Compute(self.costs.syscall_entry_cycles)
+        self.syscall_exit_op = Compute(self.costs.syscall_exit_cycles)
+        self._switch_cycles = (self.costs.context_switch_cycles
+                               + self.costs.schedule_pick_cycles)
+        self._switch_ns = cpu.cycles_to_ns(self._switch_cycles)
+        self._charge_switch_to_prev = self.cfg.charge_switch_to == "prev"
+
         pic.register(IRQ_TIMER, self._timer_irq)
         pic.register(IRQ_NIC, self._nic_irq)
         pic.register(IRQ_DISK, self._disk_irq)
@@ -120,8 +136,10 @@ class Kernel:
     # tracing
     # ------------------------------------------------------------------
 
-    def trace(self, category: str, message: str,
+    def trace(self, category: str, message,
               pid: Optional[int] = None, **data) -> None:
+        """Emit a trace record.  ``message`` may be a zero-argument callable
+        (evaluated only if the record is stored) for hot call sites."""
         self.trace_log.emit(self.clock.now, category, message, pid, **data)
 
     # ------------------------------------------------------------------
@@ -130,12 +148,23 @@ class Kernel:
 
     def consume(self, task: Task, ns: int, cycles: int, user_mode: bool,
                 provenance: Provenance, kind: ChargeKind) -> None:
-        """Advance time for work executed by ``task``."""
-        self.clock.advance(ns)
-        self.cpu.retire_cycles(cycles)
-        mode = CPUMode.USER if user_mode else CPUMode.KERNEL
-        self.accounting.charge(task, mode, ns, kind)
-        task.oracle_charge(user_mode, provenance, ns)
+        """Advance time for work executed by ``task``.
+
+        This is the hottest function in the simulator — every engine charge
+        flush lands here — so Clock.advance, CPU.retire_cycles and
+        Task.oracle_charge are inlined (callers only ever pass non-negative
+        integers, which is all those wrappers additionally enforce).
+        """
+        clock = self.clock
+        clock._now += ns
+        if clock.on_advance is not None and ns:
+            clock.on_advance(ns)
+        self.cpu._cycles += cycles
+        self.accounting.charge(
+            task, _MODE_USER if user_mode else _MODE_KERNEL, ns, kind)
+        oracle = task.oracle_ns
+        key = (user_mode, provenance)
+        oracle[key] = oracle.get(key, 0) + ns
         if self.invariants is not None:
             self.invariants.on_charge(task, ns, user_mode, kind)
 
@@ -202,10 +231,11 @@ class Kernel:
         self.need_resched = True
 
     def _update_curr(self, task: Task) -> None:
-        delta = self.clock.now - task.last_dispatch_ns
+        now = self.clock._now
+        delta = now - task.last_dispatch_ns
         if delta > 0:
             self.scheduler.update_curr(task, delta)
-        task.last_dispatch_ns = self.clock.now
+        task.last_dispatch_ns = now
 
     def schedule(self) -> None:
         """__schedule(): pick the next task, paying the switch cost."""
@@ -242,15 +272,20 @@ class Kernel:
         self.cpu.debug = nxt.debug
 
     def _charge_switch(self, prev: Optional[Task], nxt: Task) -> None:
-        cycles = self.costs.context_switch_cycles + self.costs.schedule_pick_cycles
-        ns = self.cpu.cycles_to_ns(cycles)
-        target = prev if self.cfg.charge_switch_to == "prev" else nxt
+        # Clock.advance / CPU.retire_cycles / Task.oracle_charge inlined,
+        # as in consume() — one switch per schedule() adds up.
+        ns = self._switch_ns
+        clock = self.clock
+        clock._now += ns
+        if clock.on_advance is not None and ns:
+            clock.on_advance(ns)
+        self.cpu._cycles += self._switch_cycles
+        target = prev if self._charge_switch_to_prev else nxt
         if target is None or not target.alive:
             target = nxt
-        self.clock.advance(ns)
-        self.cpu.retire_cycles(cycles)
-        self.accounting.charge(target, CPUMode.KERNEL, ns, ChargeKind.SWITCH)
-        target.oracle_charge(False, Provenance.SYSTEM, ns)
+        self.accounting.charge(target, _MODE_KERNEL, ns, ChargeKind.SWITCH)
+        oracle = target.oracle_ns
+        oracle[_KEY_SWITCH] = oracle.get(_KEY_SWITCH, 0) + ns
         if self.invariants is not None:
             self.invariants.on_charge(target, ns, False, ChargeKind.SWITCH)
 
@@ -331,7 +366,7 @@ class Kernel:
             return
         target.post_signal(sig, sender_pid)
         target.signals_received += 1
-        self.trace("signal", f"post {signal_name(sig)}", target.pid,
+        self.trace("signal", lambda: f"post {signal_name(sig)}", target.pid,
                    sender=sender_pid)
         if target is not self.current:
             # Off-CPU target: resolve dispositions immediately (the engine
@@ -357,8 +392,6 @@ class Kernel:
 
         def apply() -> None:
             self._apply_signal_action(task, sig, action)
-
-        from .engine import Segment  # local import to avoid cycle at load
 
         cycles = self.costs.signal_deliver_cycles
         if action is SignalAction.TRAP:
@@ -492,7 +525,7 @@ class Kernel:
         task.exec_state.push_frame(self._root_frame(task.guest_ctx, fn, args))
         task.vruntime = getattr(self.scheduler, "min_vruntime", 0)
         self.scheduler.enqueue(task)
-        self.trace("task", f"spawn {name}", task.pid)
+        self.trace("task", lambda: f"spawn {name}", task.pid)
         return task
 
     def spawn_program(self, program: Program, name: Optional[str] = None,
@@ -567,7 +600,7 @@ class Kernel:
         st.push_frame(Frame(
             process_body(ctx, program, link_map, self.costs),
             Provenance.LIB, f"crt0:{program.name}", user_mode=True))
-        self.trace("task", f"execve {program.name}", task.pid,
+        self.trace("task", lambda: f"execve {program.name}", task.pid,
                    libs=len(link_map))
 
     def _bind_data_symbols(self, task: Task, program: Program) -> None:
@@ -623,7 +656,7 @@ class Kernel:
         # Reparent children to nobody (init is implicit).
         for child in task.children:
             child.parent = None
-        self.trace("task", f"exit code={code}"
+        self.trace("task", lambda: f"exit code={code}"
                    + (f" signal={signal_name(signal)}" if signal else ""),
                    task.pid)
         if task.parent is not None:
@@ -670,15 +703,33 @@ class Kernel:
     def find_stop_report(self, task: Task, pid: int = -1) -> Optional[Task]:
         """Stops are reported only to the *tracer* (waitpid without
         WUNTRACED does not report stopped children)."""
-        for cand in self._wait_candidates(task, pid):
-            if (cand.state is TaskState.STOPPED and cand.stop_pending_report
-                    and cand.tracer is task):
+        # Scans children then non-child tracees directly — the same
+        # candidate order as _wait_candidates without building the list
+        # (waitpid polls this on every wake).
+        for cand in task.children:
+            if ((pid == -1 or cand.pid == pid)
+                    and cand.state is TaskState.STOPPED
+                    and cand.stop_pending_report and cand.tracer is task):
+                return cand
+        for tracee_pid in task.tracees:
+            cand = self.tasks.get(tracee_pid)
+            if (cand is not None and (pid == -1 or cand.pid == pid)
+                    and cand.state is TaskState.STOPPED
+                    and cand.stop_pending_report and cand.tracer is task):
                 return cand
         return None
 
     def has_waitable(self, task: Task, pid: int = -1) -> bool:
-        return any(t.alive or t.state is TaskState.ZOMBIE
-                   for t in self._wait_candidates(task, pid))
+        for t in task.children:
+            if ((pid == -1 or t.pid == pid)
+                    and (t.alive or t.state is TaskState.ZOMBIE)):
+                return True
+        for tracee_pid in task.tracees:
+            t = self.tasks.get(tracee_pid)
+            if (t is not None and (pid == -1 or t.pid == pid)
+                    and (t.alive or t.state is TaskState.ZOMBIE)):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # memory helpers (engine fault paths)
@@ -690,7 +741,7 @@ class Kernel:
 
     def begin_swap_in(self, task: Task, vaddr: int, frame) -> None:
         channel = f"page:{task.pid}:0x{vaddr:x}"
-        self.trace("fault", f"major fault 0x{vaddr:x}", task.pid)
+        self.trace("fault", lambda: f"major fault 0x{vaddr:x}", task.pid)
 
         def complete() -> None:
             if not task.alive or task.mm is None:

@@ -41,6 +41,24 @@ class TaskState(enum.Enum):
 class Task:
     """One schedulable entity (process or thread)."""
 
+    #: Slotted: task attributes are read on every charge, schedule and
+    #: signal delivery, and a run touches them hundreds of millions of
+    #: times.  ``_pending_wake`` is assigned lazily by Kernel.wake and
+    #: deleted on consumption, so it must be declared here.
+    __slots__ = (
+        "pid", "tgid", "name", "uid", "nice", "state",
+        "parent", "children", "exit_code", "exit_signal",
+        "mm", "guest_ctx", "exec_state", "env",
+        "debug", "tracer", "tracees", "stop_signal", "stop_pending_report",
+        "pending_signals", "wait_channel", "syscall_result",
+        "acct_utime_ns", "acct_stime_ns", "acct_ticks",
+        "acct_cutime_ns", "acct_cstime_ns",
+        "minor_faults", "major_faults", "voluntary_switches",
+        "involuntary_switches", "debug_exceptions", "signals_received",
+        "oracle_ns", "vruntime", "ran_since_pick", "timeslice_ns",
+        "last_dispatch_ns", "enqueue_seq", "_pending_wake",
+    )
+
     def __init__(self, pid: int, name: str, uid: int = 1000,
                  nice: int = 0, tgid: Optional[int] = None) -> None:
         self.pid = pid
@@ -118,11 +136,15 @@ class Task:
 
     @property
     def alive(self) -> bool:
-        return self.state not in (TaskState.ZOMBIE, TaskState.DEAD)
+        # Identity comparisons, not tuple membership: this property is hit
+        # on every wait/signal/schedule decision.
+        state = self.state
+        return state is not TaskState.ZOMBIE and state is not TaskState.DEAD
 
     @property
     def runnable(self) -> bool:
-        return self.state in (TaskState.RUNNING, TaskState.READY)
+        state = self.state
+        return state is TaskState.RUNNING or state is TaskState.READY
 
     @property
     def is_thread(self) -> bool:

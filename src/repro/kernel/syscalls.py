@@ -49,30 +49,37 @@ class SyscallTable:
     def frame(self, task: Task, name: str, args: Tuple,
               provenance: Provenance) -> Generator:
         """Build the kernel-frame generator for one invocation."""
-        kernel = self.kernel
-        handler = self._handlers.get(name)
-
-        def body():
-            yield Compute(kernel.costs.syscall_entry_cycles)
-            if handler is None:
-                kernel.trace("syscall", f"ENOSYS {name}", task.pid)
-                result = -38  # ENOSYS
-            else:
-                self.invocations[name] = self.invocations.get(name, 0) + 1
-                try:
-                    result = yield from handler(kernel, task, *args)
-                except KernelError as err:
-                    kernel.trace("syscall",
-                                 f"{name} -> -{err.errname}", task.pid)
-                    result = -err.errno
-            yield Compute(kernel.costs.syscall_exit_cycles)
-            return result
-
-        return body()
+        return _invocation_body(self, self.kernel, task, name, args,
+                                self._handlers.get(name))
 
     def _register_defaults(self) -> None:
         for name, handler in _DEFAULT_HANDLERS.items():
             self.register(name, handler)
+
+
+def _invocation_body(table: "SyscallTable", kernel: "Kernel", task: Task,
+                     name: str, args: Tuple,
+                     handler: Optional[Callable]) -> Generator:
+    """The wrapping kernel coroutine for one syscall invocation.
+
+    A module-level generator function (rather than a closure built per
+    call) — syscall entry is hot enough that the per-call function object
+    shows up in profiles.
+    """
+    yield kernel.syscall_entry_op
+    if handler is None:
+        kernel.trace("syscall", f"ENOSYS {name}", task.pid)
+        result = -38  # ENOSYS
+    else:
+        table.invocations[name] = table.invocations.get(name, 0) + 1
+        try:
+            result = yield from handler(kernel, task, *args)
+        except KernelError as err:
+            kernel.trace("syscall",
+                         f"{name} -> -{err.errname}", task.pid)
+            result = -err.errno
+    yield kernel.syscall_exit_op
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -347,7 +354,9 @@ def sys_proc_threads(kernel: "Kernel", task: Task, pid: int):
     target = kernel.task_by_pid(pid)
     if target is None or not target.alive:
         raise NoSuchProcess(f"pid {pid}")
-    return sorted(t.pid for t in kernel.thread_group(target) if t.alive)
+    tgid = target.tgid
+    return sorted([t.pid for t in kernel.tasks.values()
+                   if t.tgid == tgid and t.alive])
 
 
 def sys_proc_stat(kernel: "Kernel", task: Task, pid: Optional[int] = None):

@@ -102,3 +102,8 @@ class ResultCache:
     def clear(self) -> None:
         for entry in self.cache_dir.glob("*/*.json"):
             self._evict(entry)
+        # Also sweep temp files orphaned by writers killed mid-put (the
+        # atomic-rename dance leaves a *.tmp behind if the process dies
+        # between mkstemp and os.replace).
+        for orphan in self.cache_dir.glob("*/*.tmp"):
+            self._evict(orphan)

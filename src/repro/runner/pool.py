@@ -12,9 +12,14 @@ Determinism: every point boots a fresh machine from its spec's config and
 seed, so the parallel path is bit-identical to the serial one (the
 equivalence suite enforces this field by field).
 
-Timeouts are enforced *inside* the executing process via ``SIGALRM``
-(whole seconds, POSIX main thread only — silently skipped elsewhere), so a
-hung point turns into an ordinary failure instead of a leaked worker.
+Timeouts are enforced *inside* the executing process via a real-time
+interval timer (``SIGALRM``; POSIX main thread only — silently skipped
+elsewhere), at full sub-second resolution, so a hung point turns into an
+ordinary failure instead of a leaked worker.
+
+A worker that dies outright (OOM kill, segfault, ``os._exit``) breaks the
+whole ``ProcessPoolExecutor``; the runner converts every in-flight point
+into a failure-or-retry, replaces the executor, and the sweep continues.
 """
 
 from __future__ import annotations
@@ -23,7 +28,12 @@ import signal
 import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -96,14 +106,17 @@ def _execute_spec(spec: ExperimentSpec,
     """Worker-side entry: run one spec, never raise across the pickle
     boundary.  Returns ("ok", result, wall_s) or ("error", record-less
     (type, message, traceback) tuple, wall_s)."""
-    use_alarm = (timeout_s is not None
+    use_alarm = (timeout_s is not None and timeout_s > 0
                  and hasattr(signal, "SIGALRM")
+                 and hasattr(signal, "setitimer")
                  and threading.current_thread() is threading.main_thread())
     start = time.perf_counter()
     previous = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.alarm(max(1, int(timeout_s)))
+        # setitimer, not alarm(): alarm truncates to whole seconds, which
+        # turns a 0.5s ceiling into 1s (and 0 into "no timeout at all").
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
         result = run_spec(spec)
         return ("ok", result, time.perf_counter() - start)
@@ -117,7 +130,7 @@ def _execute_spec(spec: ExperimentSpec,
                           traceback.format_exc(limit=8)), wall)
     finally:
         if use_alarm:
-            signal.alarm(0)
+            signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
 
 
@@ -251,25 +264,59 @@ class BatchRunner:
 
     def _run_pool(self, specs, live, outcomes, total, emit) -> None:
         attempts: Dict[int, int] = {index: 0 for index in live}
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-
-            def submit(index: int):
-                attempts[index] += 1
-                emit(ProgressEvent(STARTED, index, total, specs[index].name,
-                                   attempt=attempts[index]))
-                return executor.submit(_execute_spec, specs[index],
-                                       self.timeout_s)
-
-            pending = {submit(index): index for index in live}
-            while pending:
+        queue: List[int] = list(live)  # points awaiting (re)submission
+        pending: Dict[object, int] = {}  # in-flight future -> spec index
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while queue or pending:
+                for index in queue:
+                    attempts[index] += 1
+                    emit(ProgressEvent(STARTED, index, total,
+                                       specs[index].name,
+                                       attempt=attempts[index]))
+                    pending[executor.submit(_execute_spec, specs[index],
+                                            self.timeout_s)] = index
+                queue = []
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                broken = False
                 for future in done:
                     index = pending.pop(future)
                     try:
                         payload = future.result()
-                    except Exception as exc:  # broken pool / unpicklable
+                    except BrokenExecutor as exc:
+                        # A worker died outright (OOM kill, segfault,
+                        # os._exit): the whole pool is unusable from here.
+                        broken = True
+                        payload = self._broken_payload(exc)
+                    except Exception as exc:  # unpicklable result etc.
                         payload = ("error", (type(exc).__name__, str(exc),
                                              ""), 0.0)
                     if self._finish(outcomes, index, total, payload,
                                     attempts[index], emit):
-                        pending[submit(index)] = index
+                        queue.append(index)
+                if broken:
+                    # Every other in-flight future fails with the same
+                    # breakage; fold each into a retry-or-failure, then
+                    # replace the executor so the sweep keeps going.
+                    for future, index in list(pending.items()):
+                        try:
+                            payload = future.result(timeout=5.0)
+                        except BrokenExecutor as exc:
+                            payload = self._broken_payload(exc)
+                        except Exception as exc:
+                            payload = ("error", (type(exc).__name__,
+                                                 str(exc), ""), 0.0)
+                        if self._finish(outcomes, index, total, payload,
+                                        attempts[index], emit):
+                            queue.append(index)
+                    pending = {}
+                    executor.shutdown(wait=False)
+                    executor = ProcessPoolExecutor(max_workers=self.jobs)
+        finally:
+            executor.shutdown(wait=False)
+
+    @staticmethod
+    def _broken_payload(exc: BaseException) -> Tuple[str, object, float]:
+        message = str(exc) or ("a worker process died abruptly; "
+                               "the pool was replaced")
+        return ("error", (type(exc).__name__, message, ""), 0.0)

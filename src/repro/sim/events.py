@@ -28,7 +28,10 @@ class Event:
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+        # Tuple-free: heap sifts compare events on every schedule/pop.
+        if self.time_ns != other.time_ns:
+            return self.time_ns < other.time_ns
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"

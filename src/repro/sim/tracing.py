@@ -57,21 +57,30 @@ class TraceLog:
         self._dropped_by_category: Dict[str, int] = {}
         self._capacity = capacity
         self.dropped = 0
+        self._recompute_stored()
+
+    def _recompute_stored(self) -> None:
+        """Precompute the store decision so the (dominant) disabled-category
+        emit path is one counter bump and one set-membership test."""
+        self._store_all = "*" in self._enabled
+        self._stored = self._enabled | ALWAYS_STORED_CATEGORIES
 
     def enable(self, *categories: str) -> None:
         self._enabled.update(categories)
+        self._recompute_stored()
 
     def disable(self, *categories: str) -> None:
         self._enabled.difference_update(categories)
+        self._recompute_stored()
 
     def enabled(self, category: str) -> bool:
         return category in self._enabled or "*" in self._enabled
 
-    def emit(self, time_ns: int, category: str, message: str,
+    def emit(self, time_ns: int, category: str, message,
              pid: Optional[int] = None, **data) -> None:
-        self._counters[category] = self._counters.get(category, 0) + 1
-        if not self.enabled(category) \
-                and category not in ALWAYS_STORED_CATEGORIES:
+        counters = self._counters
+        counters[category] = counters.get(category, 0) + 1
+        if not self._store_all and category not in self._stored:
             return
         if len(self._records) >= self._capacity:
             # Count every record that could not be stored, per attempt, so
@@ -80,6 +89,10 @@ class TraceLog:
             self._dropped_by_category[category] = \
                 self._dropped_by_category.get(category, 0) + 1
             return
+        if callable(message):
+            # Lazy message: hot call sites pass a thunk so the format work
+            # only happens for records that are actually stored.
+            message = message()
         self._records.append(TraceRecord(
             time_ns=time_ns, category=category, message=message, pid=pid,
             data=tuple(sorted(data.items()))))

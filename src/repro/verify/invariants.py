@@ -222,6 +222,13 @@ class InvariantChecker:
             self._pending_ns = 0
         if task is None:
             self._idle_irq_ns += ns
+            # Idle-period IRQ time is still diverted to the scheme's
+            # system account under process-aware accounting; keep the
+            # diversion shadow in step so the TSC-style system_ns check
+            # stays exact.
+            if (kind.value == "irq"
+                    and self.kernel.accounting.process_aware_irq):
+                self._system_ns += ns
             return
         shadow = self._shadow(task.pid)
         shadow.attributed_ns += ns

@@ -145,3 +145,16 @@ class TestCorruption:
         cache.clear()
         assert len(cache) == 0
         assert cache.get(spec) is None
+
+    def test_clear_sweeps_orphaned_tmp_files(self, cache):
+        # A writer killed between mkstemp and os.replace leaves a *.tmp
+        # in the shard directory; clear() must remove those too.
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        key = spec_key(spec)
+        shard = cache.cache_dir / key[:2]
+        orphan = shard / "deadbeef.tmp"
+        orphan.write_text("{half a docum")
+        cache.clear()
+        assert not orphan.exists()
+        assert list(cache.cache_dir.glob("*/*")) == []
