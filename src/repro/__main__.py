@@ -16,6 +16,11 @@ Commands:
   every scheduler with runtime invariants on, cross-checked serial vs
   batch and across schedulers; failures shrink to replayable JSON specs
   (see docs/invariants.md);
+* ``vm [--attack sched|none] [--burn-fraction F] [--scale S] [--json P]``
+  — run the VM-level scheduling attack (a victim VM vs a tick-dodging
+  co-resident under the credit hypervisor) with the guest steal-time
+  estimator, print both hypervisor ledgers and the tenant audit, and
+  check the expected shape (see docs/virt.md);
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -221,6 +226,117 @@ def _cmd_gallery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_vm(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.figures import paper_workload_params
+    from .metering.steal import audit_vm_result
+    from .runner import ExperimentSpec
+    from .runner.specs import run_spec
+
+    _apply_invariants_flag(args)
+    check_invariants = True if args.check_invariants else None
+    program_kwargs = paper_workload_params(args.scale)[args.program]
+    specs = [ExperimentSpec(program=args.program,
+                            program_kwargs=program_kwargs,
+                            attack=None, vm={},
+                            check_invariants=check_invariants,
+                            label=f"vm:{args.program}:none")]
+    attacked = args.attack != "none"
+    if attacked:
+        specs.append(ExperimentSpec(
+            program=args.program, program_kwargs=program_kwargs,
+            attack="vm-sched",
+            attack_kwargs={"burn_fraction": args.burn_fraction}, vm={},
+            check_invariants=check_invariants,
+            label=f"vm:{args.program}:sched"))
+    runner = _make_runner(args, quiet=True)
+    if runner is None:
+        results = [run_spec(spec) for spec in specs]
+    else:
+        results = runner.run_results(specs)
+
+    tick_ns = 10_000_000  # HypervisorConfig default
+    checks = []
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        checks.append({"name": name, "passed": bool(passed),
+                       "detail": detail})
+
+    def describe(tag: str, res) -> None:
+        s = res.stats
+        print(f"{tag}: victim billed {res.total_s:.3f}s "
+              f"(ran {s['victim_ran_ns'] / 1e9:.3f}s, "
+              f"steal {s['victim_steal_ns'] / 1e9:.3f}s, "
+              f"idle {s['victim_idle_ns'] / 1e9:.3f}s) "
+              f"wall {res.wall_s:.3f}s "
+              f"hv_ticks={s['hv_ticks']} switches={s['vcpu_switches']}")
+        if res.attacker_usage is not None:
+            print(f"  attacker billed {res.attacker_usage.total_seconds:.3f}s"
+                  f" for {s['attacker_ran_ns'] / 1e9:.3f}s actually burned "
+                  f"({s['attacker_iterations']} tick-dodging iterations)")
+        print(f"  guest estimator: est steal "
+              f"{s['est_steal_ns'] / 1e9:.3f}s vs reported "
+              f"{s['reported_steal_ns'] / 1e9:.3f}s "
+              f"({s['steal_samples']} samples)")
+
+    baseline = results[0]
+    describe("baseline", baseline)
+    for res in results:
+        check("per-vCPU conservation ran+idle+steal == host wall",
+              res.stats["conservation_gap_ns"] == 0,
+              f"gap={res.stats['conservation_gap_ns']}ns")
+    audit_doc = None
+    if attacked:
+        res = results[1]
+        describe("attacked", res)
+        audit = audit_vm_result(res)
+        print()
+        print(audit.render())
+        audit_doc = {"verdict": audit.verdict.value,
+                     "est_steal_ns": audit.est_steal_ns,
+                     "reported_steal_ns": audit.reported_steal_ns,
+                     "overbilling_ns": audit.overbilling_ns}
+        check("co-resident victim's bill inflates",
+              res.usage.total_ns > baseline.usage.total_ns,
+              f"attacked={res.total_s:.3f}s baseline={baseline.total_s:.3f}s")
+        check("attacker billed ~nothing",
+              res.attacker_usage.total_ns
+              <= max(2 * tick_ns, 0.05 * res.usage.total_ns),
+              f"attacker billed={res.attacker_usage.total_seconds:.3f}s")
+        est = res.stats["est_steal_ns"]
+        rep = res.stats["reported_steal_ns"]
+        check("guest steal estimate within 5% of reported",
+              abs(est - rep) <= max(4_000_000, 0.05 * rep),
+              f"est={est / 1e9:.3f}s reported={rep / 1e9:.3f}s")
+    print()
+    ok = True
+    for entry in checks:
+        status = "PASS" if entry["passed"] else "FAIL"
+        ok = ok and entry["passed"]
+        print(f"  [{status}] {entry['name']} ({entry['detail']})")
+
+    if args.json:
+        doc = {
+            "command": "vm",
+            "program": args.program,
+            "attack": "vm-sched" if attacked else "none",
+            "burn_fraction": args.burn_fraction if attacked else None,
+            "scale": args.scale,
+            "check_invariants": bool(args.check_invariants),
+            "passed": ok,
+            "checks": checks,
+            "audit": audit_doc,
+            "results": {spec.name: res.to_dict()
+                        for spec, res in zip(specs, results)},
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .analysis.calibration import calibrate
 
@@ -313,7 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "invariant checker (docs/invariants.md)")
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
-    fig.add_argument("fig_id", choices=[f"fig{n}" for n in range(4, 12)])
+    fig.add_argument("fig_id",
+                     choices=[f"fig{n}" for n in range(4, 12)] + ["vmsched"])
     fig.add_argument("--scale", type=float, default=0.4)
     add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
@@ -357,6 +474,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-scenario progress lines")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    vm = sub.add_parser(
+        "vm", help="VM-level scheduling attack under the credit hypervisor")
+    vm.add_argument("--attack", choices=["sched", "none"], default="sched",
+                    help="co-resident attack to run (default: sched)")
+    vm.add_argument("--burn-fraction", type=float, default=0.75,
+                    help="fraction of each hypervisor tick the attacker "
+                         "burns before dodging the sample (default 0.75)")
+    vm.add_argument("--program", choices=["O", "P", "W", "B"], default="W",
+                    help="victim VM workload (default W)")
+    vm.add_argument("--scale", type=float, default=0.4)
+    vm.add_argument("--json", metavar="PATH", default=None,
+                    help="write a machine-readable report to PATH")
+    add_runner_flags(vm)
+    vm.set_defaults(func=_cmd_vm)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

@@ -447,6 +447,110 @@ def figure11(scale: float = 1.0,
     return fig
 
 
+#: Burn fractions swept by the VM scheduling figure.
+VM_BURN_FRACTIONS: Tuple[float, ...] = (0.25, 0.5, 0.75, 0.9)
+
+
+def figure_vm_sched(scale: float = 1.0,
+                    cfg: Optional[MachineConfig] = None,
+                    runner: Optional[BatchRunner] = None) -> FigureResult:
+    """VM-level analogue of Fig. 7: the hypervisor scheduling attack.
+
+    A victim VM runs Whetstone while a co-resident attacker VM burns a
+    rising fraction of each hypervisor accounting tick and sleeps across
+    the sampling edge (Zhou et al., arXiv:1103.0759).  Expected shape: the
+    victim's *billed* CPU inflates monotonically with the attacker's burn
+    fraction while its actually-ran time stays flat, the attacker's bill
+    stays pinned near zero however much it burns, and the victim's
+    guest-side steal estimator measures the loss the host reports.
+    """
+    wkw = paper_workload_params(scale)["W"]
+    specs = [ExperimentSpec(program="W", program_kwargs=wkw, attack=None,
+                            vm={}, cfg=cfg, label="vm:W:none")]
+    for fraction in VM_BURN_FRACTIONS:
+        specs.append(ExperimentSpec(
+            program="W", program_kwargs=wkw, attack="vm-sched",
+            attack_kwargs={"burn_fraction": fraction}, vm={}, cfg=cfg,
+            label=f"vm:W:burn={fraction}"))
+    results = _execute(specs, runner)
+
+    fig = FigureResult(
+        "vmsched", "VM scheduling attack: co-resident billing inflation")
+    tick_ns = 10_000_000  # HypervisorConfig default; vm={} keeps it
+    baseline = results[0]
+    fig.results["baseline"] = baseline
+    fig.series.append(("no attack", _bar("victim", baseline),
+                       Bar("attacker", 0.0, 0.0)))
+    for fraction, res in zip(VM_BURN_FRACTIONS, results[1:]):
+        label = f"burn={fraction}"
+        fig.results[label] = res
+        attacker = res.attacker_usage
+        fig.series.append((
+            label, _bar("victim billed", res),
+            Bar("attacker billed", attacker.utime_ns / 1e9,
+                attacker.stime_ns / 1e9)))
+    fig.meta = {
+        "burn_fractions": list(VM_BURN_FRACTIONS),
+        "hv_tick_ns": tick_ns,
+        "victim_ran_s": [r.stats["victim_ran_ns"] / 1e9 for r in results],
+        "victim_steal_s": [r.stats["victim_steal_ns"] / 1e9
+                           for r in results],
+        "est_steal_s": [r.stats["est_steal_ns"] / 1e9 for r in results],
+    }
+
+    base_billed = baseline.usage.total_ns
+    base_ran = baseline.stats["victim_ran_ns"]
+    fig.checks.append(Check(
+        "baseline bill tracks actual run time",
+        abs(base_billed - base_ran) <= max(2 * tick_ns, 0.1 * base_ran),
+        f"billed={base_billed / 1e9:.3f}s ran={base_ran / 1e9:.3f}s"))
+    victim_billed = [r.usage.total_ns for r in results[1:]]
+    fig.checks.append(Check(
+        "victim bill inflates monotonically with burn fraction",
+        all(b >= a for a, b in zip(victim_billed, victim_billed[1:]))
+        and victim_billed[-1] > base_billed,
+        f"billed={[round(b / 1e9, 3) for b in victim_billed]}s "
+        f"baseline={base_billed / 1e9:.3f}s"))
+    fig.checks.append(Check(
+        f"strong inflation at burn={VM_BURN_FRACTIONS[-1]}",
+        victim_billed[-1] >= 2 * base_billed,
+        f"x{victim_billed[-1] / base_billed:.2f} over baseline"))
+    attacker_billed = [r.attacker_usage.total_ns for r in results[1:]]
+    attacker_ran = [r.stats["attacker_ran_ns"] for r in results[1:]]
+    fig.checks.append(Check(
+        "attacker billed ~nothing for real burn",
+        all(b <= max(2 * tick_ns, 0.05 * v)
+            for b, v in zip(attacker_billed, victim_billed))
+        and attacker_ran[-1] > 2 * tick_ns,
+        f"attacker billed={[round(b / 1e9, 3) for b in attacker_billed]}s "
+        f"ran={[round(r / 1e9, 3) for r in attacker_ran]}s"))
+    ran = [r.stats["victim_ran_ns"] for r in results]
+    fig.checks.append(Check(
+        "victim's actual run time stays flat",
+        max(ran) <= 1.05 * min(ran),
+        f"ran={[round(r / 1e9, 3) for r in ran]}s"))
+    est_ok = []
+    for res in results[1:]:
+        est = res.stats["est_steal_ns"]
+        rep = res.stats["reported_steal_ns"]
+        est_ok.append(abs(est - rep) <= max(4_000_000, 0.05 * rep))
+    fig.checks.append(Check(
+        "guest steal estimate within 5% of reported steal",
+        all(est_ok),
+        f"est={[round(r.stats['est_steal_ns'] / 1e9, 3) for r in results[1:]]}s "
+        f"reported={[round(r.stats['reported_steal_ns'] / 1e9, 3) for r in results[1:]]}s"))
+    from ..metering.steal import StealVerdict, audit_vm_result
+
+    audits = [audit_vm_result(r) for r in results[1:]]
+    fig.checks.append(Check(
+        "tenant audit flags overbilling at the top fraction, never a "
+        "misreported steal clock",
+        audits[-1].verdict is StealVerdict.OVERBILLED
+        and all(a.verdict is not StealVerdict.MISREPORTED for a in audits),
+        f"verdicts={[a.verdict.value for a in audits]}"))
+    return fig
+
+
 #: fig id → generator.
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig4": figure4,
@@ -457,6 +561,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig9": figure9,
     "fig10": figure10,
     "fig11": figure11,
+    "vmsched": figure_vm_sched,
 }
 
 
@@ -484,4 +589,8 @@ PAPER_REFERENCE: Dict[str, Dict[str, object]] = {
     "fig9": {"note": "mostly system-time growth, ordered by hit count"},
     "fig10": {"note": "slight stime increase only"},
     "fig11": {"note": "moderate stime increase; capped by OOM"},
+    "vmsched": {"note": "VM analogue, not a paper figure: Zhou et al. "
+                        "(arXiv:1103.0759) report an attacker consuming "
+                        "up to ~98% of a core while Xen bills it ~nothing; "
+                        "co-residents absorb the sampled ticks"},
 }

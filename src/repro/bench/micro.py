@@ -149,6 +149,55 @@ def _bench_trace(stored: bool, quick: bool) -> BenchSpec:
 
 
 # ---------------------------------------------------------------------------
+# hypervisor: tick path and vCPU context switch
+# ---------------------------------------------------------------------------
+
+def _busy_hypervisor(n_vms: int = 2):
+    from ..programs.attackers import make_busyloop
+    from ..programs.stdlib import install_standard_libraries
+    from ..virt.hypervisor import Hypervisor
+
+    hv = Hypervisor()
+    for i in range(n_vms):
+        vm = hv.create_vm(f"bench{i}")
+        install_standard_libraries(vm.machine.kernel.libraries)
+        # Outlives any measurement window, so every tick samples a busy
+        # vCPU (an idle guest would fast-forward and flatter the number).
+        vm.machine.new_shell().run_command(
+            make_busyloop(total_cycles=10_000_000_000_000))
+    return hv
+
+
+def _bench_virt_tick(quick: bool) -> BenchSpec:
+    hv = _busy_hypervisor()
+    tick_ns = hv.cfg.tick_ns
+    ticks = 100 if quick else 600
+
+    def fn(ops: int) -> None:
+        hv.run_for(ops * tick_ns)
+
+    return BenchSpec(name="virt.tick", kind="micro", ops=ticks, fn=fn,
+                     note="wall ns per hypervisor accounting tick "
+                          "(2 busy guests)")
+
+
+def _bench_vcpu_switch(quick: bool) -> BenchSpec:
+    hv = _busy_hypervisor()
+    hv.step()  # dispatch one vCPU so every _reschedule is a real switch
+    ops = 20_000 if quick else 100_000
+
+    def fn(n: int) -> None:
+        resched = hv._reschedule
+        for _ in range(n):
+            hv.need_resched = True
+            resched()
+
+    return BenchSpec(name="virt.vcpu_switch", kind="micro", ops=ops, fn=fn,
+                     note="requeue + pick_next + ledger sync per op, "
+                          "alternating 2 vCPUs")
+
+
+# ---------------------------------------------------------------------------
 # result-cache round trip
 # ---------------------------------------------------------------------------
 
@@ -199,6 +248,8 @@ MICRO_BUILDERS = [
     for kind in ("cfs", "o1", "rr")
 ] + [
     ("cache.roundtrip", _bench_cache),
+    ("virt.vcpu_switch", _bench_vcpu_switch),
+    ("virt.tick", _bench_virt_tick),
     ("engine.slice_loop", _bench_engine),
 ]
 

@@ -12,9 +12,15 @@ one physical machine) and are billed either per instance-hour of uptime
   stretches the victim's wall-clock time — no accounting subversion is
   even needed, which is why uptime billing is the least trustworthy metric
   of all (it equals turnaround time, which §III-B already rejects).
+
+With ``CloudProvider(virtualization=True)`` instances become real VMs
+behind vCPUs of the credit hypervisor (:mod:`repro.virt`): the provider
+meters at the hypervisor (host-clock uptime, tick-sampled CPU billing),
+and the VM-level scheduling attack shifts co-residents' cycles onto the
+victim's bill (docs/virt.md).
 """
 
-from .instance import Instance, InstanceState
+from .instance import Instance, InstanceState, VmInstance
 from .provider import CloudProvider
 
-__all__ = ["Instance", "InstanceState", "CloudProvider"]
+__all__ = ["Instance", "InstanceState", "VmInstance", "CloudProvider"]

@@ -12,6 +12,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hw.machine import Machine
     from ..kernel.process import Task
     from ..kernel.shell import Shell
+    from ..virt.hypervisor import Hypervisor, VirtualMachine
 
 
 class InstanceState(enum.Enum):
@@ -83,6 +84,64 @@ class Instance:
             usage = usage + CpuUsage(task.acct_cutime_ns, task.acct_cstime_ns)
         return usage
 
+    def metered_usage(self) -> CpuUsage:
+        """What the *provider's* meter sees for this instance — for a
+        shared-kernel instance, the kernel's per-task accounting."""
+        return self.cpu_usage()
+
     def __repr__(self) -> str:
         return (f"Instance({self.name!r}, owner={self.owner!r}, "
+                f"{self.state.value})")
+
+
+class VmInstance(Instance):
+    """An instance that is a real virtual machine behind one vCPU.
+
+    The tenant gets a whole guest kernel (root inside it); the provider
+    meters at the *hypervisor*: wall-clock uptime off the host clock and
+    CPU off the credit scheduler's tick-sampled billing.  The gap between
+    that bill and what the vCPU actually ran is the VM-level metering
+    attack surface (docs/virt.md).
+    """
+
+    def __init__(self, name: str, owner: str, vm: "VirtualMachine",
+                 hypervisor: "Hypervisor", launched_ns: int) -> None:
+        super().__init__(name, owner, vm.machine,
+                         vm.machine.new_shell(), uid=0,
+                         launched_ns=launched_ns)
+        self.vm = vm
+        self.hypervisor = hypervisor
+
+    def wait_all(self, max_ns: Optional[int] = None) -> None:
+        """Run the *hypervisor* (all co-resident VMs progress) until every
+        job of this instance exited.  ``max_ns`` bounds host time."""
+        self.hypervisor.run_until_exit(self.tasks, max_ns=max_ns)
+
+    def terminate(self) -> None:
+        if self.state is InstanceState.TERMINATED:
+            return
+        super().terminate()
+        self.terminated_ns = self.hypervisor.clock.now
+
+    @property
+    def uptime_ns(self) -> int:
+        """Uptime in *host* wall time (what instance-hours bill); the
+        guest's own clock runs slow by exactly the steal time."""
+        end = (self.terminated_ns if self.terminated_ns is not None
+               else self.hypervisor.clock.now)
+        return end - self.launched_ns
+
+    @property
+    def steal_ns(self) -> int:
+        return self.vm.steal_ns
+
+    def billed_usage(self) -> CpuUsage:
+        """The hypervisor's tick-sampled bill for this VM."""
+        return CpuUsage(self.vm.billed_utime_ns, self.vm.billed_stime_ns)
+
+    def metered_usage(self) -> CpuUsage:
+        return self.billed_usage()
+
+    def __repr__(self) -> str:
+        return (f"VmInstance({self.name!r}, owner={self.owner!r}, "
                 f"{self.state.value})")

@@ -1,4 +1,15 @@
-"""The cloud provider: one physical machine, many instances, two tariffs."""
+"""The cloud provider: one physical machine, many instances, two tariffs.
+
+Two hosting models, matching the two co-location stories in the paper's
+§III-B:
+
+* **shared kernel** (default) — instances are uid-partitioned task groups
+  on one machine, metered by the kernel's per-task accounting;
+* **virtualization** (``virtualization=True``) — instances are real VMs
+  behind vCPUs of a credit hypervisor (:mod:`repro.virt`), metered by the
+  hypervisor's tick-sampled billing.  Same tariffs, one level down — and
+  the same class of sampling attacks against them (docs/virt.md).
+"""
 
 from __future__ import annotations
 
@@ -15,33 +26,67 @@ from ..metering.billing import (
     PricePlan,
 )
 from ..programs.stdlib import install_standard_libraries
-from .instance import Instance
+from .instance import Instance, VmInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..virt.hypervisor import Hypervisor, HypervisorConfig
 
 #: uid pool for customers; the provider itself operates as root (uid 0).
 _FIRST_CUSTOMER_UID = 5_000
 
 
 class CloudProvider:
-    """Hosts customer instances on one simulated machine."""
+    """Hosts customer instances on one simulated machine (or hypervisor)."""
 
     def __init__(self, cfg: Optional[MachineConfig] = None,
-                 machine: Optional[Machine] = None) -> None:
-        self.machine = machine or Machine(cfg or default_config())
-        install_standard_libraries(self.machine.kernel.libraries)
+                 machine: Optional[Machine] = None,
+                 virtualization: bool = False,
+                 hypervisor: Optional["Hypervisor"] = None,
+                 hv_cfg: Optional["HypervisorConfig"] = None) -> None:
+        """``cfg`` is the machine config — of the one shared machine, or of
+        every guest when ``virtualization`` is on.  Passing ``hypervisor``
+        (or ``hv_cfg``) implies virtualization."""
+        self.hypervisor: Optional["Hypervisor"] = None
+        self.machine: Optional[Machine] = None
+        self._guest_cfg = cfg or default_config()
+        if virtualization or hypervisor is not None or hv_cfg is not None:
+            from ..virt.hypervisor import Hypervisor
+
+            self.hypervisor = hypervisor or Hypervisor(hv_cfg)
+        else:
+            self.machine = machine or Machine(cfg or default_config())
+            install_standard_libraries(self.machine.kernel.libraries)
         self.instances: Dict[str, Instance] = {}
         self._next_uid = _FIRST_CUSTOMER_UID
+
+    @property
+    def virtualization(self) -> bool:
+        return self.hypervisor is not None
 
     # -- lifecycle -------------------------------------------------------------
 
     def launch_instance(self, name: str, owner: str,
-                        provider_owned: bool = False) -> Instance:
-        """Provision an instance (its own shell session and uid).
+                        provider_owned: bool = False,
+                        weight: int = 256) -> Instance:
+        """Provision an instance.
 
-        ``provider_owned`` instances run as root — the co-location vector
-        for the privileged attacks.
+        Shared-kernel model: a shell session with its own uid
+        (``provider_owned`` instances run as root — the co-location vector
+        for the privileged attacks).  Virtualization model: a whole guest
+        VM with scheduler ``weight`` (``provider_owned``/uid moot — every
+        tenant is root in its own kernel).
         """
         if name in self.instances:
             raise SimulationError(f"instance name {name!r} already in use")
+        if self.hypervisor is not None:
+            vm = self.hypervisor.create_vm(name, cfg=self._guest_cfg,
+                                           weight=weight)
+            install_standard_libraries(vm.machine.kernel.libraries)
+            instance: Instance = VmInstance(
+                name, owner, vm, self.hypervisor,
+                launched_ns=self.hypervisor.clock.now)
+            self.instances[name] = instance
+            return instance
         if provider_owned:
             uid = 0
         else:
@@ -68,17 +113,19 @@ class CloudProvider:
 
     def invoice_cpu(self, name: str,
                     plan: PricePlan = PER_SECOND_PLAN) -> Invoice:
-        """Metered-CPU tariff: bill the kernel-accounted CPU time."""
+        """Metered-CPU tariff: bill what the provider's meter sees — the
+        kernel's per-task accounting for shared instances, the
+        hypervisor's tick-sampled billing for VMs."""
         instance = self.instances[name]
         return Invoice(job_name=f"{name} (cpu)", plan=plan,
-                       usage=instance.cpu_usage())
+                       usage=instance.metered_usage())
 
     # -- reporting --------------------------------------------------------------------
 
     def summary(self) -> str:
         lines = ["instances:"]
         for name, instance in sorted(self.instances.items()):
-            usage = instance.cpu_usage()
+            usage = instance.metered_usage()
             lines.append(
                 f"  {name:<12} owner={instance.owner:<10} "
                 f"{instance.state.value:<10} "

@@ -93,6 +93,7 @@ def uptime(kernel: "Kernel") -> Dict[str, float]:
         "user_ticks": tk.ticks_user,
         "kernel_ticks": tk.ticks_kernel,
         "idle_ticks": tk.ticks_idle,
+        "steal_s": tk.steal_ns / 1e9,
     }
 
 
@@ -103,11 +104,13 @@ def top(kernel: "Kernel", limit: Optional[int] = None) -> str:
     if limit is not None:
         rows = rows[:limit]
     mem = meminfo(kernel)
+    steal = kernel.timekeeper.steal_ns
+    steal_note = f"  steal: {steal / 1e9:.3f}s" if steal else ""
     lines = [
         f"up {kernel.clock.now / 1e9:9.3f}s  "
         f"tasks: {len(kernel.alive_tasks())} alive  "
         f"mem: {mem['mem_used']}/{mem['mem_total']}p used  "
-        f"swap: {mem['swap_used']}p",
+        f"swap: {mem['swap_used']}p{steal_note}",
         f"{'PID':>5} {'S':>1} {'NI':>3} {'UTIME':>9} {'STIME':>9} "
         f"{'RSS':>6} {'MAJFL':>6} COMMAND",
     ]

@@ -249,6 +249,15 @@ def sys_rdtsc(kernel: "Kernel", task: Task):
     return kernel.cpu.read_tsc()
 
 
+def sys_clock_gettime(kernel: "Kernel", task: Task):
+    """CLOCK_MONOTONIC: this kernel's own nanosecond clock.  On bare metal
+    it tracks wall time; under a hypervisor it advances only while the vCPU
+    runs (or idles), which is exactly the gap the steal-time estimator in
+    :mod:`repro.metering.steal` measures."""
+    yield Compute(120)
+    return kernel.clock.now
+
+
 # ---------------------------------------------------------------------------
 # ptrace
 # ---------------------------------------------------------------------------
@@ -396,6 +405,7 @@ _DEFAULT_HANDLERS = {
     "munmap": sys_munmap,
     "getrusage": sys_getrusage,
     "rdtsc": sys_rdtsc,
+    "clock_gettime": sys_clock_gettime,
     "ptrace": sys_ptrace,
     "_dl_load": sys_dl_load,
     "_dl_unload": sys_dl_unload,

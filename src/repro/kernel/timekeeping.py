@@ -19,6 +19,10 @@ class TimeKeeper:
         self.ticks_user = 0
         self.ticks_kernel = 0
         self.ticks_idle = 0
+        #: Involuntary-wait time reported by the hypervisor (ns the vCPU was
+        #: runnable but descheduled) — the /proc/stat "steal" column.  Zero
+        #: on bare metal; a hypervisor injects it via :meth:`account_steal`.
+        self.steal_ns = 0
 
     def tick(self, running: bool, user_mode: bool) -> None:
         self.jiffies += 1
@@ -28,6 +32,13 @@ class TimeKeeper:
             self.ticks_user += 1
         else:
             self.ticks_kernel += 1
+
+    def account_steal(self, ns: int) -> None:
+        """Credit ``ns`` of hypervisor-reported steal time (paravirtual
+        steal clock, like KVM's MSR_KVM_STEAL_TIME)."""
+        if ns < 0:
+            raise ValueError(f"steal delta must be >= 0, got {ns}")
+        self.steal_ns += ns
 
     @property
     def uptime_ns(self) -> int:
@@ -39,4 +50,5 @@ class TimeKeeper:
             "user": self.ticks_user,
             "kernel": self.ticks_kernel,
             "idle": self.ticks_idle,
+            "steal_ns": self.steal_ns,
         }

@@ -29,6 +29,7 @@ from .resources import (
     reconcile,
 )
 from .sampling import UsageSampler, UsageTimeline, audit_share
+from .steal import StealReport, StealVerdict, audit_steal, audit_vm_result
 
 __all__ = [
     "OracleReport",
@@ -56,4 +57,8 @@ __all__ = [
     "UsageSampler",
     "UsageTimeline",
     "audit_share",
+    "StealReport",
+    "StealVerdict",
+    "audit_steal",
+    "audit_vm_result",
 ]

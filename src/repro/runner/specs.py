@@ -87,13 +87,20 @@ class ExperimentSpec:
     #: None defers to the process-wide default (set by --check-invariants);
     #: True/False pin the runtime invariant checker on/off for this point.
     check_invariants: Optional[bool] = None
+    #: Not None → run the point under the hypervisor: the program becomes
+    #: the victim VM's workload, ``attack`` names a VM-level attack
+    #: (``"vm-sched"``) instead of a process-level one, and the mapping
+    #: carries the hypervisor/scenario knobs
+    #: (:data:`repro.virt.experiment.VM_PARAM_KEYS`; ``{}`` for defaults).
+    vm: Optional[Mapping[str, Any]] = None
     label: str = ""
 
     @property
     def name(self) -> str:
         if self.label:
             return self.label
-        return f"{self.program}:{self.attack or 'none'}"
+        base = f"{self.program}:{self.attack or 'none'}"
+        return f"vm:{base}" if self.vm is not None else base
 
     def resolved_config(self) -> MachineConfig:
         return self.cfg if self.cfg is not None else default_config()
@@ -144,6 +151,7 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
         "cfg": _canonical(asdict(spec.resolved_config())),
         "run_attacker_to_completion": spec.run_attacker_to_completion,
         "max_ns": spec.max_ns,
+        "vm": _canonical(spec.vm) if spec.vm is not None else None,
         "repro_version": __version__,
     }
 
@@ -167,6 +175,18 @@ def run_spec(spec: ExperimentSpec):
     kwargs: Dict[str, Any] = {}
     if spec.max_ns is not None:
         kwargs["max_ns"] = spec.max_ns
+    if spec.vm is not None:
+        from ..virt.experiment import run_vm_experiment
+
+        return run_vm_experiment(
+            program=spec.program,
+            program_kwargs=spec.program_kwargs,
+            attack=spec.attack,
+            attack_kwargs=spec.attack_kwargs,
+            vm=spec.vm,
+            cfg=spec.cfg,
+            check_invariants=spec.check_invariants,
+            **kwargs)
     return run_experiment(
         spec.build_program(),
         attack=spec.build_attack(),

@@ -15,6 +15,7 @@ from .invariants import (
     InvariantChecker,
     InvariantViolation,
     Violation,
+    VirtInvariantChecker,
     default_invariants,
     set_default_invariants,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "Violation",
+    "VirtInvariantChecker",
     "default_invariants",
     "set_default_invariants",
     "INJECT_KINDS",

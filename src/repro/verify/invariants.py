@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..kernel.accounting import ChargeKind
     from ..kernel.kernel import Kernel
     from ..kernel.process import Task
+    from ..virt.hypervisor import Hypervisor, VirtualMachine
 
 #: Process-wide default consulted by ``run_experiment`` when its
 #: ``check_invariants`` argument is left as None (the CLI flag sets this).
@@ -486,3 +487,253 @@ class InvariantChecker:
                     self._report("runqueue",
                                  "dead task still parked on a wait channel",
                                  task.pid)
+
+
+class _VcpuShadow:
+    """The virt checker's independent per-vCPU ledger."""
+
+    __slots__ = ("ran_ns", "idle_ns", "steal_ns", "sampled_ticks")
+
+    def __init__(self) -> None:
+        self.ran_ns = 0
+        self.idle_ns = 0
+        self.steal_ns = 0
+        self.sampled_ticks = 0
+
+
+class VirtInvariantChecker:
+    """Shadow-ledger checker for the hypervisor's vCPU time accounting.
+
+    Extends the conservation discipline one level up: fed by hypervisor
+    hooks (every dispatched slice, every steal/idle attribution, every
+    accounting tick), it independently re-derives each vCPU's
+    ``ran/idle/steal`` ledger and holds the hypervisor to
+
+    * **vcpu-conservation** — per vCPU, exactly
+      ``ran_ns + idle_ns + steal_ns == host wall`` and
+      ``guest_clock == ran_ns + idle_ns`` (the issue's law: with the guest
+      kernel's own shadow ledger closing utime+stime+idle = guest clock,
+      Σ guest (utime + stime + idle + steal) = host wall time per vCPU);
+    * **steal-injection** — the steal time injected into each guest's
+      timekeeper equals the hypervisor-side steal ledger nanosecond for
+      nanosecond;
+    * **host-conservation** — Σ vCPU ran + host idle = host wall, and the
+      host clock only moves through the hooks the checker watched;
+    * **vm-billing-conservation** — tick-sampled billing is exactly
+      ``sampled_ticks x tick_ns`` per vCPU, sampled ticks match the ticks
+      the checker saw land on that vCPU, and idle ticks balance.
+
+    A full sweep also runs every guest machine's own kernel-level checker,
+    so one :meth:`check_full` closes the two-level law end to end.
+    """
+
+    def __init__(self, mode: str = "raise",
+                 full_check_every_ticks: int = 32,
+                 max_recorded: int = 200) -> None:
+        if mode not in ("raise", "collect"):
+            raise SimulationError(f"unknown invariant mode {mode!r}")
+        self.mode = mode
+        self.full_check_every_ticks = max(1, int(full_check_every_ticks))
+        self.max_recorded = max_recorded
+        self.violations: List[Violation] = []
+        self._seen: Set[Tuple[str, Optional[int]]] = set()
+        self.suppressed = 0
+
+        self.hypervisor: Optional["Hypervisor"] = None
+        self._attach_now = 0
+        self._vcpus: Dict[int, _VcpuShadow] = {}
+        self._clock_total = 0
+        #: host ns advanced but not yet attributed by a run/idle hook.
+        self._pending_ns = 0
+        self._host_idle_ns = 0
+        self._ticks_total = 0
+        self._idle_ticks = 0
+        self._last_now = 0
+        self.full_checks = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, hypervisor: "Hypervisor") -> None:
+        self.hypervisor = hypervisor
+        self._attach_now = hypervisor.clock.now
+        self._last_now = hypervisor.clock.now
+        hypervisor.clock.on_advance = self.on_clock_advance
+
+    def on_vm_created(self, vm: "VirtualMachine") -> None:
+        self._vcpus[id(vm)] = _VcpuShadow()
+
+    def _shadow(self, vm: "VirtualMachine") -> _VcpuShadow:
+        shadow = self._vcpus.get(id(vm))
+        if shadow is None:
+            shadow = self._vcpus[id(vm)] = _VcpuShadow()
+        return shadow
+
+    def _report(self, category: str, message: str,
+                vm: Optional["VirtualMachine"] = None) -> None:
+        hv = self.hypervisor
+        where = f"vm={vm.name!r}: " if vm is not None else ""
+        violation = Violation(category=category, message=where + message,
+                              pid=None,
+                              tick=hv.ticks if hv is not None else 0,
+                              time_ns=hv.clock.now if hv is not None else 0)
+        if self.mode == "raise":
+            raise InvariantViolation(violation)
+        key = (category, vm.name if vm is not None else None)
+        if key in self._seen or len(self.violations) >= self.max_recorded:
+            self.suppressed += 1
+            return
+        self._seen.add(key)
+        self.violations.append(violation)
+
+    # ------------------------------------------------------------------
+    # hooks (called by the hypervisor)
+    # ------------------------------------------------------------------
+
+    def on_clock_advance(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            self._report("clock-monotonic",
+                         f"host clock advanced by negative delta {delta_ns}")
+            return
+        self._clock_total += delta_ns
+        self._pending_ns += delta_ns
+
+    def on_run(self, vm: "VirtualMachine", ns: int) -> None:
+        """The vCPU held the physical core for ``ns`` host nanoseconds."""
+        self._pending_ns -= ns
+        if self._pending_ns < 0:
+            self._report(
+                "vcpu-conservation",
+                f"ran {ns}ns exceeding host clock advance", vm)
+            self._pending_ns = 0
+        self._shadow(vm).ran_ns += ns
+
+    def on_steal(self, vm: "VirtualMachine", ns: int) -> None:
+        """A runnable-but-descheduled gap was attributed as steal.  Steal
+        time is concurrent with some other vCPU's run (or host idle) time,
+        so it does NOT drain ``_pending_ns``."""
+        self._shadow(vm).steal_ns += ns
+
+    def on_guest_idle(self, vm: "VirtualMachine", ns: int) -> None:
+        """A blocked gap was attributed as guest idle (also concurrent)."""
+        self._shadow(vm).idle_ns += ns
+
+    def on_host_idle(self, ns: int) -> None:
+        """The host core itself idled (no runnable vCPU)."""
+        self._pending_ns -= ns
+        if self._pending_ns < 0:
+            self._report("host-conservation",
+                         f"host idle of {ns}ns exceeds clock delta")
+            self._pending_ns = 0
+        self._host_idle_ns += ns
+
+    def on_tick(self) -> None:
+        """After the hypervisor billed/debited one accounting tick."""
+        self._ticks_total += 1
+        hv = self.hypervisor
+        cur = hv.current if hv is not None else None
+        if cur is None:
+            self._idle_ticks += 1
+        else:
+            self._shadow(cur).sampled_ticks += 1
+        if self._ticks_total % self.full_check_every_ticks == 0:
+            self.check_full()
+
+    # ------------------------------------------------------------------
+    # full sweep
+    # ------------------------------------------------------------------
+
+    def check_full(self) -> None:
+        """Sync every ledger, then run all global and per-vCPU checks plus
+        each guest machine's own kernel-level sweep."""
+        hv = self.hypervisor
+        if hv is None:
+            return
+        self.full_checks += 1
+        hv.sync_ledgers()
+        now = hv.clock.now
+        if now < self._last_now:
+            self._report("clock-monotonic",
+                         f"host clock moved backwards to {now}ns")
+        self._last_now = now
+        observed = now - self._attach_now
+        if observed != self._clock_total:
+            self._report(
+                "clock-monotonic",
+                f"host clock moved {observed}ns but only "
+                f"{self._clock_total}ns passed through advance()")
+        if self._pending_ns != 0:
+            self._report(
+                "host-conservation",
+                f"{self._pending_ns}ns of host time advanced without "
+                f"attribution")
+        if hv.host_idle_ns != self._host_idle_ns:
+            self._report(
+                "host-conservation",
+                f"hypervisor host_idle_ns {hv.host_idle_ns} != shadow "
+                f"{self._host_idle_ns}")
+        ran_total = 0
+        for vm in hv.vms:
+            self._check_vm(vm)
+            ran_total += vm.ran_ns
+        accounted = ran_total + self._host_idle_ns + self._pending_ns
+        if accounted != observed:
+            self._report(
+                "host-conservation",
+                f"host wall {observed}ns but Σ ran + idle accounts "
+                f"{accounted}ns")
+        if hv.ticks != self._ticks_total:
+            self._report(
+                "vm-billing-conservation",
+                f"hypervisor counted {hv.ticks} ticks, checker saw "
+                f"{self._ticks_total}")
+        if hv.idle_ticks != self._idle_ticks:
+            self._report(
+                "vm-billing-conservation",
+                f"hypervisor idle_ticks {hv.idle_ticks} != shadow "
+                f"{self._idle_ticks}")
+
+    def _check_vm(self, vm: "VirtualMachine") -> None:
+        hv = self.hypervisor
+        shadow = self._shadow(vm)
+        if (vm.ran_ns, vm.idle_ns, vm.steal_ns) != (
+                shadow.ran_ns, shadow.idle_ns, shadow.steal_ns):
+            self._report(
+                "vcpu-conservation",
+                f"ledger ran/idle/steal ({vm.ran_ns}/{vm.idle_ns}/"
+                f"{vm.steal_ns})ns != shadow ({shadow.ran_ns}/"
+                f"{shadow.idle_ns}/{shadow.steal_ns})ns", vm)
+        host_wall = hv.clock.now - vm.attach_host_ns
+        total = vm.ran_ns + vm.idle_ns + vm.steal_ns
+        if total != host_wall:
+            self._report(
+                "vcpu-conservation",
+                f"ran+idle+steal = {total}ns but host wall is "
+                f"{host_wall}ns", vm)
+        guest_elapsed = vm.machine.clock.now - vm.attach_guest_ns
+        if guest_elapsed != vm.ran_ns + vm.idle_ns:
+            self._report(
+                "vcpu-conservation",
+                f"guest clock advanced {guest_elapsed}ns but ran+idle is "
+                f"{vm.ran_ns + vm.idle_ns}ns", vm)
+        injected = vm.machine.kernel.timekeeper.steal_ns
+        if injected != vm.steal_ns:
+            self._report(
+                "steal-injection",
+                f"guest timekeeper reports {injected}ns steal, hypervisor "
+                f"ledger has {vm.steal_ns}ns", vm)
+        if vm.sampled_ticks != shadow.sampled_ticks:
+            self._report(
+                "vm-billing-conservation",
+                f"vm sampled {vm.sampled_ticks} ticks, checker saw "
+                f"{shadow.sampled_ticks}", vm)
+        expect_billed = vm.sampled_ticks * hv.cfg.tick_ns
+        if vm.billed_total_ns != expect_billed:
+            self._report(
+                "vm-billing-conservation",
+                f"billed {vm.billed_total_ns}ns != {vm.sampled_ticks} "
+                f"sampled ticks x {hv.cfg.tick_ns}ns", vm)
+        guest_checker = vm.machine.invariant_checker
+        if guest_checker is not None:
+            guest_checker.check_full()

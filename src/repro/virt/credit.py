@@ -1,0 +1,117 @@
+"""A credit-style (Xen-like) hypervisor scheduler.
+
+The model follows the Xen credit scheduler as described by Zhou et al.
+(arXiv:1103.0759), which is the one their scheduling attack targets:
+
+* every vCPU holds *credits*, refilled periodically in proportion to its
+  weight and debited in whole-tick quanta from whichever vCPU the
+  scheduler's accounting tick **samples on the physical CPU** — the same
+  tick-sampling shortcut the paper's §IV-B1 process attack abuses, one
+  layer down;
+* a vCPU with credits left is UNDER, one that overdrew is OVER; runnable
+  vCPUs are picked in priority order (round-robin within a priority);
+* a vCPU that wakes from idle is BOOSTed ahead of everyone to keep I/O
+  latency low, and loses BOOST only when a tick catches it running.
+
+The attack consequence is built in, not bolted on: a vCPU that always
+sleeps across the tick edge is never sampled, so it is never debited and
+never billed, keeps its credits (stays UNDER, so every wake re-BOOSTs it),
+and preempts the co-resident whenever it likes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .hypervisor import VirtualMachine
+
+#: Priorities, in pick order (lower sorts first).
+PRI_BOOST = 0
+PRI_UNDER = 1
+PRI_OVER = 2
+
+PRIORITY_NAMES = {PRI_BOOST: "BOOST", PRI_UNDER: "UNDER", PRI_OVER: "OVER"}
+
+
+class CreditScheduler:
+    """Credit accounting + runnable-vCPU pick order for one physical CPU."""
+
+    def __init__(self, credits_per_tick: int = 100,
+                 refill_every_ticks: int = 3,
+                 credit_cap_ticks: int = 300,
+                 boost: bool = True) -> None:
+        self.credits_per_tick = int(credits_per_tick)
+        self.refill_every_ticks = max(1, int(refill_every_ticks))
+        self.credit_cap = int(credit_cap_ticks) * self.credits_per_tick
+        self.boost = bool(boost)
+        self.ticks = 0
+        self.refills = 0
+        self._seq = 0
+
+    # -- registration / queue order ---------------------------------------
+
+    def register(self, vm: "VirtualMachine") -> None:
+        vm.credits = self.credits_per_tick * self.refill_every_ticks
+        vm.priority = PRI_UNDER
+        vm.queue_seq = self._next_seq()
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def requeue(self, vm: "VirtualMachine") -> None:
+        """Send a descheduled vCPU to the back of its priority class."""
+        vm.queue_seq = self._next_seq()
+
+    def on_wake(self, vm: "VirtualMachine") -> None:
+        """A vCPU left the idle (blocked) state: BOOST it unless it has
+        already overdrawn its credits."""
+        vm.queue_seq = self._next_seq()
+        if self.boost and vm.credits >= 0:
+            vm.priority = PRI_BOOST
+
+    def pick_next(self, runnable: Sequence["VirtualMachine"]
+                  ) -> Optional["VirtualMachine"]:
+        """Best runnable vCPU: lowest (priority, queue_seq)."""
+        best: Optional["VirtualMachine"] = None
+        for vm in runnable:
+            if best is None or (vm.priority, vm.queue_seq) < (best.priority,
+                                                              best.queue_seq):
+                best = vm
+        return best
+
+    def check_preempt(self, current: "VirtualMachine",
+                      woken: "VirtualMachine") -> bool:
+        return woken.priority < current.priority
+
+    # -- the accounting tick ----------------------------------------------
+
+    def charge_tick(self, current: Optional["VirtualMachine"],
+                    vms: List["VirtualMachine"]) -> None:
+        """One scheduler accounting tick: debit whoever was sampled on the
+        CPU a whole tick of credits (and strip its BOOST), then refill the
+        pool by weight every ``refill_every_ticks``."""
+        if current is not None:
+            current.credits -= self.credits_per_tick
+            if current.credits < -self.credit_cap:
+                current.credits = -self.credit_cap
+            if current.priority == PRI_BOOST:
+                current.priority = PRI_UNDER
+            if current.credits < 0:
+                current.priority = PRI_OVER
+        self.ticks += 1
+        if self.ticks % self.refill_every_ticks == 0:
+            self._refill(vms)
+
+    def _refill(self, vms: List["VirtualMachine"]) -> None:
+        self.refills += 1
+        total_weight = sum(vm.weight for vm in vms)
+        if total_weight <= 0:
+            return
+        pool = self.credits_per_tick * self.refill_every_ticks
+        for vm in vms:
+            share = pool * vm.weight // total_weight
+            vm.credits = min(self.credit_cap, vm.credits + share)
+            if vm.credits >= 0 and vm.priority == PRI_OVER:
+                vm.priority = PRI_UNDER

@@ -1,0 +1,105 @@
+"""Guest programs for the VM-level metering experiments.
+
+Two purpose-built guests:
+
+* :func:`make_vm_sched_attacker` — the VM-level analogue of the paper's
+  §IV-B1 process-scheduling attack, after Zhou et al. (arXiv:1103.0759):
+  read the host clock through the paravirtual time source, burn a chosen
+  fraction of each hypervisor accounting tick, then sleep across the tick
+  edge so the sample never lands on this vCPU.  The hypervisor's
+  tick-sampled billing charges every tick to whichever co-resident holds
+  the core at the edge; the attacker is billed (and credit-debited) almost
+  nothing, so every wake re-BOOSTs it.
+
+* :func:`make_steal_estimator` — the guest-side defense of Verdú et al.
+  (arXiv:1810.01139): periodically sample a host-backed time source
+  against the guest's own CLOCK_MONOTONIC.  The guest clock freezes while
+  the vCPU is runnable-but-descheduled, so the accumulated divergence *is*
+  the steal time, estimated without hypervisor cooperation.  The estimator
+  also reads the hypervisor-reported steal counter so the report can state
+  whether the host is telling the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..programs.base import Program
+from ..programs.ops import Compute, Syscall
+
+#: ns → cycles at ``freq_hz`` (floor, matching the engine's conversion).
+def _ns_to_cycles(ns: int, freq_hz: int) -> int:
+    return ns * freq_hz // 1_000_000_000
+
+
+def _vm_sched_attacker_main(ctx):
+    """Burn until just before each hypervisor tick, sleep across it."""
+    tick_ns, burn_ns, margin_ns, freq_hz = ctx.argv
+    stats: Dict[str, int] = {"iterations": 0, "burned_ns": 0,
+                             "overshoots": 0}
+    ctx.shared["vm_sched_attack"] = stats
+    while True:
+        host_now = yield Syscall("pv_host_time")
+        next_tick = (host_now // tick_ns + 1) * tick_ns
+        # Stay clear of the sampling edge: burn at most up to the margin.
+        window = next_tick - margin_ns - host_now
+        burn = burn_ns if burn_ns < window else window
+        if burn > 0:
+            yield Compute(_ns_to_cycles(burn, freq_hz))
+            stats["burned_ns"] += burn
+        host_now = yield Syscall("pv_host_time")
+        sleep_ns = next_tick + margin_ns - host_now
+        if sleep_ns <= 0:
+            # Guest-side interrupts pushed us past the edge; the tick may
+            # have sampled us.  Resync on the next round.
+            stats["overshoots"] += 1
+            sleep_ns = margin_ns
+        yield Syscall("nanosleep", (sleep_ns,))
+        stats["iterations"] += 1
+
+
+def make_vm_sched_attacker(tick_ns: int, burn_fraction: float,
+                           margin_ns: int, cpu_freq_hz: int) -> Program:
+    """The tick-dodging guest.  ``burn_fraction`` of each ``tick_ns`` is
+    burned as real compute; ``margin_ns`` is the safety gap kept on both
+    sides of the sampling edge."""
+    if not 0.0 <= burn_fraction <= 1.0:
+        raise ValueError(f"burn_fraction must be in [0, 1], "
+                         f"got {burn_fraction}")
+    burn_ns = int(burn_fraction * tick_ns)
+    return Program("vmsched_attacker", _vm_sched_attacker_main,
+                   argv=(int(tick_ns), burn_ns, int(margin_ns),
+                         int(cpu_freq_hz)))
+
+
+def _steal_estimator_main(ctx):
+    """Sample (pv_host_time, clock_gettime, pv_steal) every interval and
+    publish running totals through the shared dict."""
+    (interval_ns,) = ctx.argv
+    shared: Dict[str, int] = {"est_steal_ns": 0, "reported_steal_ns": 0,
+                              "window_host_ns": 0, "window_guest_ns": 0,
+                              "samples": 0}
+    ctx.shared["steal_estimator"] = shared
+    host0 = yield Syscall("pv_host_time")
+    guest0 = yield Syscall("clock_gettime")
+    reported0 = yield Syscall("pv_steal")
+    while True:
+        yield Syscall("nanosleep", (interval_ns,))
+        host = yield Syscall("pv_host_time")
+        guest = yield Syscall("clock_gettime")
+        reported = yield Syscall("pv_steal")
+        # Host wall advanced by (ran + idle + steal); the guest clock only
+        # by (ran + idle) — the difference is the steal estimate.
+        shared["est_steal_ns"] = (host - host0) - (guest - guest0)
+        shared["reported_steal_ns"] = reported - reported0
+        shared["window_host_ns"] = host - host0
+        shared["window_guest_ns"] = guest - guest0
+        shared["samples"] += 1
+
+
+def make_steal_estimator(interval_ns: int = 2_000_000) -> Program:
+    """The guest-side steal-time estimator daemon."""
+    if interval_ns <= 0:
+        raise ValueError("interval_ns must be positive")
+    return Program("steal_estimator", _steal_estimator_main,
+                   argv=(int(interval_ns),))

@@ -1,0 +1,508 @@
+"""The hypervisor: N guest machines multiplexed on one physical core.
+
+Each :class:`VirtualMachine` wraps a full guest :class:`~repro.hw.machine.
+Machine` (its own kernel, clock, timer, accounting) behind a single vCPU.
+The :class:`Hypervisor` owns the *host* clock and time-slices the guests
+onto it with a credit scheduler (:mod:`repro.virt.credit`), sampling its
+own accounting tick to decide which vCPU to bill — the two-level analogue
+of the kernel's tick-sampled process accounting.
+
+Time model (all integer ns, exact by construction):
+
+* **RUNNING** — the guest executes on the physical core; its clock
+  advances 1:1 with the host clock (``ran_ns``).
+* **BLOCKED** — the guest is idle (nothing runnable); its clock still
+  advances 1:1 with host time (``idle_ns``), the way a halted CPU's
+  wall clock keeps moving, and the vCPU wakes when its next guest event
+  (timer tick, sleep expiry) comes due in host time.
+* **RUNNABLE** — the guest wants the CPU but another vCPU holds it; its
+  clock is *frozen* and the gap accrues as ``steal_ns``, injected into the
+  guest's timekeeper like a paravirtual steal clock.
+
+Hence per vCPU, exactly: ``ran_ns + idle_ns + steal_ns == host wall`` and
+``guest_clock == ran_ns + idle_ns`` — the conservation law the virt
+invariant checker (:class:`repro.verify.invariants.VirtInvariantChecker`)
+holds every run to.  Composed with the guest kernel's own shadow ledger
+(utime+stime+idle = guest clock) this closes the issue's law:
+Σ guest (utime + stime + idle + steal) = host wall time, per vCPU.
+
+Billing, by contrast, is deliberately *inexact* in the faithful way: the
+hypervisor bills whole ticks to whichever vCPU its accounting tick samples
+on the core (``billed_utime_ns``/``billed_stime_ns``, split by the sampled
+guest CPU mode).  The gap between ``billed`` and ``ran`` is the metering
+vulnerability the VM scheduling attack exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import MachineConfig, default_config
+from ..errors import DeadlockError, SimulationError
+from ..hw.cpu import CPUMode
+from ..hw.machine import Machine
+from ..kernel.process import Task, TaskState
+from ..programs.ops import Compute
+from ..sim.clock import Clock
+from .credit import PRI_UNDER, CreditScheduler
+
+#: Guest-side cost of a paravirtual call (vmcall + hypervisor dispatch).
+_PV_CALL_CYCLES = 150
+
+
+@dataclass(frozen=True)
+class HypervisorConfig:
+    """Host-side knobs.  ``tick_ns`` is the scheduler accounting tick that
+    both bills and debits credits (Xen: 10 ms); ``slice_ns`` is the
+    round-robin quantum (Xen: 30 ms)."""
+
+    tick_ns: int = 10_000_000
+    slice_ns: int = 30_000_000
+    credits_per_tick: int = 100
+    refill_every_ticks: int = 3
+    credit_cap_ticks: int = 300
+    boost: bool = True
+    max_time_ns: int = 3_600 * 1_000_000_000
+
+    def validate(self) -> None:
+        if self.tick_ns <= 0:
+            raise SimulationError("hypervisor tick_ns must be positive")
+        if self.slice_ns <= 0:
+            raise SimulationError("hypervisor slice_ns must be positive")
+
+
+class VcpuState(enum.Enum):
+    RUNNING = "running"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+
+
+class VirtualMachine:
+    """One guest machine behind one vCPU, plus its hypervisor-side ledger."""
+
+    def __init__(self, name: str, machine: Machine, weight: int,
+                 hypervisor: "Hypervisor") -> None:
+        self.name = name
+        self.machine = machine
+        self.weight = int(weight)
+        self.hypervisor = hypervisor
+        self.state = VcpuState.RUNNABLE
+        #: Host time at which a BLOCKED vCPU's next guest event comes due.
+        self.wake_host_ns: Optional[int] = None
+
+        # Exact ledger (host ns), maintained by the hypervisor.
+        self.ran_ns = 0
+        self.idle_ns = 0
+        self.steal_ns = 0
+        self.attach_host_ns = hypervisor.clock.now
+        self.attach_guest_ns = machine.clock.now
+        #: Host/guest clock values at the last ledger sync point.
+        self.last_sync_host_ns = hypervisor.clock.now
+        self.last_sync_guest_ns = machine.clock.now
+
+        # Tick-sampled billing (what the provider meters).
+        self.billed_utime_ns = 0
+        self.billed_stime_ns = 0
+        self.sampled_ticks = 0
+        self.preemptions = 0
+
+        # Credit-scheduler fields (owned by CreditScheduler).
+        self.credits = 0
+        self.priority = PRI_UNDER
+        self.queue_seq = 0
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def guest_clock_ns(self) -> int:
+        return self.machine.clock.now
+
+    @property
+    def billed_total_ns(self) -> int:
+        return self.billed_utime_ns + self.billed_stime_ns
+
+    def host_now_estimate(self) -> int:
+        """Host time as seen from inside the guest (the virtualized TSC the
+        paravirtual clock exposes).  Exact: while RUNNING, host and guest
+        clocks advance in lockstep from the last sync point."""
+        if self.state is VcpuState.RUNNING:
+            return (self.hypervisor.clock.now
+                    + (self.machine.clock.now - self.last_sync_guest_ns))
+        return self.hypervisor.clock.now
+
+    # -- execution ----------------------------------------------------------
+
+    def run_slice(self, budget_ns: int) -> "tuple[int, bool]":
+        """Run the guest for at most ``budget_ns`` (guest ns == host ns).
+
+        Returns ``(consumed_ns, idled)``; ``idled`` means the guest went
+        fully idle (halted) before the budget ran out, handing the core
+        back to the hypervisor.  Consumption may overshoot the budget by a
+        guest context-switch charge — the engine itself stops exactly at
+        the boundary, mirroring :meth:`repro.hw.machine.Machine.step`.
+        """
+        machine = self.machine
+        kernel = machine.kernel
+        clock = machine.clock
+        start = clock.now
+        deadline = start + budget_ns
+        checker = machine.invariant_checker
+        while True:
+            now = clock.now
+            if now >= deadline:
+                return now - start, False
+            if now > machine.cfg.max_time_ns:
+                raise SimulationError(
+                    f"guest {self.name!r} exceeded max_time_ns at {now}ns")
+            machine._drain_due_events()
+            current = kernel.current
+            if (kernel.need_resched or current is None
+                    or current.state is not TaskState.RUNNING):
+                kernel.schedule()
+                current = kernel.current
+            now = clock.now  # schedule() may have charged switch cost
+            if now >= deadline:
+                return now - start, False
+            next_time = machine.events.next_time()
+            if current is None:
+                # Nothing runnable: a halted vCPU traps to the hypervisor
+                # instead of idling on the physical core.
+                return now - start, True
+            stop = deadline if next_time is None else min(next_time, deadline)
+            budget = stop - now
+            if budget <= 0:
+                continue  # events due right now; drained next iteration
+            kernel.engine.run(current, budget)
+            if checker is not None:
+                checker.on_step()
+
+    def has_live_tasks(self) -> bool:
+        return not self.machine.kernel.all_finished()
+
+    def __repr__(self) -> str:
+        return (f"VirtualMachine({self.name!r}, {self.state.value}, "
+                f"ran={self.ran_ns}ns steal={self.steal_ns}ns)")
+
+
+class Hypervisor:
+    """Multiplexes VirtualMachines on one simulated physical core."""
+
+    def __init__(self, cfg: Optional[HypervisorConfig] = None,
+                 invariants=None) -> None:
+        """``invariants`` mirrors ``Machine(invariants=...)``: False/None
+        (off), True (raise on first violation), ``"collect"``, or a
+        pre-built :class:`~repro.verify.invariants.VirtInvariantChecker`.
+        When enabled, every guest machine gets its own kernel-level checker
+        too, so the composed conservation law is closed end to end."""
+        self.cfg = cfg or HypervisorConfig()
+        self.cfg.validate()
+        self.clock = Clock()
+        self.scheduler = CreditScheduler(
+            credits_per_tick=self.cfg.credits_per_tick,
+            refill_every_ticks=self.cfg.refill_every_ticks,
+            credit_cap_ticks=self.cfg.credit_cap_ticks,
+            boost=self.cfg.boost)
+        self.vms: List[VirtualMachine] = []
+        self.current: Optional[VirtualMachine] = None
+        self.need_resched = False
+        self.ticks = 0
+        self.idle_ticks = 0
+        self.host_idle_ns = 0
+        self.vcpu_switches = 0
+        self._next_tick_ns = self.cfg.tick_ns
+        self._slice_end_ns = 0
+        self._guest_invariants = bool(invariants)
+        self.invariant_checker = self._make_checker(invariants)
+        if self.invariant_checker is not None:
+            self.invariant_checker.attach(self)
+
+    @staticmethod
+    def _make_checker(invariants):
+        if not invariants:
+            return None
+        from ..verify.invariants import VirtInvariantChecker
+
+        if isinstance(invariants, VirtInvariantChecker):
+            return invariants
+        if invariants == "collect":
+            return VirtInvariantChecker(mode="collect")
+        return VirtInvariantChecker()
+
+    def check_invariants(self) -> None:
+        """Run a full virt-ledger sweep now (no-op when checking is off)."""
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_full()
+
+    # -- VM lifecycle --------------------------------------------------------
+
+    def create_vm(self, name: str, cfg: Optional[MachineConfig] = None,
+                  weight: int = 256) -> VirtualMachine:
+        """Boot a guest machine and attach it as a vCPU."""
+        if any(vm.name == name for vm in self.vms):
+            raise SimulationError(f"vm name {name!r} already in use")
+        machine = Machine(cfg or default_config(),
+                          invariants=self._guest_invariants)
+        vm = VirtualMachine(name, machine, weight, self)
+        self.scheduler.register(vm)
+        self._install_pv_interface(vm)
+        self.vms.append(vm)
+        if self.invariant_checker is not None:
+            self.invariant_checker.on_vm_created(vm)
+        return vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        for vm in self.vms:
+            if vm.name == name:
+                return vm
+        raise KeyError(f"no such vm {name!r}")
+
+    def _install_pv_interface(self, vm: VirtualMachine) -> None:
+        """Register the paravirtual calls a guest uses to see through its
+        own (steal-frozen) clock: the host-backed time source and the
+        hypervisor-reported steal counter."""
+
+        def sys_pv_host_time(kernel, task):
+            yield Compute(_PV_CALL_CYCLES)
+            return vm.host_now_estimate()
+
+        def sys_pv_steal(kernel, task):
+            yield Compute(_PV_CALL_CYCLES)
+            return vm.steal_ns
+
+        table = vm.machine.kernel.syscalls
+        table.register("pv_host_time", sys_pv_host_time)
+        table.register("pv_steal", sys_pv_steal)
+
+    # -- ledger maintenance --------------------------------------------------
+
+    def _sync_vm(self, vm: VirtualMachine) -> None:
+        """Bring a non-RUNNING vCPU's ledger up to host-now: RUNNABLE time
+        is steal, BLOCKED time is guest idle (clock catches up 1:1)."""
+        now = self.clock.now
+        delta = now - vm.last_sync_host_ns
+        if delta <= 0:
+            return
+        if vm.state is VcpuState.RUNNABLE:
+            vm.steal_ns += delta
+            vm.machine.kernel.timekeeper.account_steal(delta)
+            if self.invariant_checker is not None:
+                self.invariant_checker.on_steal(vm, delta)
+        elif vm.state is VcpuState.BLOCKED:
+            vm.idle_ns += delta
+            target = vm.last_sync_guest_ns + delta
+            vm.machine.clock.advance_to(target)
+            vm.last_sync_guest_ns = target
+            checker = vm.machine.invariant_checker
+            if checker is not None:
+                checker.on_idle_advance(delta)
+            if self.invariant_checker is not None:
+                self.invariant_checker.on_guest_idle(vm, delta)
+        vm.last_sync_host_ns = now
+
+    def sync_ledgers(self) -> None:
+        """Sync every descheduled vCPU's ledger to host-now (the RUNNING
+        one is synced at every slice boundary already)."""
+        for vm in self.vms:
+            if vm.state is not VcpuState.RUNNING:
+                self._sync_vm(vm)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _earliest_wake(self) -> Optional[int]:
+        wake = None
+        for vm in self.vms:
+            if vm.state is VcpuState.BLOCKED and vm.wake_host_ns is not None:
+                if wake is None or vm.wake_host_ns < wake:
+                    wake = vm.wake_host_ns
+        return wake
+
+    def _wake_vm(self, vm: VirtualMachine) -> None:
+        self._sync_vm(vm)  # attribute the blocked gap as guest idle
+        vm.state = VcpuState.RUNNABLE
+        vm.wake_host_ns = None
+        self.scheduler.on_wake(vm)
+        if (self.current is not None
+                and self.scheduler.check_preempt(self.current, vm)):
+            self.current.preemptions += 1
+            self.need_resched = True
+
+    def _block_vm(self, vm: VirtualMachine) -> None:
+        """The guest halted: park the vCPU until its next event is due."""
+        next_event = vm.machine.events.next_time()
+        vm.state = VcpuState.BLOCKED
+        if next_event is None:
+            vm.wake_host_ns = None  # parked forever (guest timer stopped)
+        else:
+            vm.wake_host_ns = (self.clock.now
+                               + (next_event - vm.machine.clock.now))
+        if self.current is vm:
+            self.current = None
+            self.need_resched = True
+
+    def _reschedule(self) -> None:
+        prev = self.current
+        if prev is not None:
+            # Xen semantics: the descheduled vCPU goes to the *tail* of its
+            # priority class, so equal-priority vCPUs round-robin.
+            self.scheduler.requeue(prev)
+        candidates = [vm for vm in self.vms
+                      if vm.state in (VcpuState.RUNNABLE, VcpuState.RUNNING)]
+        nxt = self.scheduler.pick_next(candidates)
+        self.need_resched = False
+        if nxt is prev:
+            if prev is not None:
+                self._slice_end_ns = self.clock.now + self.cfg.slice_ns
+            return
+        if prev is not None:
+            prev.state = VcpuState.RUNNABLE
+        if nxt is not None:
+            self._sync_vm(nxt)  # accrue the runnable wait as steal
+            nxt.state = VcpuState.RUNNING
+            self._slice_end_ns = self.clock.now + self.cfg.slice_ns
+            self.vcpu_switches += 1
+        self.current = nxt
+
+    # -- the accounting tick ---------------------------------------------------
+
+    def _account_tick(self) -> None:
+        """One hypervisor accounting tick: bill a whole tick to whichever
+        vCPU is sampled on the core (utime/stime split by the sampled guest
+        CPU mode) and run the credit debit/refill."""
+        self.ticks += 1
+        cur = self.current
+        self.scheduler.charge_tick(cur, self.vms)
+        if cur is None:
+            self.idle_ticks += 1
+        else:
+            guest_kernel = cur.machine.kernel
+            user = (guest_kernel.current is not None
+                    and guest_kernel.cpu.mode is CPUMode.USER)
+            if user:
+                cur.billed_utime_ns += self.cfg.tick_ns
+            else:
+                cur.billed_stime_ns += self.cfg.tick_ns
+            cur.sampled_ticks += 1
+        self._next_tick_ns += self.cfg.tick_ns
+        if self.invariant_checker is not None:
+            self.invariant_checker.on_tick()
+
+    # -- the main loop ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """One hypervisor loop iteration.  Returns False when no vCPU can
+        ever progress again."""
+        now = self.clock.now
+        if now > self.cfg.max_time_ns:
+            raise SimulationError(
+                f"hypervisor exceeded max_time_ns at {now}ns")
+
+        for vm in self.vms:
+            if (vm.state is VcpuState.BLOCKED and vm.wake_host_ns is not None
+                    and vm.wake_host_ns <= now):
+                self._wake_vm(vm)
+        while now >= self._next_tick_ns:
+            self._account_tick()
+        if (self.current is not None and now >= self._slice_end_ns):
+            self.need_resched = True
+        if self.need_resched or self.current is None:
+            self._reschedule()
+
+        cur = self.current
+        if cur is None:
+            wake = self._earliest_wake()
+            if wake is None:
+                return False  # every guest parked forever
+            target = min(wake, self._next_tick_ns)
+            idle = target - now
+            self.clock.advance_to(target)
+            self.host_idle_ns += idle
+            if self.invariant_checker is not None:
+                self.invariant_checker.on_host_idle(idle)
+            return True
+
+        stop = min(self._next_tick_ns, self._slice_end_ns)
+        wake = self._earliest_wake()
+        if wake is not None and wake < stop:
+            stop = wake
+        budget = stop - now
+        consumed, idled = cur.run_slice(budget)
+        self.clock.advance(consumed)
+        cur.ran_ns += consumed
+        cur.last_sync_host_ns = self.clock.now
+        cur.last_sync_guest_ns = cur.machine.clock.now
+        if self.invariant_checker is not None:
+            self.invariant_checker.on_run(cur, consumed)
+        if idled:
+            self._block_vm(cur)
+        return True
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance host time by ``duration_ns``."""
+        deadline = self.clock.now + duration_ns
+        while self.clock.now < deadline:
+            if not self.step():
+                idle = deadline - self.clock.now
+                self.clock.advance_to(deadline)
+                self.host_idle_ns += idle
+                if self.invariant_checker is not None and idle > 0:
+                    self.invariant_checker.on_host_idle(idle)
+                self.sync_ledgers()
+                return
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_ns: Optional[int] = None) -> None:
+        """Run until ``predicate()`` holds; raises on deadline/deadlock."""
+        deadline = (self.clock.now + max_ns) if max_ns is not None else None
+        while not predicate():
+            if deadline is not None and self.clock.now >= deadline:
+                raise SimulationError(
+                    f"hypervisor run_until deadline exceeded at "
+                    f"{self.clock.now}ns")
+            if not self.step():
+                raise DeadlockError(
+                    "no vCPU can progress but the predicate is unsatisfied")
+        self.sync_ledgers()
+
+    def run_until_exit(self, tasks: Sequence[Task],
+                       max_ns: Optional[int] = None) -> None:
+        """Run until every guest task in ``tasks`` has exited (the tasks
+        may live in different guests)."""
+        targets = list(tasks)
+
+        def done() -> bool:
+            return all(t.state in (TaskState.ZOMBIE, TaskState.DEAD)
+                       for t in targets)
+
+        self.run_until(done, max_ns=max_ns)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def ledger(self, vm: VirtualMachine) -> Dict[str, int]:
+        """The vCPU's exact + billed ledger (sync first for fresh numbers)."""
+        self.sync_ledgers()
+        return {
+            "ran_ns": vm.ran_ns,
+            "idle_ns": vm.idle_ns,
+            "steal_ns": vm.steal_ns,
+            "host_wall_ns": self.clock.now - vm.attach_host_ns,
+            "billed_utime_ns": vm.billed_utime_ns,
+            "billed_stime_ns": vm.billed_stime_ns,
+            "sampled_ticks": vm.sampled_ticks,
+        }
+
+    def summary(self) -> str:
+        self.sync_ledgers()
+        lines = [f"host {self.clock.now / 1e9:9.3f}s  ticks={self.ticks} "
+                 f"switches={self.vcpu_switches} "
+                 f"idle={self.host_idle_ns / 1e9:.3f}s",
+                 f"{'vm':<12} {'state':<9} {'ran':>9} {'steal':>9} "
+                 f"{'idle':>9} {'billed':>9} {'ticks':>6}"]
+        for vm in self.vms:
+            lines.append(
+                f"{vm.name:<12} {vm.state.value:<9} "
+                f"{vm.ran_ns / 1e9:>8.3f}s {vm.steal_ns / 1e9:>8.3f}s "
+                f"{vm.idle_ns / 1e9:>8.3f}s "
+                f"{vm.billed_total_ns / 1e9:>8.3f}s {vm.sampled_ticks:>6}")
+        return "\n".join(lines)

@@ -73,9 +73,10 @@ class TestWorkloadPresets:
 
 
 class TestFigureRegistry:
-    def test_all_eight_registered(self):
+    def test_all_registered(self):
         assert sorted(FIGURES) == [
-            "fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+            "fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "vmsched"]
 
     def test_unknown_figure(self):
         with pytest.raises(KeyError):
