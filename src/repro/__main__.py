@@ -21,6 +21,11 @@ Commands:
   co-resident under the credit hypervisor) with the guest steal-time
   estimator, print both hypervisor ledgers and the tenant audit, and
   check the expected shape (see docs/virt.md);
+* ``faults [--intensity F] [--program W] [--scale S] [--json P]`` — run
+  one workload clean, then under an injected hardware-fault plan with the
+  clocksource watchdog on and off; print fault/watchdog counters, the
+  trust-annotated invoice and the user-side verification, and check that
+  the watchdog holds metering error down (see docs/faults.md);
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -337,6 +342,134 @@ def _cmd_vm(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.figures import paper_workload_params
+    from .faults import sweep_plan
+    from .metering.billing import TrustReport, invoice_for
+    from .runner import ExperimentSpec
+    from .runner.specs import run_spec, spec_key
+
+    _apply_invariants_flag(args)
+    check_invariants = True if args.check_invariants else None
+    program_kwargs = paper_workload_params(args.scale)[args.program]
+    plan_on = sweep_plan(args.intensity, watchdog=True)
+    plan_off = sweep_plan(args.intensity, watchdog=False)
+
+    def spec(faults, tag):
+        return ExperimentSpec(
+            program=args.program, program_kwargs=program_kwargs,
+            faults=faults, check_invariants=check_invariants,
+            label=f"faults:{args.program}:{tag}")
+
+    specs = [spec(None, "clean"),
+             spec(plan_on.to_dict(), "wd-on"),
+             spec(plan_off.to_dict(), "wd-off")]
+    runner = _make_runner(args, quiet=True)
+    if runner is None:
+        results = [run_spec(s) for s in specs]
+    else:
+        results = runner.run_results(specs)
+    clean, wd_on, wd_off = results
+
+    print(f"fault plan (intensity {args.intensity}): {plan_on.describe()}")
+    errors = {}
+    for tag, res in zip(("clean", "wd-on", "wd-off"), results):
+        err = abs(res.total_s - res.oracle_own_s())
+        errors[tag] = err
+        print(f"{tag:<7} billed {res.total_s:.3f}s "
+              f"(oracle {res.oracle_own_s():.3f}s, error {err:.3f}s)")
+        lost = res.stats.get("fault_ticks_lost")
+        if lost is not None:
+            print(f"        ticks lost={lost} "
+                  f"delayed={res.stats.get('fault_ticks_delayed', 0)} "
+                  f"caught up={res.stats.get('fault_jiffies_caught_up', 0)}")
+        if "watchdog_checks" in res.stats:
+            print(f"        watchdog: checks={res.stats['watchdog_checks']} "
+                  f"unstable={res.stats['watchdog_unstable']} "
+                  f"intervals T/D/U="
+                  f"{res.stats['watchdog_intervals_trusted']}/"
+                  f"{res.stats['watchdog_intervals_degraded']}/"
+                  f"{res.stats['watchdog_intervals_untrusted']} "
+                  f"uncertainty="
+                  f"{res.stats['watchdog_uncertainty_ns'] / 1e9:.3f}s")
+
+    trust = TrustReport.from_stats(wd_on.stats)
+    invoice = invoice_for(args.program, wd_on.usage, trust=trust)
+    print()
+    print(invoice.render())
+
+    checks = []
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        checks.append({"name": name, "passed": bool(passed),
+                       "detail": detail})
+
+    check("empty fault plan hashes identically to no plan",
+          spec_key(spec(None, "a")) == spec_key(spec({}, "b")),
+          "cache identity preserved for zero-fault runs")
+    if args.intensity > 0:
+        check("watchdog reduces metering error",
+              errors["wd-on"] < errors["wd-off"],
+              f"wd-on={errors['wd-on']:.3f}s wd-off={errors['wd-off']:.3f}s")
+        check("lost jiffies caught up by the watchdog",
+              wd_on.stats.get("fault_jiffies_caught_up", 0) > 0
+              or wd_on.stats.get("fault_ticks_lost", 0) == 0,
+              f"lost={wd_on.stats.get('fault_ticks_lost', 0)} "
+              f"caught_up={wd_on.stats.get('fault_jiffies_caught_up', 0)}")
+        check("billed time within the declared uncertainty of the oracle",
+              errors["wd-on"] <= trust.uncertainty_s
+              + max(2 * errors["clean"], 0.02),
+              f"error={errors['wd-on']:.3f}s "
+              f"bound={trust.uncertainty_s:.3f}s")
+    if args.intensity >= 0.05:
+        check("watchdog degrades trust under faults",
+              not trust.is_trusted and trust.uncertainty_ns > 0,
+              f"trust={trust.level.value} "
+              f"uncertainty={trust.uncertainty_s:.3f}s")
+    if args.intensity >= 0.1:
+        check("heavy TSC drift marks the clocksource unstable",
+              wd_on.stats.get("watchdog_unstable", 0) == 1,
+              f"unstable={wd_on.stats.get('watchdog_unstable', 0)} "
+              f"flagged_at_jiffy="
+              f"{wd_on.stats.get('watchdog_flagged_at_jiffy')}")
+
+    print()
+    ok = True
+    for entry in checks:
+        status = "PASS" if entry["passed"] else "FAIL"
+        ok = ok and entry["passed"]
+        print(f"  [{status}] {entry['name']} ({entry['detail']})")
+
+    if args.json:
+        doc = {
+            "command": "faults",
+            "program": args.program,
+            "intensity": args.intensity,
+            "scale": args.scale,
+            "plan": plan_on.to_dict(),
+            "check_invariants": bool(args.check_invariants),
+            "passed": ok,
+            "checks": checks,
+            "errors_s": errors,
+            "trust": {
+                "level": trust.level.value,
+                "uncertainty_ns": trust.uncertainty_ns,
+                "intervals_trusted": trust.intervals_trusted,
+                "intervals_degraded": trust.intervals_degraded,
+                "intervals_untrusted": trust.intervals_untrusted,
+            },
+            "results": {spec_.name: res.to_dict()
+                        for spec_, res in zip(specs, results)},
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .analysis.calibration import calibrate
 
@@ -430,7 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id",
-                     choices=[f"fig{n}" for n in range(4, 12)] + ["vmsched"])
+                     choices=[f"fig{n}" for n in range(4, 12)]
+                             + ["vmsched", "faultsweep"])
     fig.add_argument("--scale", type=float, default=0.4)
     add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
@@ -489,6 +623,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a machine-readable report to PATH")
     add_runner_flags(vm)
     vm.set_defaults(func=_cmd_vm)
+
+    faults = sub.add_parser(
+        "faults", help="hardware fault injection + clocksource watchdog")
+    faults.add_argument("--intensity", type=float, default=0.2,
+                        help="fault intensity in [0, 1]: scales tick-loss "
+                             "probability and TSC drift together "
+                             "(default 0.2)")
+    faults.add_argument("--program", choices=["O", "P", "W", "B"],
+                        default="W", help="workload to meter (default W)")
+    faults.add_argument("--scale", type=float, default=0.4)
+    faults.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable fault report to PATH")
+    add_runner_flags(faults)
+    faults.set_defaults(func=_cmd_faults)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

@@ -129,7 +129,8 @@ def run_experiment(program: Program,
                    extra_libraries=(),
                    trace=(),
                    check_invariants: Optional[bool] = None,
-                   machine_hook=None) -> ExperimentResult:
+                   machine_hook=None,
+                   faults=None) -> ExperimentResult:
     """Execute ``program`` under ``attack`` on a fresh machine.
 
     ``extra_libraries`` installs additional shared objects (e.g. a plugin
@@ -141,14 +142,16 @@ def run_experiment(program: Program,
     :func:`repro.verify.set_default_invariants`).  ``machine_hook``, when
     given, is called with the booted :class:`Machine` before any library
     or attack installation — the fuzzer uses it to inject deliberate
-    accounting corruption.
+    accounting corruption.  ``faults`` (a :class:`~repro.faults.FaultPlan`
+    or mapping) injects deterministic hardware misbehaviour; fault and
+    watchdog counters land in ``stats`` when a plan is active.
     """
     attack = attack or NoAttack()
     if check_invariants is None:
         from ..verify.invariants import default_invariants
         check_invariants = default_invariants()
     machine = Machine(cfg or default_config(), trace=trace,
-                      invariants=bool(check_invariants))
+                      invariants=bool(check_invariants), faults=faults)
     if machine_hook is not None:
         machine_hook(machine)
     install_standard_libraries(machine.kernel.libraries)
@@ -188,6 +191,10 @@ def run_experiment(program: Program,
         if isinstance(logged, dict):
             rusage = logged
 
+    if machine.watchdog is not None:
+        # Close the trailing trust interval before the final sweep so the
+        # uncertainty totals in stats cover the whole run.
+        machine.watchdog.finalize(machine.clock.now)
     machine.check_invariants()
 
     group = machine.kernel.thread_group(victim)
@@ -206,6 +213,11 @@ def run_experiment(program: Program,
         "nic_packets": machine.nic.packets_received,
         "exit_code": victim.exit_code,
     }
+    if machine.fault_plan is not None:
+        stats.update(machine.fault_stats())
+        if machine.invariant_checker is not None:
+            stats["tolerated_violations"] = \
+                len(machine.invariant_checker.tolerated_violations)
 
     return ExperimentResult(
         program=program.name,

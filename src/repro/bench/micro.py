@@ -149,6 +149,65 @@ def _bench_trace(stored: bool, quick: bool) -> BenchSpec:
 
 
 # ---------------------------------------------------------------------------
+# fault injection + clocksource watchdog
+# ---------------------------------------------------------------------------
+
+def _bench_fault_tick(quick: bool) -> BenchSpec:
+    import random
+
+    from ..config import default_config
+    from ..faults import FaultPlan
+    from ..faults.injectors import TickFaultInjector
+
+    cfg = default_config()
+    plan = FaultPlan(tick_loss_prob=0.1, tick_delay_prob=0.1,
+                     tick_delay_max_ns=1_000_000,
+                     smi_period_ns=50_000_000, smi_duration_ns=500_000)
+    injector = TickFaultInjector(plan, random.Random(42), cfg.tick_ns)
+    tick_ns = cfg.tick_ns
+    ops = 40_000 if quick else 200_000
+
+    def fn(n: int) -> None:
+        decide = injector.decide
+        for i in range(n):
+            decide(i * tick_ns)
+
+    return BenchSpec(name="fault.tick", kind="micro", ops=ops, fn=fn,
+                     note="one timer-fire fault decision per op "
+                          "(SMI + loss + delay branches armed)")
+
+
+def _bench_watchdog_check(quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..faults import FaultPlan
+    from ..faults.injectors import TscFault
+    from ..hw.cpu import CPU
+    from ..kernel.timekeeping import ClocksourceWatchdog, TimeKeeper
+    from ..sim.clock import Clock
+
+    cfg = default_config()
+    cpu = CPU(cfg.cpu_freq_hz)
+    # Mild drift so checks take the skew-classification path without ever
+    # tripping the (sticky) unstable latch.
+    cpu.tsc_fault = TscFault(FaultPlan(tsc_drift_ppm=10_000))
+    timekeeper = TimeKeeper(cfg.tick_ns)
+    watchdog = ClocksourceWatchdog(cpu, Clock(), timekeeper, cfg.tick_ns)
+    tick_ns = cfg.tick_ns
+    ops = 20_000 if quick else 100_000
+
+    def fn(n: int) -> None:
+        tick = timekeeper.tick
+        on_tick = watchdog.on_tick
+        for i in range(1, n + 1):
+            tick(True, True)
+            on_tick(i * tick_ns)
+
+    return BenchSpec(name="watchdog.check", kind="micro", ops=ops, fn=fn,
+                     note="one sampled jiffy per op; a TSC cross-check "
+                          "every 8th")
+
+
+# ---------------------------------------------------------------------------
 # hypervisor: tick path and vCPU context switch
 # ---------------------------------------------------------------------------
 
@@ -247,6 +306,8 @@ MICRO_BUILDERS = [
      lambda quick, kind=kind: _bench_scheduler(kind, quick))
     for kind in ("cfs", "o1", "rr")
 ] + [
+    ("fault.tick", _bench_fault_tick),
+    ("watchdog.check", _bench_watchdog_check),
     ("cache.roundtrip", _bench_cache),
     ("virt.vcpu_switch", _bench_vcpu_switch),
     ("virt.tick", _bench_virt_tick),

@@ -1,0 +1,183 @@
+"""Runtime fault injectors built from a :class:`~repro.faults.plan.FaultPlan`.
+
+Each injector owns one fault family and is wired into the hardware layer by
+:class:`~repro.hw.machine.Machine` (or the hypervisor, for the steal-clock
+lie).  They are deliberately dumb: every decision is a pure function of the
+plan, the simulated clock and a dedicated named RNG stream, so a fault
+schedule replays exactly from (seed, plan).
+
+Injectors emit trace records under
+:data:`~repro.sim.tracing.HW_FAULT_CATEGORY` — a category of their own, so
+hardware-fault events never fold into the pre-existing ``"fault"`` (page
+fault) bucket in counters or the capacity-drop breakdown.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..sim.clock import Clock
+from ..sim.events import EventQueue
+from ..sim.tracing import HW_FAULT_CATEGORY, TraceLog
+from .plan import FaultPlan
+
+#: :meth:`TickFaultInjector.decide` verdict: swallow the tick entirely.
+TICK_DROP = -1
+#: Verdict: fire on schedule.
+TICK_FIRE = 0
+
+
+class TickFaultInjector:
+    """Decides the fate of each timer fire: on time, late or lost.
+
+    ``decide`` returns :data:`TICK_DROP`, :data:`TICK_FIRE`, or a positive
+    delay in ns (always below one tick period, so a delayed tick can never
+    reorder past its successor on the grid).
+    """
+
+    __slots__ = ("ticks_dropped", "ticks_delayed", "_loss_prob",
+                 "_delay_prob", "_delay_max_ns", "_smi_period",
+                 "_smi_duration", "_rng", "_trace")
+
+    def __init__(self, plan: FaultPlan, rng: random.Random, tick_ns: int,
+                 trace_log: Optional[TraceLog] = None) -> None:
+        self.ticks_dropped = 0
+        self.ticks_delayed = 0
+        self._loss_prob = plan.tick_loss_prob
+        self._delay_prob = plan.tick_delay_prob
+        # A delay of a full period (or more) would collide with the next
+        # grid tick; cap strictly below it.
+        self._delay_max_ns = min(plan.tick_delay_max_ns, tick_ns - 1)
+        self._smi_period = plan.smi_period_ns
+        self._smi_duration = plan.smi_duration_ns
+        self._rng = rng
+        self._trace = trace_log
+
+    def decide(self, now_ns: int) -> int:
+        if self._smi_duration and now_ns % self._smi_period < self._smi_duration:
+            # Firmware owns the core: the tick vanishes without a trace the
+            # OS could see (the trace log is the experimenter's eye).
+            self.ticks_dropped += 1
+            self._emit(now_ns, "tick lost to SMI blackout")
+            return TICK_DROP
+        rng = self._rng
+        if self._loss_prob and rng.random() < self._loss_prob:
+            self.ticks_dropped += 1
+            self._emit(now_ns, "tick lost")
+            return TICK_DROP
+        if self._delay_prob and rng.random() < self._delay_prob:
+            delay = rng.randint(1, self._delay_max_ns)
+            self.ticks_delayed += 1
+            self._emit(now_ns, "tick delayed", delay_ns=delay)
+            return delay
+        return TICK_FIRE
+
+    def _emit(self, now_ns: int, message: str, **data: Any) -> None:
+        if self._trace is not None:
+            self._trace.emit(now_ns, HW_FAULT_CATEGORY, message, **data)
+
+
+class TscFault:
+    """Read-side TSC distortion: drift, a one-shot step, periodic freezes.
+
+    Applied to every TSC *read* (rdtsc and the watchdog's clocksource
+    timestamp); the cycle counter the engine retires work into — the
+    metering ground truth — is never touched, so conservation invariants
+    hold exactly under any TSC fault.
+    """
+
+    __slots__ = ("_drift_ppm", "_step", "_step_after", "_freeze_dur",
+                 "_freeze_period")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._drift_ppm = plan.tsc_drift_ppm
+        self._step = plan.tsc_step_cycles
+        self._step_after = plan.tsc_step_after_cycles
+        self._freeze_dur = plan.tsc_freeze_duration_cycles
+        self._freeze_period = plan.tsc_freeze_period_cycles
+
+    def transform(self, cycles: int) -> int:
+        if self._freeze_dur:
+            into = cycles % self._freeze_period
+            if into < self._freeze_dur:
+                cycles -= into  # stuck at the window start
+        if self._drift_ppm:
+            cycles += cycles * self._drift_ppm // 1_000_000
+        if self._step and cycles >= self._step_after:
+            cycles += self._step
+        return cycles
+
+
+class IrqStorm:
+    """Spurious device-interrupt generator (no payload behind the lines).
+
+    Self-schedules on the event queue at ``irq_storm_pps`` with ±50%
+    uniform jitter from the ``faults:irq`` stream and raises the NIC line;
+    the handler cost is real, the packet is not — pure stolen CPU time, the
+    hardware-gone-wrong twin of the paper's interrupt flood attack.
+    """
+
+    def __init__(self, plan: FaultPlan, clock: Clock, events: EventQueue,
+                 pic, rng: random.Random,
+                 trace_log: Optional[TraceLog] = None) -> None:
+        self.spurious_fired = 0
+        self._mean_gap_ns = max(1, int(1e9 / plan.irq_storm_pps))
+        self._clock = clock
+        self._events = events
+        self._pic = pic
+        self._rng = rng
+        self._trace = trace_log
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        gap = self._mean_gap_ns
+        jitter = self._rng.randint(-(gap // 2), gap // 2)
+        self._events.schedule(self._clock.now + max(1, gap + jitter),
+                              self._fire, name="irq-storm")
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.spurious_fired += 1
+        if self._trace is not None:
+            self._trace.emit(self._clock.now, HW_FAULT_CATEGORY,
+                             "spurious irq")
+        from ..hw.irq import IRQ_NIC
+
+        self._pic.raise_irq(IRQ_NIC)
+        self._schedule_next()
+
+
+class StaleProcfs:
+    """Host-side /proc reads served from snapshots up to ``staleness_ns``
+    old — a metering exporter that lags the kernel it reads.  Deterministic:
+    a snapshot is taken on the first read past its expiry."""
+
+    __slots__ = ("staleness_ns", "stale_reads", "fresh_reads", "_cache")
+
+    def __init__(self, staleness_ns: int) -> None:
+        self.staleness_ns = staleness_ns
+        self.stale_reads = 0
+        self.fresh_reads = 0
+        self._cache: Dict[Any, Tuple[int, Dict[str, Any]]] = {}
+
+    def cached(self, key: Any, now_ns: int,
+               compute: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+        entry = self._cache.get(key)
+        if entry is not None and now_ns - entry[0] < self.staleness_ns:
+            self.stale_reads += 1
+            return dict(entry[1])
+        value = compute()
+        self._cache[key] = (now_ns, dict(value))
+        self.fresh_reads += 1
+        return value

@@ -104,6 +104,11 @@ class CPU:
         self.irqs_enabled = True
         #: Total cycles retired; drives the TSC.
         self._cycles = 0
+        #: Optional read-side TSC distortion (drift/step/freeze), installed
+        #: by the fault layer.  Applied only when the TSC is *read*; the
+        #: retired-cycle counter itself — the metering ground truth — is
+        #: never touched.
+        self.tsc_fault = None
 
     # ---- time/cycle conversion -------------------------------------------
 
@@ -136,4 +141,20 @@ class CPU:
 
     def read_tsc(self) -> int:
         """The rdtsc instruction: cycles since boot."""
-        return self._cycles
+        cycles = self._cycles
+        fault = self.tsc_fault
+        return fault.transform(cycles) if fault is not None else cycles
+
+    def wall_tsc(self, now_ns: int) -> int:
+        """The invariant-TSC clocksource reading at wall time ``now_ns``.
+
+        Modern cores keep the TSC counting at nominal frequency through
+        idle and frequency scaling (constant_tsc/nonstop_tsc), which is
+        what lets a clocksource watchdog timestamp wall intervals with it.
+        The retired-cycle counter stops during idle, so the clocksource
+        view is derived from the wall clock instead — and is where the
+        fault layer's drift/step/freeze distortion shows up.
+        """
+        cycles = self.ns_to_cycles(now_ns)
+        fault = self.tsc_fault
+        return fault.transform(cycles) if fault is not None else cycles

@@ -41,13 +41,25 @@ class Machine:
 
     def __init__(self, cfg: Optional[MachineConfig] = None,
                  trace: Iterable[str] = (),
-                 invariants=None) -> None:
+                 invariants=None,
+                 faults=None) -> None:
         """``invariants`` enables the runtime invariant checker: False/None
         (off), True (raise on first violation), ``"collect"`` (record
         violations on ``machine.invariant_checker.violations``), or a
-        pre-built :class:`~repro.verify.InvariantChecker`."""
+        pre-built :class:`~repro.verify.InvariantChecker`.
+
+        ``faults`` is an optional :class:`~repro.faults.FaultPlan` (or a
+        mapping for :meth:`FaultPlan.from_dict`): deterministic hardware
+        misbehaviour injected into the timer, TSC, interrupt lines and
+        /proc, plus the clocksource-watchdog defense.  An empty plan is
+        treated exactly like no plan: no injector or watchdog is installed
+        and the machine is bit-identical to a fault-free one.
+        """
+        from ..faults import normalize_plan
+
         self.cfg = cfg or default_config()
         self.cfg.validate()
+        self.fault_plan = normalize_plan(faults)
         self.clock = Clock()
         self.events = EventQueue()
         self.rng = DeterministicRng(self.cfg.seed)
@@ -61,22 +73,82 @@ class Machine:
         self.kernel = Kernel(self.cfg, self.clock, self.events, self.cpu,
                              self.pic, self.disk, self.nic, self.rng,
                              self.trace_log)
-        self.invariant_checker = self._make_checker(invariants)
+        self.watchdog = None
+        self.irq_storm = None
+        tolerated = (self.fault_plan.tolerated_categories()
+                     if self.fault_plan is not None else ())
+        self.invariant_checker = self._make_checker(invariants, tolerated)
         if self.invariant_checker is not None:
             self.invariant_checker.attach(self.kernel)
+        if self.fault_plan is not None:
+            self._install_faults(self.fault_plan)
         self.timer.start()
 
     @staticmethod
-    def _make_checker(invariants):
+    def _make_checker(invariants, tolerated=()):
         if not invariants:
             return None
         from ..verify.invariants import InvariantChecker
 
         if isinstance(invariants, InvariantChecker):
+            if tolerated:
+                invariants.tolerate(*tolerated)
             return invariants
         if invariants == "collect":
-            return InvariantChecker(mode="collect")
-        return InvariantChecker()
+            return InvariantChecker(mode="collect", tolerated=tolerated)
+        return InvariantChecker(tolerated=tolerated)
+
+    def _install_faults(self, plan) -> None:
+        from ..faults import IrqStorm, StaleProcfs, TickFaultInjector, TscFault
+        from ..kernel.timekeeping import ClocksourceWatchdog
+
+        if plan.has_tick_faults():
+            self.timer.fault = TickFaultInjector(
+                plan, self.rng.stream("faults:tick"), self.cfg.tick_ns,
+                trace_log=self.trace_log)
+        if plan.has_tsc_faults():
+            self.cpu.tsc_fault = TscFault(plan)
+        if plan.irq_storm_pps > 0:
+            self.irq_storm = IrqStorm(
+                plan, self.clock, self.events, self.pic,
+                self.rng.stream("faults:irq"), trace_log=self.trace_log)
+            self.irq_storm.start()
+        if plan.procfs_staleness_ns > 0:
+            self.kernel.procfs_fault = StaleProcfs(plan.procfs_staleness_ns)
+        if plan.watchdog:
+            self.watchdog = ClocksourceWatchdog(
+                self.cpu, self.clock, self.kernel.timekeeper,
+                self.cfg.tick_ns, timer=self.timer)
+            self.kernel.watchdog = self.watchdog
+
+    def fault_stats(self) -> dict:
+        """Integer counters describing injected faults and the watchdog's
+        reaction; empty when no fault plan is active."""
+        if self.fault_plan is None:
+            return {}
+        stats = {
+            "fault_ticks_lost": self.timer.ticks_lost,
+            "fault_ticks_delayed": self.timer.ticks_delayed,
+            "fault_jiffies_caught_up": self.kernel.timekeeper.jiffies_caught_up,
+        }
+        if self.irq_storm is not None:
+            stats["fault_spurious_irqs"] = self.irq_storm.spurious_fired
+        if self.kernel.procfs_fault is not None:
+            stats["fault_stale_proc_reads"] = \
+                self.kernel.procfs_fault.stale_reads
+        if self.watchdog is not None:
+            stats["watchdog_checks"] = self.watchdog.checks
+            stats["watchdog_unstable"] = int(self.watchdog.unstable)
+            stats["watchdog_uncertainty_ns"] = \
+                self.watchdog.total_uncertainty_ns()
+            counts = self.watchdog.trust_counts()
+            stats["watchdog_intervals_trusted"] = counts["trusted"]
+            stats["watchdog_intervals_degraded"] = counts["degraded"]
+            stats["watchdog_intervals_untrusted"] = counts["untrusted"]
+            if self.watchdog.flagged_at_jiffy is not None:
+                stats["watchdog_flagged_at_jiffy"] = \
+                    self.watchdog.flagged_at_jiffy
+        return stats
 
     def check_invariants(self) -> None:
         """Run a full invariant sweep now (no-op when checking is off)."""

@@ -30,6 +30,13 @@ class TimerDevice:
         self._next_tick: Optional[EventHandle] = None
         self.ticks_fired = 0
         self._running = False
+        #: Optional fault injector (see repro.faults): consulted at each
+        #: grid instant to fire, drop or delay the tick.  The grid itself
+        #: is never perturbed — a dropped or delayed tick does not move
+        #: its successors, exactly like a masked tick on real hardware.
+        self.fault = None
+        self.ticks_lost = 0
+        self.ticks_delayed = 0
 
     @property
     def running(self) -> bool:
@@ -61,6 +68,26 @@ class TimerDevice:
     def _fire(self) -> None:
         if not self._running:
             return
+        fault = self.fault
+        if fault is not None:
+            verdict = fault.decide(self._clock.now)
+            if verdict != 0:
+                # The next tick stays on the absolute grid either way.
+                self._schedule_next()
+                if verdict < 0:
+                    self.ticks_lost += 1
+                else:
+                    self._events.schedule(self._clock.now + verdict,
+                                          self._fire_delayed,
+                                          name="timer-tick-delayed")
+                return
         self.ticks_fired += 1
         self._pic.raise_irq(IRQ_TIMER)
         self._schedule_next()
+
+    def _fire_delayed(self) -> None:
+        if not self._running:
+            return
+        self.ticks_fired += 1
+        self.ticks_delayed += 1
+        self._pic.raise_irq(IRQ_TIMER)

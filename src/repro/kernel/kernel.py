@@ -26,7 +26,7 @@ from ..programs.ops import Compute, Provenance, Syscall
 from ..sim.clock import Clock
 from ..sim.events import EventQueue
 from ..sim.rng import DeterministicRng
-from ..sim.tracing import TraceLog
+from ..sim.tracing import HW_FAULT_CATEGORY, TraceLog
 from .accounting import AccountingScheme, ChargeKind, CpuUsage, make_accounting
 from .engine import ExecState, ExecutionEngine, Frame, Segment
 from .loader.linker import LinkMap, build_link_map, process_body
@@ -105,6 +105,13 @@ class Kernel:
         #: Optional runtime invariant checker (see repro.verify); attached
         #: by the machine when invariant checking is enabled.
         self.invariants = None
+        #: Optional clocksource watchdog (see repro.kernel.timekeeping);
+        #: attached by the machine when a fault plan enables it.  Its
+        #: presence also turns on lost-tick compensation in _timer_irq.
+        self.watchdog = None
+        #: Optional stale-/proc cache fault (see repro.faults), consulted
+        #: by repro.kernel.procfs read paths.
+        self.procfs_fault = None
         #: LSM-style policy: may non-root users ptrace their own processes?
         self.policy_allow_user_ptrace = True
 
@@ -201,10 +208,21 @@ class Kernel:
         window_start, window_end = self._irq_window
         if window_start <= nominal < window_end:
             mode = CPUMode.KERNEL
+        if self.watchdog is not None:
+            # Lost-tick compensation: if grid instants passed without a
+            # jiffy (tick swallowed by an SMI or masked window), replay
+            # them against the interrupted context before accounting this
+            # one — the tick_nohz_idle-style catch-up Linux performs from
+            # jiffies_update when it sees jiffies lag the clocksource.
+            missed = nominal // self.cfg.tick_ns - 1 - self.timekeeper.jiffies
+            if missed > 0:
+                self._catch_up_ticks(missed, current, mode)
         self.timekeeper.tick(current is not None, mode is CPUMode.USER)
         self.accounting.on_tick(current, mode)
         if self.invariants is not None:
             self.invariants.on_tick(current, mode is CPUMode.USER)
+        if self.watchdog is not None:
+            self.watchdog.on_tick(self.clock.now)
         if current is not None:
             self._update_curr(current)
             if self.scheduler.task_tick(current):
@@ -213,6 +231,29 @@ class Kernel:
         # the oracle files it under SYSTEM so only genuinely external
         # interrupts (NIC, disk) count as attack-relevant IRQ time.
         self.consume_irq(self.costs.timer_handler_cycles, Provenance.SYSTEM)
+
+    def _catch_up_ticks(self, missed: int, current: Optional[Task],
+                        mode: CPUMode) -> None:
+        """Replay ``missed`` lost jiffies against the interrupted context.
+
+        Replays only the sampling actions (timekeeper, accounting scheme,
+        oracle checker) — scheduler task_tick is *not* replayed, mirroring
+        Linux where catch-up updates jiffies and cpustat but preemption
+        decisions only happen on real interrupts.
+        """
+        running = current is not None
+        user = mode is CPUMode.USER
+        for _ in range(missed):
+            self.timekeeper.tick(running, user)
+            self.accounting.on_tick(current, mode)
+            if self.invariants is not None:
+                self.invariants.on_tick(current, user)
+        self.timekeeper.jiffies_caught_up += missed
+        if self.watchdog is not None:
+            self.watchdog.note_caught_up(missed)
+        self.trace(HW_FAULT_CATEGORY,
+                   lambda: f"tick catch-up: replayed {missed} lost jiffies",
+                   current.pid if current is not None else None)
 
     def _nic_irq(self, line: int) -> None:
         self.consume_irq(self.costs.nic_handler_cycles, Provenance.IRQ)

@@ -28,7 +28,20 @@ _STATE_LETTERS = {
 
 
 def stat(kernel: "Kernel", pid: int) -> Dict[str, object]:
-    """The /proc/<pid>/stat analogue for one task."""
+    """The /proc/<pid>/stat analogue for one task.
+
+    When the fault layer installed a :class:`~repro.faults.StaleProcfs`
+    (``kernel.procfs_fault``), reads within the staleness window return the
+    cached snapshot — the "observer sees old numbers" failure mode.
+    """
+    fault = kernel.procfs_fault
+    if fault is not None:
+        return fault.cached(("stat", pid), kernel.clock.now,
+                            lambda: _stat_fresh(kernel, pid))
+    return _stat_fresh(kernel, pid)
+
+
+def _stat_fresh(kernel: "Kernel", pid: int) -> Dict[str, object]:
     task = kernel.task_by_pid(pid)
     if task is None:
         raise KeyError(f"no such pid {pid}")
@@ -85,7 +98,15 @@ def interrupts(kernel: "Kernel") -> Dict[int, int]:
 
 
 def uptime(kernel: "Kernel") -> Dict[str, float]:
-    """Uptime and tick distribution."""
+    """Uptime and tick distribution (subject to StaleProcfs, like stat)."""
+    fault = kernel.procfs_fault
+    if fault is not None:
+        return fault.cached(("uptime",), kernel.clock.now,
+                            lambda: _uptime_fresh(kernel))
+    return _uptime_fresh(kernel)
+
+
+def _uptime_fresh(kernel: "Kernel") -> Dict[str, float]:
     tk = kernel.timekeeper
     return {
         "uptime_s": kernel.clock.now / 1e9,

@@ -1,13 +1,84 @@
-"""Jiffies and tick bookkeeping.
+"""Jiffies, tick bookkeeping and the clocksource watchdog.
 
-Thin by design: the tick's *accounting* action lives in the accounting
-scheme and its *scheduling* action in the scheduler; this module only keeps
-the counters that a real kernel's timekeeping code would (jiffies, ticks
-observed per task state) so tests and reports can assert on them.
+The :class:`TimeKeeper` is thin by design: the tick's *accounting* action
+lives in the accounting scheme and its *scheduling* action in the
+scheduler; this module only keeps the counters a real kernel's timekeeping
+code would (jiffies, ticks observed per task state) so tests and reports
+can assert on them.
+
+The :class:`ClocksourceWatchdog` is the kernel-side defense of the fault
+layer (see :mod:`repro.faults` and ``docs/faults.md``): modelled on Linux's
+``clocksource_watchdog()``, it periodically cross-checks the fine-grained
+clocksource (the invariant TSC) against the coarse but trustworthy one
+(jiffies off the PIT grid).  When the two disagree beyond a threshold it
+marks the TSC unstable and falls back to jiffies; alongside, the kernel's
+lost-tick compensation (``Kernel._timer_irq``) replays jiffies a masked
+tick swallowed.  Every check closes a :class:`ClockInterval` carrying a
+trust grade and an uncertainty bound, which is how metering degrades
+*gracefully*: billing keeps flowing, each interval just says how much the
+numbers can be trusted (:class:`TrustLevel`).
 """
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.cpu import CPU
+    from ..hw.timer import TimerDevice
+    from ..sim.clock import Clock
+
+
+class TrustLevel(enum.Enum):
+    """How much a metering interval's numbers can be trusted."""
+
+    #: Clocksources agree, no tick was recovered: full confidence.
+    TRUSTED = "trusted"
+    #: Ticks were recovered by catch-up, arrived late, or the clocksources
+    #: mildly disagree (or the watchdog is running on the jiffies
+    #: fallback): numbers are correct to within ``uncertainty_ns``.
+    DEGRADED = "degraded"
+    #: The clocksource cross-check failed outright in this interval: the
+    #: fine-grained time base was caught lying.
+    UNTRUSTED = "untrusted"
+
+
+#: Ordering for "worst trust level" aggregation.
+TRUST_SEVERITY = {TrustLevel.TRUSTED: 0, TrustLevel.DEGRADED: 1,
+                  TrustLevel.UNTRUSTED: 2}
+
+
+@dataclass(frozen=True)
+class ClockInterval:
+    """One watchdog check window, graded."""
+
+    start_ns: int
+    end_ns: int
+    #: Jiffies accounted inside the window (including caught-up ones).
+    jiffies: int
+    #: Jiffies recovered by lost-tick catch-up inside the window.
+    caught_up: int
+    #: Ticks that fired late inside the window.
+    delayed: int
+    #: TSC-derived elapsed time minus jiffies-derived elapsed time.
+    skew_ns: int
+    trust: TrustLevel
+    #: Half-width of the interval's CPU-time error bound.
+    uncertainty_ns: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "jiffies": self.jiffies,
+            "caught_up": self.caught_up,
+            "delayed": self.delayed,
+            "skew_ns": self.skew_ns,
+            "trust": self.trust.value,
+            "uncertainty_ns": self.uncertainty_ns,
+        }
 
 
 class TimeKeeper:
@@ -23,6 +94,9 @@ class TimeKeeper:
         #: runnable but descheduled) — the /proc/stat "steal" column.  Zero
         #: on bare metal; a hypervisor injects it via :meth:`account_steal`.
         self.steal_ns = 0
+        #: Jiffies recovered by lost-tick compensation (a subset of
+        #: ``jiffies``); zero unless the clocksource watchdog is active.
+        self.jiffies_caught_up = 0
 
     def tick(self, running: bool, user_mode: bool) -> None:
         self.jiffies += 1
@@ -51,4 +125,147 @@ class TimeKeeper:
             "kernel": self.ticks_kernel,
             "idle": self.ticks_idle,
             "steal_ns": self.steal_ns,
+            "jiffies_caught_up": self.jiffies_caught_up,
+        }
+
+
+class ClocksourceWatchdog:
+    """Linux-style clocksource cross-check with trust-graded intervals.
+
+    Every ``check_every_ticks`` sampled jiffies, compare the elapsed time
+    the TSC clocksource reports against what the jiffy counter reports for
+    the same window.  Relative skew at or above ``unstable_skew`` marks the
+    TSC unstable — permanently, as Linux does — and timekeeping falls back
+    to the jiffies clocksource; skew at or above ``degraded_skew``, any
+    caught-up or late tick, or running on the fallback merely degrades the
+    window.  Each check closes one :class:`ClockInterval` whose
+    ``uncertainty_ns`` bounds how far metered CPU time inside the window
+    can be off.
+    """
+
+    def __init__(self, cpu: "CPU", clock: "Clock", timekeeper: TimeKeeper,
+                 tick_ns: int, timer: Optional["TimerDevice"] = None,
+                 check_every_ticks: int = 8,
+                 degraded_skew: float = 0.02,
+                 unstable_skew: float = 0.10) -> None:
+        if check_every_ticks <= 0:
+            raise ValueError("check_every_ticks must be positive")
+        if not 0 < degraded_skew <= unstable_skew:
+            raise ValueError("need 0 < degraded_skew <= unstable_skew")
+        self.cpu = cpu
+        self.clock = clock
+        self.timekeeper = timekeeper
+        self.tick_ns = tick_ns
+        self.timer = timer
+        self.check_every_ticks = check_every_ticks
+        self.degraded_skew = degraded_skew
+        self.unstable_skew = unstable_skew
+
+        self.clocksource = "tsc"
+        self.unstable = False
+        self.flagged_at_jiffy: Optional[int] = None
+        self.checks = 0
+        self.intervals: List[ClockInterval] = []
+
+        self._last_check_ns = clock.now
+        self._last_jiffies = timekeeper.jiffies
+        self._last_tsc_ns = cpu.cycles_to_ns(cpu.wall_tsc(clock.now))
+        self._last_delayed = timer.ticks_delayed if timer is not None else 0
+        self._window_caught_up = 0
+
+    # -- hooks (called by Kernel._timer_irq) -------------------------------
+
+    def note_caught_up(self, jiffies: int) -> None:
+        """Lost-tick compensation replayed ``jiffies`` missed jiffies."""
+        self._window_caught_up += jiffies
+
+    def on_tick(self, now_ns: int) -> None:
+        """Called after each sampled jiffy; runs a check when the window
+        is full."""
+        if (self.timekeeper.jiffies - self._last_jiffies
+                >= self.check_every_ticks):
+            self._check(now_ns)
+
+    def finalize(self, now_ns: int) -> None:
+        """Close the trailing partial window (end of experiment)."""
+        if self.timekeeper.jiffies > self._last_jiffies:
+            self._check(now_ns)
+
+    # -- the cross-check ---------------------------------------------------
+
+    def _check(self, now_ns: int) -> None:
+        self.checks += 1
+        jiffies = self.timekeeper.jiffies - self._last_jiffies
+        jiffy_elapsed_ns = jiffies * self.tick_ns
+        tsc_ns = self.cpu.cycles_to_ns(self.cpu.wall_tsc(now_ns))
+        tsc_elapsed_ns = tsc_ns - self._last_tsc_ns
+        skew_ns = tsc_elapsed_ns - jiffy_elapsed_ns
+        skew_frac = abs(skew_ns) / jiffy_elapsed_ns if jiffy_elapsed_ns else 0.0
+
+        caught_up = self._window_caught_up
+        if self.timer is not None:
+            delayed = self.timer.ticks_delayed - self._last_delayed
+        else:
+            delayed = 0
+
+        if skew_frac >= self.unstable_skew and not self.unstable:
+            # First failed cross-check: mark the clocksource unstable and
+            # fall back to the coarse-but-honest one, as
+            # clocksource_mark_unstable() does.  The interval that caught
+            # the lie is the one branded UNTRUSTED.
+            self.unstable = True
+            self.clocksource = "jiffies"
+            self.flagged_at_jiffy = self.timekeeper.jiffies
+            trust = TrustLevel.UNTRUSTED
+        elif self.unstable:
+            # Running on the fallback clocksource: stable but coarse.
+            trust = TrustLevel.DEGRADED
+        elif (caught_up or delayed or skew_frac >= self.degraded_skew):
+            trust = TrustLevel.DEGRADED
+        else:
+            trust = TrustLevel.TRUSTED
+
+        uncertainty = (caught_up + delayed) * self.tick_ns
+        if trust is not TrustLevel.TRUSTED:
+            uncertainty += abs(skew_ns)
+
+        self.intervals.append(ClockInterval(
+            start_ns=self._last_check_ns, end_ns=now_ns, jiffies=jiffies,
+            caught_up=caught_up, delayed=delayed, skew_ns=skew_ns,
+            trust=trust, uncertainty_ns=uncertainty))
+
+        self._last_check_ns = now_ns
+        self._last_jiffies = self.timekeeper.jiffies
+        self._last_tsc_ns = tsc_ns
+        self._last_delayed += delayed
+        self._window_caught_up = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def trust_counts(self) -> Dict[str, int]:
+        counts = {level.value: 0 for level in TrustLevel}
+        for interval in self.intervals:
+            counts[interval.trust.value] += 1
+        return counts
+
+    def total_uncertainty_ns(self) -> int:
+        return sum(i.uncertainty_ns for i in self.intervals)
+
+    def worst_trust(self) -> TrustLevel:
+        worst = TrustLevel.TRUSTED
+        for interval in self.intervals:
+            if TRUST_SEVERITY[interval.trust] > TRUST_SEVERITY[worst]:
+                worst = interval.trust
+        return worst
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "clocksource": self.clocksource,
+            "unstable": self.unstable,
+            "flagged_at_jiffy": self.flagged_at_jiffy,
+            "checks": self.checks,
+            "intervals": len(self.intervals),
+            "trust_counts": self.trust_counts(),
+            "uncertainty_ns": self.total_uncertainty_ns(),
+            "jiffies_caught_up": self.timekeeper.jiffies_caught_up,
         }

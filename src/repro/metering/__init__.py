@@ -9,7 +9,7 @@ fine-grained metering (evaluated via the TSC accounting scheme).
 """
 
 from .oracle import OracleReport, oracle_report
-from .billing import Invoice, PricePlan
+from .billing import Invoice, PricePlan, TrustReport, invoice_for
 from .verification import BillVerifier, VerificationOutcome, VerificationReport
 from .attestation import (
     AttestationError,
@@ -36,6 +36,8 @@ __all__ = [
     "oracle_report",
     "Invoice",
     "PricePlan",
+    "TrustReport",
+    "invoice_for",
     "BillVerifier",
     "VerificationOutcome",
     "VerificationReport",

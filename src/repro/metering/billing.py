@@ -8,12 +8,16 @@ an invoice is only as trustworthy as the metering underneath it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from ..config import NS_PER_SEC
 from ..errors import ConfigError
 from ..kernel.accounting import CpuUsage
+from ..kernel.timekeeping import TRUST_SEVERITY, TrustLevel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernel.timekeeping import ClocksourceWatchdog
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,74 @@ PER_SECOND_PLAN = PricePlan("per-cpu-second", microdollars_per_unit=28,
                             unit_ns=NS_PER_SEC, round_up=False)
 
 
+@dataclass(frozen=True)
+class TrustReport:
+    """Trust annotation for one metered usage record.
+
+    Produced from the clocksource watchdog's interval grades (see
+    :class:`~repro.kernel.timekeeping.ClocksourceWatchdog`): the worst
+    interval trust level observed over the metering window plus the summed
+    uncertainty bound.  Attached to an :class:`Invoice`, it is how billing
+    degrades *gracefully* under hardware faults — the bill still issues,
+    it just carries an honest error bar.
+    """
+
+    level: TrustLevel
+    uncertainty_ns: int
+    intervals_trusted: int = 0
+    intervals_degraded: int = 0
+    intervals_untrusted: int = 0
+
+    @classmethod
+    def from_watchdog(cls, watchdog: "ClocksourceWatchdog") -> "TrustReport":
+        counts = watchdog.trust_counts()
+        return cls(level=watchdog.worst_trust(),
+                   uncertainty_ns=watchdog.total_uncertainty_ns(),
+                   intervals_trusted=counts["trusted"],
+                   intervals_degraded=counts["degraded"],
+                   intervals_untrusted=counts["untrusted"])
+
+    @classmethod
+    def from_stats(cls, stats: "dict") -> "TrustReport":
+        """Rebuild a trust report from an experiment result's watchdog
+        counters — the stats travel through the result cache, the live
+        watchdog object does not."""
+        trusted = int(stats.get("watchdog_intervals_trusted", 0))
+        degraded = int(stats.get("watchdog_intervals_degraded", 0))
+        untrusted = int(stats.get("watchdog_intervals_untrusted", 0))
+        if untrusted:
+            level = TrustLevel.UNTRUSTED
+        elif degraded:
+            level = TrustLevel.DEGRADED
+        else:
+            level = TrustLevel.TRUSTED
+        return cls(level=level,
+                   uncertainty_ns=int(stats.get("watchdog_uncertainty_ns",
+                                                0)),
+                   intervals_trusted=trusted,
+                   intervals_degraded=degraded,
+                   intervals_untrusted=untrusted)
+
+    @property
+    def uncertainty_s(self) -> float:
+        return self.uncertainty_ns / 1e9
+
+    @property
+    def is_trusted(self) -> bool:
+        return self.level is TrustLevel.TRUSTED
+
+    def worse_than(self, other: "TrustReport") -> bool:
+        return TRUST_SEVERITY[self.level] > TRUST_SEVERITY[other.level]
+
+    def render(self) -> str:
+        return (f"{self.level.value} "
+                f"(±{self.uncertainty_s:.3f} s over "
+                f"{self.intervals_trusted + self.intervals_degraded + self.intervals_untrusted} "
+                f"intervals: {self.intervals_trusted} trusted, "
+                f"{self.intervals_degraded} degraded, "
+                f"{self.intervals_untrusted} untrusted)")
+
+
 @dataclass
 class Invoice:
     """One job's bill."""
@@ -61,6 +133,9 @@ class Invoice:
     job_name: str
     plan: PricePlan
     usage: CpuUsage
+    #: Trust annotation from the clocksource watchdog, when the run had
+    #: one; None means the fault layer was not in play.
+    trust: Optional[TrustReport] = field(default=None)
 
     @property
     def billable_ns(self) -> int:
@@ -74,19 +149,34 @@ class Invoice:
     def amount_dollars(self) -> float:
         return self.amount_microdollars / 1e6
 
+    def billable_bounds_ns(self) -> "tuple[int, int]":
+        """(low, high) bound on billable ns given the trust uncertainty."""
+        if self.trust is None:
+            return self.billable_ns, self.billable_ns
+        delta = self.trust.uncertainty_ns
+        return max(0, self.billable_ns - delta), self.billable_ns + delta
+
     def render(self) -> str:
-        return (
-            f"INVOICE for job {self.job_name!r}\n"
-            f"  plan        : {self.plan.name}\n"
-            f"  user time   : {self.usage.utime_seconds:.3f} s\n"
-            f"  system time : {self.usage.stime_seconds:.3f} s\n"
-            f"  billable    : {self.billable_ns / 1e9:.3f} CPU-seconds\n"
-            f"  amount      : ${self.amount_dollars:.6f}"
-        )
+        lines = [
+            f"INVOICE for job {self.job_name!r}",
+            f"  plan        : {self.plan.name}",
+            f"  user time   : {self.usage.utime_seconds:.3f} s",
+            f"  system time : {self.usage.stime_seconds:.3f} s",
+            f"  billable    : {self.billable_ns / 1e9:.3f} CPU-seconds",
+            f"  amount      : ${self.amount_dollars:.6f}",
+        ]
+        if self.trust is not None:
+            low, high = self.billable_bounds_ns()
+            lines.append(f"  trust       : {self.trust.render()}")
+            lines.append(f"  bounds      : [{low / 1e9:.3f}, {high / 1e9:.3f}]"
+                         f" CPU-seconds")
+        return "\n".join(lines)
 
 
 def invoice_for(job_name: str, usage: CpuUsage,
-                plan: Optional[PricePlan] = None) -> Invoice:
-    """Build an invoice from a metered usage record."""
+                plan: Optional[PricePlan] = None,
+                trust: Optional[TrustReport] = None) -> Invoice:
+    """Build an invoice from a metered usage record (optionally annotated
+    with the run's clocksource trust report)."""
     return Invoice(job_name=job_name, plan=plan or PER_SECOND_PLAN,
-                   usage=usage)
+                   usage=usage, trust=trust)

@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..analysis.experiment import run_experiment
 from ..config import MachineConfig, default_config
 from ..kernel.accounting import CpuUsage
 from ..programs.base import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .billing import TrustReport
 
 
 class VerificationOutcome(enum.Enum):
@@ -43,6 +46,10 @@ class VerificationReport:
     outcome: VerificationOutcome
     tolerance_fraction: float
     tolerance_floor_s: float
+    #: Trust level of the billed-side metering ("trusted" when no trust
+    #: report accompanied the bill) and the extra margin it contributed.
+    trust_level: str = "trusted"
+    uncertainty_s: float = 0.0
 
     @property
     def billed_s(self) -> float:
@@ -62,7 +69,7 @@ class VerificationReport:
         return self.discrepancy_s / ref if ref > 0 else 0.0
 
     def render(self) -> str:
-        return (
+        out = (
             f"VERIFICATION of job {self.job_name!r}: {self.outcome.value}\n"
             f"  billed     : {self.billed_s:.3f} s\n"
             f"  reference  : {self.reference_s:.3f} s\n"
@@ -71,6 +78,10 @@ class VerificationReport:
             f"  tolerance  : ±{100 * self.tolerance_fraction:.0f}% "
             f"(floor {self.tolerance_floor_s:.3f} s)"
         )
+        if self.trust_level != "trusted" or self.uncertainty_s:
+            out += (f"\n  trust      : {self.trust_level} "
+                    f"(±{self.uncertainty_s:.3f} s metering uncertainty)")
+        return out
 
 
 class BillVerifier:
@@ -90,10 +101,23 @@ class BillVerifier:
         result = run_experiment(program, cfg=self.reference_cfg)
         return result.usage
 
-    def verify(self, program: Program, billed: CpuUsage) -> VerificationReport:
+    def verify(self, program: Program, billed: CpuUsage,
+               trust: Optional["TrustReport"] = None) -> VerificationReport:
+        """Check ``billed`` against a reference replay.
+
+        ``trust`` is the provider-side metering trust report, if the bill
+        came with one: its uncertainty bound widens the acceptance margin,
+        so a bill metered under declared hardware faults is judged against
+        what the degraded meter could honestly report, not against a
+        perfect clock it did not have.
+        """
         reference = self.reference_run(program)
         margin = max(self.tolerance_floor_s,
                      self.tolerance_fraction * reference.total_seconds)
+        uncertainty_s = 0.0
+        if trust is not None:
+            uncertainty_s = trust.uncertainty_s
+            margin += uncertainty_s
         delta = billed.total_seconds - reference.total_seconds
         if delta > margin:
             outcome = VerificationOutcome.OVERCHARGED
@@ -108,4 +132,6 @@ class BillVerifier:
             outcome=outcome,
             tolerance_fraction=self.tolerance_fraction,
             tolerance_floor_s=self.tolerance_floor_s,
+            trust_level=trust.level.value if trust is not None else "trusted",
+            uncertainty_s=uncertainty_s,
         )

@@ -55,6 +55,10 @@ class ResultCache:
         path = self._path(key)
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(doc, dict):
+                # Valid JSON that is not an object (truncation can leave
+                # e.g. a bare array or null behind): corrupt, not stale.
+                raise ValueError("cache entry is not a JSON object")
             if doc.get("schema") != ENTRY_SCHEMA or doc.get("key") != key:
                 raise ValueError("stale or foreign cache entry")
             result = ExperimentResult.from_dict(doc["result"])

@@ -93,6 +93,12 @@ class ExperimentSpec:
     #: carries the hypervisor/scenario knobs
     #: (:data:`repro.virt.experiment.VM_PARAM_KEYS`; ``{}`` for defaults).
     vm: Optional[Mapping[str, Any]] = None
+    #: Not None → a :meth:`repro.faults.FaultPlan.from_dict` mapping of
+    #: deterministic hardware faults (plus the watchdog toggle) for this
+    #: point.  An *empty* plan is identical to None — including in the
+    #: cache key, so zero-fault results remain bit-compatible with runs
+    #: from before the fault layer existed.
+    faults: Optional[Mapping[str, Any]] = None
     label: str = ""
 
     @property
@@ -143,7 +149,7 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
     ``check_invariants`` is deliberately excluded — the checker observes
     the run without altering it, so results are interchangeable.
     """
-    return {
+    doc = {
         "program": spec.program,
         "program_kwargs": _canonical(spec.program_kwargs),
         "attack": spec.attack or "none",
@@ -154,6 +160,15 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
         "vm": _canonical(spec.vm) if spec.vm is not None else None,
         "repro_version": __version__,
     }
+    if spec.faults is not None:
+        from ..faults import normalize_plan
+
+        plan = normalize_plan(spec.faults)
+        if plan is not None:
+            # Only a non-empty plan joins the identity: empty plans hash
+            # exactly like the pre-fault-layer spec document.
+            doc["faults"] = _canonical(plan.to_dict())
+    return doc
 
 
 def spec_key(spec: ExperimentSpec) -> str:
@@ -175,6 +190,8 @@ def run_spec(spec: ExperimentSpec):
     kwargs: Dict[str, Any] = {}
     if spec.max_ns is not None:
         kwargs["max_ns"] = spec.max_ns
+    if spec.faults is not None:
+        kwargs["faults"] = spec.faults
     if spec.vm is not None:
         from ..virt.experiment import run_vm_experiment
 

@@ -16,6 +16,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 #: enabled: a broken conservation law must never be silently dropped.
 INVARIANT_CATEGORY = "invariant"
 
+#: Category used by the hardware fault injectors (lost/delayed ticks, TSC
+#: distortion, spurious IRQs) and the clocksource watchdog.  Distinct from
+#: the pre-existing ``"fault"`` category (page faults), so hardware-fault
+#: events keep their own bucket in counters and in the capacity-``dropped``
+#: per-category breakdown instead of folding into the memory one.
+HW_FAULT_CATEGORY = "hw-fault"
+
 #: Categories stored regardless of the enabled set.
 ALWAYS_STORED_CATEGORIES = frozenset({INVARIANT_CATEGORY})
 

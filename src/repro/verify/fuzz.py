@@ -2,8 +2,8 @@
 
 The invariant checker (:mod:`repro.verify.invariants`) proves conservation
 laws *within* one run.  This module generates seeded random scenarios —
-workload × attack × HZ × accounting scheme × scheduler — and checks the
-properties that only hold *across* runs:
+workload × attack × HZ × accounting scheme × scheduler × hardware-fault
+plan — and checks the properties that only hold *across* runs:
 
 * **serial/batch conformance** — running a scenario directly through
   :func:`~repro.analysis.experiment.run_experiment` and through
@@ -68,6 +68,11 @@ class Scenario:
     #: When set, a deliberate accounting corruption is installed and the
     #: expectation inverts: the run must *raise* InvariantViolation.
     inject: Optional[str] = None
+    #: When set, a :class:`~repro.faults.FaultPlan` mapping of injected
+    #: hardware faults — the run must still satisfy every invariant (the
+    #: watchdog's catch-up keeps conservation exact; TSC faults are
+    #: read-side only).
+    faults: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         doc = asdict(self)
@@ -80,6 +85,7 @@ class Scenario:
         doc["schedulers"] = tuple(doc.get("schedulers", DEFAULT_SCHEDULERS))
         doc["program_kwargs"] = dict(doc.get("program_kwargs", {}))
         doc["attack_kwargs"] = dict(doc.get("attack_kwargs", {}))
+        doc["faults"] = dict(doc["faults"]) if doc.get("faults") else None
         return cls(**doc)
 
     def config(self, scheduler: str) -> MachineConfig:
@@ -99,6 +105,7 @@ class Scenario:
             attack_kwargs=dict(self.attack_kwargs),
             cfg=self.config(scheduler),
             check_invariants=True,
+            faults=dict(self.faults) if self.faults else None,
             label=f"fuzz-{self.seed}:{scheduler}")
 
 
@@ -137,6 +144,11 @@ def generate_scenario(rng: random.Random,
     inject = None
     if rng.random() < inject_probability:
         inject = rng.choice(INJECT_KINDS)
+    # Hardware faults ride along on non-corrupted scenarios: the invariants
+    # must hold under them, and serial/batch must still agree bit-exactly.
+    faults = None
+    if inject is None and rng.random() < 0.25:
+        faults = _draw_faults(rng)
     if inject is not None:
         # Detection legs must observe the corruption: a workload shorter
         # than one jiffy never ticks, so a tick-level corruption would be
@@ -157,7 +169,22 @@ def generate_scenario(rng: random.Random,
         program_kwargs=program_kwargs,
         attack=attack,
         attack_kwargs=attack_kwargs,
-        inject=inject)
+        inject=inject,
+        faults=faults)
+
+
+def _draw_faults(rng: random.Random) -> Dict[str, Any]:
+    """Draw a random hardware-fault plan (as a FaultPlan mapping)."""
+    from ..faults import sweep_plan
+
+    plan = sweep_plan(rng.choice([0.05, 0.1, 0.2]),
+                      watchdog=rng.random() < 0.5).to_dict()
+    if rng.random() < 0.3:
+        plan["tick_delay_prob"] = 0.2
+        plan["tick_delay_max_ns"] = int(rng.choice([500_000, 2_000_000]))
+    if rng.random() < 0.3:
+        plan["irq_storm_pps"] = float(rng.choice([2_000, 10_000]))
+    return plan
 
 
 def _busyloop_kwargs(hz: int, jiffies: int = 15) -> Dict[str, Any]:
@@ -346,6 +373,10 @@ def _check_cross_scheduler(scenario: Scenario, report: ScenarioReport,
     """
     if scenario.attack not in SCHEDULE_INDEPENDENT_ATTACKS:
         return
+    if scenario.faults:
+        # Fault timing (IRQ storms, delayed ticks) interleaves with the
+        # victim differently per scheduler; in-run invariants still apply.
+        return
     if len(results) < 2:
         return
     own: Dict[str, int] = {}
@@ -398,6 +429,11 @@ def shrink_scenario(scenario: Scenario,
         still_fails = lambda s: not run_scenario(s, batch_leg=False).ok
 
     def candidates(current: Scenario):
+        if current.faults:
+            # Most failures under faults are fault-handling bugs, but try
+            # the fault-free version first: if it still fails, the plan
+            # was incidental.
+            yield replace(current, faults=None)
         if current.attack != "none" and current.inject is not None:
             # Injected corruption fails regardless of the attack.
             yield replace(current, attack="none", attack_kwargs={})
@@ -525,6 +561,8 @@ def run_fuzz(iterations: int = 50,
         if report.ok:
             kind = (f"inject:{scenario.inject}" if scenario.inject
                     else f"{scenario.program}:{scenario.attack}")
+            if scenario.faults:
+                kind += "+faults"
             emit(f"[{iteration + 1}/{iterations}] ok   {kind} "
                  f"acct={scenario.accounting} hz={scenario.hz}")
             continue

@@ -43,7 +43,7 @@ sweep points via ``ExperimentSpec(check_invariants=True)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import SimulationError
 from ..sim.tracing import INVARIANT_CATEGORY
@@ -129,13 +129,19 @@ class InvariantChecker:
 
     def __init__(self, mode: str = "raise",
                  full_check_every_ticks: int = 16,
-                 max_recorded: int = 200) -> None:
+                 max_recorded: int = 200,
+                 tolerated: Iterable[str] = ()) -> None:
         if mode not in ("raise", "collect"):
             raise SimulationError(f"unknown invariant mode {mode!r}")
         self.mode = mode
         self.full_check_every_ticks = max(1, int(full_check_every_ticks))
         self.max_recorded = max_recorded
         self.violations: List[Violation] = []
+        #: Violation categories declared by an active fault plan: faults in
+        #: these categories are *expected*, so they are recorded separately
+        #: instead of raising — graceful degradation, not failure.
+        self.tolerated: Set[str] = set(tolerated)
+        self.tolerated_violations: List[Violation] = []
         #: (category, pid) pairs already recorded (collect-mode dedup).
         self._seen: Set[Tuple[str, Optional[int]]] = set()
         self.suppressed = 0
@@ -180,6 +186,10 @@ class InvariantChecker:
             shadow = self._tasks[pid] = _TaskShadow()
         return shadow
 
+    def tolerate(self, *categories: str) -> None:
+        """Declare ``categories`` as expected under the active fault plan."""
+        self.tolerated.update(categories)
+
     def _report(self, category: str, message: str,
                 pid: Optional[int] = None) -> None:
         kernel = self.kernel
@@ -189,6 +199,10 @@ class InvariantChecker:
                               tick=tick, time_ns=now)
         if kernel is not None:
             kernel.trace(INVARIANT_CATEGORY, f"{category}: {message}", pid)
+        if category in self.tolerated:
+            if len(self.tolerated_violations) < self.max_recorded:
+                self.tolerated_violations.append(violation)
+            return
         if self.mode == "raise":
             raise InvariantViolation(violation)
         key = (category, pid)
@@ -529,13 +543,17 @@ class VirtInvariantChecker:
 
     def __init__(self, mode: str = "raise",
                  full_check_every_ticks: int = 32,
-                 max_recorded: int = 200) -> None:
+                 max_recorded: int = 200,
+                 tolerated: Iterable[str] = ()) -> None:
         if mode not in ("raise", "collect"):
             raise SimulationError(f"unknown invariant mode {mode!r}")
         self.mode = mode
         self.full_check_every_ticks = max(1, int(full_check_every_ticks))
         self.max_recorded = max_recorded
         self.violations: List[Violation] = []
+        #: See InvariantChecker.tolerated: fault-declared expected breaches.
+        self.tolerated: Set[str] = set(tolerated)
+        self.tolerated_violations: List[Violation] = []
         self._seen: Set[Tuple[str, Optional[int]]] = set()
         self.suppressed = 0
 
@@ -570,6 +588,10 @@ class VirtInvariantChecker:
             shadow = self._vcpus[id(vm)] = _VcpuShadow()
         return shadow
 
+    def tolerate(self, *categories: str) -> None:
+        """Declare ``categories`` as expected under the active fault plan."""
+        self.tolerated.update(categories)
+
     def _report(self, category: str, message: str,
                 vm: Optional["VirtualMachine"] = None) -> None:
         hv = self.hypervisor
@@ -578,6 +600,10 @@ class VirtInvariantChecker:
                               pid=None,
                               tick=hv.ticks if hv is not None else 0,
                               time_ns=hv.clock.now if hv is not None else 0)
+        if category in self.tolerated:
+            if len(self.tolerated_violations) < self.max_recorded:
+                self.tolerated_violations.append(violation)
+            return
         if self.mode == "raise":
             raise InvariantViolation(violation)
         key = (category, vm.name if vm is not None else None)

@@ -52,8 +52,8 @@ def run_vm_experiment(program: str = "W",
                       vm: Optional[Mapping[str, Any]] = None,
                       cfg: Optional[MachineConfig] = None,
                       max_ns: int = DEFAULT_MAX_NS,
-                      check_invariants: Optional[bool] = None
-                      ) -> ExperimentResult:
+                      check_invariants: Optional[bool] = None,
+                      faults=None) -> ExperimentResult:
     """Execute one VM scenario on a fresh hypervisor.
 
     ``program``/``program_kwargs`` name the victim workload by registry key
@@ -62,7 +62,9 @@ def run_vm_experiment(program: str = "W",
     tick-dodging co-resident, with ``attack_kwargs`` holding
     ``burn_fraction`` (default 0.75).  ``vm`` carries the hypervisor and
     scenario knobs (:data:`VM_PARAM_KEYS`); ``cfg`` is the *guest* machine
-    config.  ``max_ns`` bounds **host** time.
+    config.  ``max_ns`` bounds **host** time.  ``faults`` (FaultPlan or
+    mapping) applies its hypervisor-level fault — the lying steal clock;
+    guest machines stay fault-free (see :class:`Hypervisor`).
     """
     from ..runner.specs import PROGRAM_FACTORIES, SpecError
 
@@ -90,7 +92,7 @@ def run_vm_experiment(program: str = "W",
 
     guest_cfg = cfg or default_config()
     hv_cfg = _hypervisor_config(params)
-    hv = Hypervisor(hv_cfg, invariants=bool(check_invariants))
+    hv = Hypervisor(hv_cfg, invariants=bool(check_invariants), faults=faults)
 
     victim_vm = hv.create_vm("victim", cfg=guest_cfg,
                              weight=params.get("victim_weight", 256))
@@ -178,6 +180,11 @@ def run_vm_experiment(program: str = "W",
                                                       0)),
         "steal_samples": int(estimator_shared.get("samples", 0)),
     }
+    if hv.fault_plan is not None:
+        stats["fault_steal_lie_ns"] = hv.steal_lie_ns
+        checker = hv.invariant_checker
+        if checker is not None:
+            stats["tolerated_violations"] = len(checker.tolerated_violations)
     attacker_usage = None
     if attacker_vm is not None:
         attacker_usage = CpuUsage(attacker_vm.billed_utime_ns,

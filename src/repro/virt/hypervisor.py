@@ -190,14 +190,28 @@ class Hypervisor:
     """Multiplexes VirtualMachines on one simulated physical core."""
 
     def __init__(self, cfg: Optional[HypervisorConfig] = None,
-                 invariants=None) -> None:
+                 invariants=None, faults=None) -> None:
         """``invariants`` mirrors ``Machine(invariants=...)``: False/None
         (off), True (raise on first violation), ``"collect"``, or a
         pre-built :class:`~repro.verify.invariants.VirtInvariantChecker`.
         When enabled, every guest machine gets its own kernel-level checker
-        too, so the composed conservation law is closed end to end."""
+        too, so the composed conservation law is closed end to end.
+
+        ``faults`` (a :class:`~repro.faults.FaultPlan` or mapping) applies
+        only its hypervisor-level fault here — the lying steal clock
+        (``steal_lie_factor``): the paravirtual steal value injected into
+        guests is scaled while the host-side ledger keeps the truth.  Guest
+        machines stay fault-free; tick/TSC faults belong to bare-metal
+        runs."""
+        from ..faults import normalize_plan
+
         self.cfg = cfg or HypervisorConfig()
         self.cfg.validate()
+        self.fault_plan = normalize_plan(faults)
+        self._steal_lie = (self.fault_plan.steal_lie_factor
+                           if self.fault_plan is not None else 1.0)
+        #: Net ns of steal-report distortion (injected minus true).
+        self.steal_lie_ns = 0
         self.clock = Clock()
         self.scheduler = CreditScheduler(
             credits_per_tick=self.cfg.credits_per_tick,
@@ -214,21 +228,25 @@ class Hypervisor:
         self._next_tick_ns = self.cfg.tick_ns
         self._slice_end_ns = 0
         self._guest_invariants = bool(invariants)
-        self.invariant_checker = self._make_checker(invariants)
+        tolerated = (self.fault_plan.tolerated_categories()
+                     if self.fault_plan is not None else ())
+        self.invariant_checker = self._make_checker(invariants, tolerated)
         if self.invariant_checker is not None:
             self.invariant_checker.attach(self)
 
     @staticmethod
-    def _make_checker(invariants):
+    def _make_checker(invariants, tolerated=()):
         if not invariants:
             return None
         from ..verify.invariants import VirtInvariantChecker
 
         if isinstance(invariants, VirtInvariantChecker):
+            if tolerated:
+                invariants.tolerate(*tolerated)
             return invariants
         if invariants == "collect":
-            return VirtInvariantChecker(mode="collect")
-        return VirtInvariantChecker()
+            return VirtInvariantChecker(mode="collect", tolerated=tolerated)
+        return VirtInvariantChecker(tolerated=tolerated)
 
     def check_invariants(self) -> None:
         """Run a full virt-ledger sweep now (no-op when checking is off)."""
@@ -269,7 +287,9 @@ class Hypervisor:
 
         def sys_pv_steal(kernel, task):
             yield Compute(_PV_CALL_CYCLES)
-            return vm.steal_ns
+            # The guest-visible steal counter: identical to the host ledger
+            # unless the steal clock is lying (fault layer).
+            return vm.machine.kernel.timekeeper.steal_ns
 
         table = vm.machine.kernel.syscalls
         table.register("pv_host_time", sys_pv_host_time)
@@ -286,7 +306,13 @@ class Hypervisor:
             return
         if vm.state is VcpuState.RUNNABLE:
             vm.steal_ns += delta
-            vm.machine.kernel.timekeeper.account_steal(delta)
+            # The paravirtual steal clock may lie (fault layer): the guest
+            # sees the scaled value while the host-side ledger — and every
+            # conservation law built on it — keeps the truth.
+            reported = delta if self._steal_lie == 1.0 \
+                else int(delta * self._steal_lie)
+            vm.machine.kernel.timekeeper.account_steal(reported)
+            self.steal_lie_ns += reported - delta
             if self.invariant_checker is not None:
                 self.invariant_checker.on_steal(vm, delta)
         elif vm.state is VcpuState.BLOCKED:

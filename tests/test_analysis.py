@@ -75,8 +75,8 @@ class TestWorkloadPresets:
 class TestFigureRegistry:
     def test_all_registered(self):
         assert sorted(FIGURES) == [
-            "fig10", "fig11", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "vmsched"]
+            "faultsweep", "fig10", "fig11", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "vmsched"]
 
     def test_unknown_figure(self):
         with pytest.raises(KeyError):

@@ -138,6 +138,32 @@ class TestCorruption:
         path.write_text(json.dumps(doc))
         assert cache.get(spec) is None
 
+    @pytest.mark.parametrize("garbage", ["[1, 2, 3]", "null", "42",
+                                         '"a string"', "true"])
+    def test_valid_json_non_object_is_a_miss(self, cache, garbage):
+        # json.loads succeeds but the document is not a dict; before the
+        # isinstance guard this escaped the except clause as an uncaught
+        # AttributeError on doc.get.
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        path = self._entry_path(cache, spec)
+        path.write_text(garbage)
+        assert cache.get(spec) is None
+        assert not path.exists(), "corrupt entry should be evicted"
+
+    def test_binary_garbage_is_a_miss_and_recoverable(self, cache):
+        spec = _spec()
+        result = run_spec(spec)
+        cache.put(spec, result)
+        path = self._entry_path(cache, spec)
+        path.write_bytes(b"\x00\xff\xfe garbage \x80")
+        assert cache.get(spec) is None
+        assert not path.exists()
+        # The slot is fully usable again after eviction.
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None and hit.to_dict() == result.to_dict()
+
     def test_clear_empties_cache(self, cache):
         spec = _spec()
         cache.put(spec, run_spec(spec))
