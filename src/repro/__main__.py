@@ -99,6 +99,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _apply_invariants_flag(args)
     programs = [p.strip() for p in args.programs.split(",") if p.strip()]
     attacks = [a.strip() for a in args.attacks.split(",") if a.strip()]
+    try:
+        nprocs = [int(n) for n in args.nproc.split(",") if n.strip()]
+    except ValueError:
+        print(f"--nproc wants comma-separated integers, got {args.nproc!r}",
+              file=sys.stderr)
+        return 2
     params = paper_workload_params(args.scale)
     forks = max(1, int(8_000 * args.scale))
     # The spec field (not just the process default) so worker processes
@@ -116,6 +122,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "thrashing": {"watch_symbol": watched_variable(program)},
             "irq-flood": {"rate_pps": 20_000.0},
             "fault-flood": {},
+            "smp-dodge": {},
+            "irq-steer": {},
         }
         try:
             return defaults[attack]
@@ -130,8 +138,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 attack=None if attack == "none" else attack,
                 attack_kwargs=attack_kwargs(attack, program),
                 check_invariants=check_invariants,
-                label=f"{program}:{attack}")
+                nproc=nproc,
+                label=(f"{program}:{attack}" if nproc == 1
+                       else f"{program}:{attack}:n{nproc}"))
             for program in programs for attack in attacks
+            for nproc in nprocs
         ]
     except KeyError as exc:
         print(f"unknown program {exc}; have {sorted(params)}",
@@ -564,7 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id",
                      choices=[f"fig{n}" for n in range(4, 12)]
-                             + ["vmsched", "faultsweep"])
+                             + ["vmsched", "faultsweep", "smp"])
     fig.add_argument("--scale", type=float, default=0.4)
     add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
@@ -581,6 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--attacks", default="none,shell,scheduling",
                        help="comma-separated attack names (or 'none')")
     sweep.add_argument("--scale", type=float, default=0.4)
+    sweep.add_argument("--nproc", default="1",
+                       help="comma-separated CPU counts; each (program, "
+                            "attack) point runs once per value (e.g. 1,2,4)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
     add_runner_flags(sweep)

@@ -218,6 +218,16 @@ def run_experiment(program: Program,
         if machine.invariant_checker is not None:
             stats["tolerated_violations"] = \
                 len(machine.invariant_checker.tolerated_violations)
+    if machine.cfg.nproc > 1:
+        # SMP counters only exist on SMP runs so uniprocessor results
+        # (and their cached digests) stay byte-identical to pre-SMP ones.
+        stats["nproc"] = machine.cfg.nproc
+        stats["migrations_total"] = sum(
+            t.migrations for t in machine.kernel.tasks.values())
+        stats["balance_moves"] = machine.kernel.balance_moves
+        if attack.attacker_tasks:
+            stats["attacker_oracle_ns"] = sum(
+                sum(t.oracle_ns.values()) for t in attack.attacker_tasks)
 
     return ExperimentResult(
         program=program.name,

@@ -551,6 +551,92 @@ def figure_vm_sched(scale: float = 1.0,
     return fig
 
 
+#: CPU counts swept by the SMP figure.
+SMP_NPROCS: Tuple[int, ...] = (1, 2, 4)
+
+#: Work the dodger performs at every sweep point (~0.2 s at 2.53 GHz).
+SMP_DODGE_CYCLES = 506_000_000
+
+
+def figure_smp(scale: float = 1.0,
+               cfg: Optional[MachineConfig] = None,
+               runner: Optional[BatchRunner] = None) -> FigureResult:
+    """Billing error vs CPU count for the cross-CPU tick dodger.
+
+    The same dodger program runs next to an O victim on 1-, 2- and 4-CPU
+    machines.  On one CPU it cannot dodge — ``migrate`` is a no-op and
+    every tick is local — so tick accounting bills ~all of its work.  On
+    two or more CPUs it hops off each CPU just before that CPU's
+    staggered tick lands and its bill collapses toward zero, while the
+    oracle keeps charging every cycle it actually burned: billing error
+    ``1 - billed/nominal`` jumps from ~0 to ~1 the moment a second CPU
+    exists.
+    """
+    base_cfg = cfg or default_config()
+    nominal_ns = SMP_DODGE_CYCLES * 1_000_000_000 // base_cfg.cpu_freq_hz
+    wkw = paper_workload_params(scale)["O"]
+    specs = [ExperimentSpec(
+        program="O", program_kwargs=wkw, attack="smp-dodge",
+        attack_kwargs={"total_cycles": SMP_DODGE_CYCLES},
+        cfg=cfg, nproc=nproc, label=f"smp:O:nproc={nproc}")
+        for nproc in SMP_NPROCS]
+    results = _execute(specs, runner)
+
+    fig = FigureResult(
+        "smp", "Cross-CPU tick dodging: billing error vs CPU count")
+    errors: List[float] = []
+    for nproc, res in zip(SMP_NPROCS, results):
+        label = f"nproc={nproc}"
+        fig.results[label] = res
+        billed_ns = res.attacker_usage.total_ns
+        errors.append(1.0 - billed_ns / nominal_ns)
+        fig.series.append((
+            label, _bar("victim billed", res),
+            Bar("attacker billed", res.attacker_usage.utime_ns / 1e9,
+                res.attacker_usage.stime_ns / 1e9)))
+    fig.meta = {
+        "nprocs": list(SMP_NPROCS),
+        "nominal_s": nominal_ns / 1e9,
+        "billing_error": [round(e, 4) for e in errors],
+        "migrations": [r.stats.get("migrations_total", 0) for r in results],
+    }
+
+    fig.checks.append(Check(
+        "uniprocessor cannot dodge: billed ~= nominal work",
+        abs(errors[0]) <= 0.1,
+        f"error={errors[0]:+.3f} (billed "
+        f"{results[0].attacker_usage.total_ns / 1e9:.3f}s of "
+        f"{nominal_ns / 1e9:.3f}s)"))
+    fig.checks.append(Check(
+        "bill collapses on every multiprocessor",
+        all(e >= 0.9 for e in errors[1:]),
+        f"errors={[round(e, 3) for e in errors[1:]]}"))
+    fig.checks.append(Check(
+        "billing error grows with CPU count, uni to SMP",
+        all(b >= a for a, b in zip(errors, errors[1:])),
+        f"errors={[round(e, 3) for e in errors]}"))
+    oracle_ok = []
+    for res in results[1:]:
+        oracle_ns = res.stats.get("attacker_oracle_ns", 0)
+        oracle_ok.append(nominal_ns <= oracle_ns <= 1.1 * nominal_ns)
+    oracle_s = [round(r.stats.get("attacker_oracle_ns", 0) / 1e9, 3)
+                for r in results[1:]]
+    fig.checks.append(Check(
+        "oracle still charges every burned cycle on SMP",
+        all(oracle_ok),
+        f"oracle={oracle_s}s nominal={nominal_ns / 1e9:.3f}s"))
+    fig.checks.append(Check(
+        "the dodge is mounted by migration",
+        all(r.stats.get("migrations_total", 0) >= 10 for r in results[1:]),
+        f"migrations={[r.stats.get('migrations_total', 0) for r in results[1:]]}"))
+    victim_own = [round(r.oracle_own_s(), 6) for r in results]
+    fig.checks.append(Check(
+        "victim's ground-truth work independent of CPU count",
+        max(victim_own) - min(victim_own) <= 0.01 * max(victim_own) + 1e-4,
+        f"victim oracle={victim_own}s"))
+    return fig
+
+
 #: Fault intensities swept by the faultsweep figure.
 FAULT_INTENSITIES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
 
@@ -659,6 +745,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig11": figure11,
     "vmsched": figure_vm_sched,
     "faultsweep": figure_faultsweep,
+    "smp": figure_smp,
 }
 
 
@@ -690,6 +777,11 @@ PAPER_REFERENCE: Dict[str, Dict[str, object]] = {
                         "(arXiv:1103.0759) report an attacker consuming "
                         "up to ~98% of a core while Xen bills it ~nothing; "
                         "co-residents absorb the sampled ticks"},
+    "smp": {"note": "SMP figure, not from the paper: per-CPU staggered "
+                    "ticks sample only the local CPU's current task, so "
+                    "a migrating attacker dodges every sample; the paper's "
+                    "single-CPU tick-dodging flaw (§IV-B1) scales out "
+                    "with the core count (docs/smp.md)"},
     "faultsweep": {"note": "robustness figure, not from the paper: "
                            "tick-sampled accounting (§III-A) depends on a "
                            "sound timer/TSC; this sweeps injected hardware "

@@ -17,6 +17,7 @@ from .sched_attack import SchedulingAttack
 from .thrashing import ThrashingAttack
 from .irq_flood import InterruptFloodAttack
 from .fault_flood import ExceptionFloodAttack
+from .smp import IrqSteerAttack, SmpDodgeAttack
 from .comparison import ALL_ATTACK_TRAITS, comparison_matrix
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "ThrashingAttack",
     "InterruptFloodAttack",
     "ExceptionFloodAttack",
+    "SmpDodgeAttack",
+    "IrqSteerAttack",
     "ALL_ATTACK_TRAITS",
     "comparison_matrix",
 ]

@@ -126,6 +126,72 @@ def _bench_scheduler(kind: str, quick: bool) -> BenchSpec:
 
 
 # ---------------------------------------------------------------------------
+# SMP: load balancer and lockstep slice loop
+# ---------------------------------------------------------------------------
+
+def _bench_load_balance(quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..hw.machine import Machine
+    from ..kernel.process import Task, TaskState
+
+    machine = Machine(default_config(nproc=2))
+    kernel = machine.kernel
+    ctxs = kernel._cpu_contexts
+    tasks = []
+    for i in range(SCHED_QUEUE_DEPTH):
+        task = Task(pid=1000 + i, name=f"bench{i}", nice=(i % 5) - 2)
+        task.state = TaskState.READY
+        tasks.append(task)
+    ops = 5_000 if quick else 25_000
+
+    def fn(n: int) -> None:
+        balance = kernel.load_balance
+        src = ctxs[0].scheduler
+        for _ in range(n):
+            # Pile everything on CPU 0, balance it flat, drain both
+            # queues — one full worst-case rebalance per op.
+            for task in tasks:
+                task.cpu = 0
+                src.enqueue(task, wakeup=False)
+            balance()
+            for task in tasks:
+                ctxs[task.cpu].scheduler.dequeue(task)
+
+    return BenchSpec(name="sched.load_balance", kind="micro", ops=ops,
+                     fn=fn,
+                     note=f"rebalance {SCHED_QUEUE_DEPTH} piled-up tasks "
+                          f"across 2 CPUs per op")
+
+
+def _bench_smp_slice(quick: bool) -> BenchSpec:
+    from ..config import default_config
+    from ..hw.machine import Machine
+    from ..programs.stdlib import install_standard_libraries
+    from ..programs.workloads import make_ourprogram
+
+    cfg = default_config(nproc=2)
+    machine = Machine(cfg)
+    install_standard_libraries(machine.kernel.libraries)
+    shell = machine.new_shell()
+    # Two long-lived burners so the balancer spreads them and *both* CPUs
+    # stay busy for every measured jiffy (see _bench_engine on why).
+    for _ in range(2):
+        shell.run_command(make_ourprogram(iterations=10_000_000,
+                                          cycles_per_iter=430_000,
+                                          mallocs=64))
+    tick_ns = cfg.tick_ns
+    jiffies = 150 if quick else 800
+
+    def fn(ops: int) -> None:
+        machine.run_for(ops * tick_ns)
+
+    return BenchSpec(name="engine.smp_slice", kind="micro", ops=jiffies,
+                     fn=fn,
+                     note="wall ns per simulated jiffy, 2 CPUs busy "
+                          "(lockstep slice + barrier path)")
+
+
+# ---------------------------------------------------------------------------
 # trace append
 # ---------------------------------------------------------------------------
 
@@ -306,12 +372,14 @@ MICRO_BUILDERS = [
      lambda quick, kind=kind: _bench_scheduler(kind, quick))
     for kind in ("cfs", "o1", "rr")
 ] + [
+    ("sched.load_balance", _bench_load_balance),
     ("fault.tick", _bench_fault_tick),
     ("watchdog.check", _bench_watchdog_check),
     ("cache.roundtrip", _bench_cache),
     ("virt.vcpu_switch", _bench_vcpu_switch),
     ("virt.tick", _bench_virt_tick),
     ("engine.slice_loop", _bench_engine),
+    ("engine.smp_slice", _bench_smp_slice),
 ]
 
 

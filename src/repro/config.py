@@ -166,6 +166,11 @@ class MachineConfig:
 
     #: CPU clock in Hz (paper: Intel E7200 @ 2.53 GHz, one core enabled).
     cpu_freq_hz: int = 2_530_000_000
+    #: Number of CPUs.  1 reproduces the paper's uniprocessor testbed and
+    #: follows the exact pre-SMP code paths (bit-identical results); N > 1
+    #: enables per-CPU run queues, staggered per-CPU timers, IRQ affinity
+    #: and the load balancer (see docs/smp.md).
+    nproc: int = 1
     #: Timer interrupt frequency; Ubuntu 8.10 desktop kernels used HZ=250
     #: but the paper's analysis ("1 to 10 milliseconds") spans 100-1000.
     hz: int = 250
@@ -192,6 +197,8 @@ class MachineConfig:
     def validate(self) -> None:
         if self.cpu_freq_hz <= 0:
             raise ConfigError("cpu_freq_hz must be positive")
+        if not isinstance(self.nproc, int) or not 1 <= self.nproc <= 64:
+            raise ConfigError(f"nproc must be an int in [1, 64], got {self.nproc!r}")
         if not 10 <= self.hz <= 10_000:
             raise ConfigError("hz must be in [10, 10000]")
         if self.accounting not in ("tick", "tsc", "dual"):

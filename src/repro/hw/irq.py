@@ -30,6 +30,17 @@ class InterruptController:
         self.counts: Dict[int, int] = {}
         #: Lines dropped because no handler was registered.
         self.spurious = 0
+        #: Per-line CPU affinity (like /proc/irq/N/smp_affinity).  Lines
+        #: default to CPU 0; on SMP machines the kernel's device-IRQ
+        #: handlers consult this to pick the CPU that eats the handler
+        #: time — the surface the IRQ-steering attack manipulates.
+        self._affinity: Dict[int, int] = {}
+
+    def set_affinity(self, line: int, cpu: int) -> None:
+        self._affinity[line] = int(cpu)
+
+    def affinity(self, line: int) -> int:
+        return self._affinity.get(line, 0)
 
     def register(self, line: int, handler: Callable[[int], None]) -> None:
         if line in self._handlers:

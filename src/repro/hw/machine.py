@@ -65,14 +65,30 @@ class Machine:
         self.rng = DeterministicRng(self.cfg.seed)
         self.trace_log = TraceLog(enabled=trace)
         self.cpu = CPU(self.cfg.cpu_freq_hz)
+        self.cpus = [self.cpu] + [CPU(self.cfg.cpu_freq_hz)
+                                  for _ in range(self.cfg.nproc - 1)]
         self.pic = InterruptController()
         self.timer = TimerDevice(self.cfg.tick_ns, self.clock, self.events,
                                  self.pic)
+        self.timers = [self.timer]
         self.nic = NetworkCard(self.pic)
         self.disk = Disk(self.cfg.disk, self.clock, self.events, self.pic)
         self.kernel = Kernel(self.cfg, self.clock, self.events, self.cpu,
                              self.pic, self.disk, self.nic, self.rng,
                              self.trace_log)
+        if self.cfg.nproc > 1:
+            # Per-CPU local timers, staggered across the jiffy the way
+            # Linux spreads its per-CPU ticks, delivered straight to the
+            # kernel's per-CPU tick path (local-APIC style) instead of
+            # through the shared PIC line.  CPU 0 keeps offset 0 so the
+            # timekeeping jiffy grid is unchanged.
+            self.timer._handler = lambda: self.kernel.timer_interrupt(0)
+            for i in range(1, self.cfg.nproc):
+                self.timers.append(TimerDevice(
+                    self.cfg.tick_ns, self.clock, self.events, self.pic,
+                    offset_ns=i * self.cfg.tick_ns // self.cfg.nproc,
+                    handler=(lambda i=i: self.kernel.timer_interrupt(i))))
+            self.kernel.init_smp(self.cpus, self.timers)
         self.watchdog = None
         self.irq_storm = None
         tolerated = (self.fault_plan.tolerated_categories()
@@ -82,7 +98,8 @@ class Machine:
             self.invariant_checker.attach(self.kernel)
         if self.fault_plan is not None:
             self._install_faults(self.fault_plan)
-        self.timer.start()
+        for timer in self.timers:
+            timer.start()
 
     @staticmethod
     def _make_checker(invariants, tolerated=()):
@@ -179,6 +196,8 @@ class Machine:
 
     def step(self) -> bool:
         """One loop iteration.  Returns False when nothing can progress."""
+        if self.cfg.nproc > 1:
+            return self._step_smp()
         if self.clock.now > self.cfg.max_time_ns:
             raise SimulationError(
                 f"simulation exceeded max_time_ns at {self.clock.now}ns")
@@ -210,6 +229,97 @@ class Machine:
         if checker is not None:
             checker.on_step()
         return True
+
+    # ------------------------------------------------------------------
+    # the SMP loop (lockstep time slices on one virtual clock)
+    # ------------------------------------------------------------------
+
+    def _step_smp(self) -> bool:
+        """One SMP slice: [now, next event).  Every CPU runs the same wall
+        window "in parallel" — simulated serially by silently rewinding the
+        clock to the slice start for each CPU, letting it consume (firing
+        on_advance, so each CPU accounts its own capacity), then jumping
+        the clock to the slice barrier without re-firing on_advance.
+        Migrations and load balancing apply at the barrier only, so a task
+        can never run on two CPUs inside one wall window.
+        """
+        if self.clock.now > self.cfg.max_time_ns:
+            raise SimulationError(
+                f"simulation exceeded max_time_ns at {self.clock.now}ns")
+        # Due events (staggered per-CPU ticks, packets, disk completions)
+        # bank-switch to their CPU and may consume handler time.
+        self._drain_due_events()
+
+        kernel = self.kernel
+        checker = self.invariant_checker
+        clock = self.clock
+        t0 = clock.now
+        next_time = self.events.next_time()
+        any_ran = False
+        end_max = t0
+        for idx in range(self.cfg.nproc):
+            kernel.set_active_cpu(idx)
+            if checker is not None:
+                checker.on_cpu_slice(idx, t0)
+            clock._now = t0  # parallel slice start (silent rewind)
+            end, ran = self._run_cpu_slice(t0, next_time)
+            any_ran = any_ran or ran
+            if end > end_max:
+                end_max = end
+        if next_time is not None and next_time > end_max:
+            end_max = next_time
+        if not any_ran and next_time is None:
+            clock._now = end_max
+            return False  # fully idle, nothing scheduled
+        # Slice barrier: one silent jump — each CPU already fired
+        # on_advance for its own share of the window.
+        clock._now = end_max
+        if checker is not None:
+            checker.on_cpu_slice(kernel.cpu_index, end_max)
+        kernel.flush_migrations()
+        kernel.load_balance()
+        return True
+
+    def _run_cpu_slice(self, t0: int, next_time: Optional[int]):
+        """Run the active CPU from ``t0`` up to ``next_time``; returns
+        (local end time, whether any task executed)."""
+        kernel = self.kernel
+        checker = self.invariant_checker
+        clock = self.clock
+        ran = False
+        spins = 0
+        while True:
+            current = kernel.current
+            if (kernel.need_resched or current is None
+                    or current.state is not TaskState.RUNNING):
+                kernel.schedule()
+                current = kernel.current
+            now = clock.now
+            if current is None:
+                if next_time is None or next_time <= now:
+                    return now, ran
+                # Idle fill to the barrier, attributed to this CPU.
+                self.clock.advance_to(next_time)
+                if checker is not None:
+                    checker.on_idle_advance(next_time - now)
+                return next_time, ran
+            limit = next_time if next_time is not None else t0 + _IDLE_SLICE_NS
+            budget = limit - now
+            if budget <= 0:
+                return now, ran
+            kernel.engine.run(current, budget)
+            ran = True
+            if checker is not None:
+                checker.on_step()
+            if clock.now == now:
+                spins += 1
+                if spins > 100_000:
+                    raise SimulationError(
+                        f"cpu{kernel.cpu_index} slice made no progress "
+                        f"at {now}ns (pid "
+                        f"{current.pid if current else None})")
+            else:
+                spins = 0
 
     def run_for(self, duration_ns: int) -> None:
         """Advance virtual time by ``duration_ns``."""

@@ -8,7 +8,7 @@ accounting scheme depends on, and the one the scheduling attack games.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import ConfigError
 from ..sim.clock import Clock
@@ -17,16 +17,29 @@ from .irq import IRQ_TIMER, InterruptController
 
 
 class TimerDevice:
-    """Periodic tick generator."""
+    """Periodic tick generator.
+
+    ``offset_ns`` shifts the absolute tick grid — SMP machines stagger the
+    per-CPU timers by ``i * tick_ns / nproc`` the way Linux spreads its
+    per-CPU ticks, which is also what makes cross-CPU tick dodging a
+    physically meaningful attack.  ``handler`` bypasses the PIC and invokes
+    the callback directly (used for per-CPU local-APIC-style delivery on
+    SMP machines); when None the timer raises IRQ 0 as before.
+    """
 
     def __init__(self, tick_ns: int, clock: Clock, events: EventQueue,
-                 pic: InterruptController) -> None:
+                 pic: InterruptController, offset_ns: int = 0,
+                 handler: Optional[Callable[[], None]] = None) -> None:
         if tick_ns <= 0:
             raise ConfigError("tick_ns must be positive")
+        if not 0 <= offset_ns < tick_ns:
+            raise ConfigError("offset_ns must be in [0, tick_ns)")
         self.tick_ns = int(tick_ns)
+        self.offset_ns = int(offset_ns)
         self._clock = clock
         self._events = events
         self._pic = pic
+        self._handler = handler
         self._next_tick: Optional[EventHandle] = None
         self.ticks_fired = 0
         self._running = False
@@ -58,10 +71,12 @@ class TimerDevice:
         return self._next_tick.time_ns if self._next_tick is not None else None
 
     def _schedule_next(self) -> None:
-        # Anchor to the absolute grid: the next multiple of tick_ns strictly
-        # after "now", regardless of how late the previous handler ran.
+        # Anchor to the absolute grid: the next multiple of tick_ns (shifted
+        # by the stagger offset) strictly after "now", regardless of how
+        # late the previous handler ran.
         now = self._clock.now
-        next_time = (now // self.tick_ns + 1) * self.tick_ns
+        next_time = ((now - self.offset_ns) // self.tick_ns + 1) \
+            * self.tick_ns + self.offset_ns
         self._next_tick = self._events.schedule(
             next_time, self._fire, name="timer-tick")
 
@@ -82,7 +97,10 @@ class TimerDevice:
                                           name="timer-tick-delayed")
                 return
         self.ticks_fired += 1
-        self._pic.raise_irq(IRQ_TIMER)
+        if self._handler is not None:
+            self._handler()
+        else:
+            self._pic.raise_irq(IRQ_TIMER)
         self._schedule_next()
 
     def _fire_delayed(self) -> None:
@@ -90,4 +108,7 @@ class TimerDevice:
             return
         self.ticks_fired += 1
         self.ticks_delayed += 1
-        self._pic.raise_irq(IRQ_TIMER)
+        if self._handler is not None:
+            self._handler()
+        else:
+            self._pic.raise_irq(IRQ_TIMER)

@@ -102,10 +102,11 @@ class AccountingScheme:
         self.idle_ticks = 0
 
     def charge(self, task: Optional["Task"], mode: CPUMode, ns: int,
-               kind: ChargeKind) -> None:
+               kind: ChargeKind, cpu: int = 0) -> None:
         raise NotImplementedError
 
-    def on_tick(self, task: Optional["Task"], mode: CPUMode) -> None:
+    def on_tick(self, task: Optional["Task"], mode: CPUMode,
+                cpu: int = 0) -> None:
         raise NotImplementedError
 
     def usage(self, task: "Task") -> CpuUsage:
@@ -147,20 +148,24 @@ class TickAccounting(AccountingScheme):
 
     def __init__(self, tick_ns: int, process_aware_irq: bool = False) -> None:
         super().__init__(tick_ns, process_aware_irq)
-        self._irq_ns_since_tick = 0
+        #: IRQ-handler ns observed since the previous tick, per CPU: each
+        #: CPU's tick only deducts interrupt time that ran on that CPU
+        #: (on a uniprocessor this collapses to one key, 0).
+        self._irq_ns_since_tick: Dict[int, int] = {}
         #: System-account time diverted on *idle* jiffies.  Idle jiffies
         #: hand out nothing, so this portion of ``system_ns`` sits outside
         #: the busy-tick identity and is subtracted in billing_gap_ns.
         self.idle_diverted_ns = 0
 
     def charge(self, task: Optional["Task"], mode: CPUMode, ns: int,
-               kind: ChargeKind) -> None:
+               kind: ChargeKind, cpu: int = 0) -> None:
         if kind is ChargeKind.IRQ:
-            self._irq_ns_since_tick += ns
+            window = self._irq_ns_since_tick
+            window[cpu] = window.get(cpu, 0) + ns
 
-    def on_tick(self, task: Optional["Task"], mode: CPUMode) -> None:
-        irq_ns = min(self._irq_ns_since_tick, self.tick_ns)
-        self._irq_ns_since_tick = 0
+    def on_tick(self, task: Optional["Task"], mode: CPUMode,
+                cpu: int = 0) -> None:
+        irq_ns = min(self._irq_ns_since_tick.pop(cpu, 0), self.tick_ns)
         if task is None:
             self.idle_ticks += 1
             if self.process_aware_irq and irq_ns:
@@ -207,7 +212,7 @@ class TscAccounting(AccountingScheme):
     name = "tsc"
 
     def charge(self, task: Optional["Task"], mode: CPUMode, ns: int,
-               kind: ChargeKind) -> None:
+               kind: ChargeKind, cpu: int = 0) -> None:
         # The IRQ diversion must come before the idle check: interrupt
         # time exists whether or not a task was running, and returning on
         # ``task is None`` first would silently drop idle-period IRQ time
@@ -222,7 +227,8 @@ class TscAccounting(AccountingScheme):
         else:
             task.acct_stime_ns += ns
 
-    def on_tick(self, task: Optional["Task"], mode: CPUMode) -> None:
+    def on_tick(self, task: Optional["Task"], mode: CPUMode,
+                cpu: int = 0) -> None:
         if task is None:
             self.idle_ticks += 1
             return
@@ -259,8 +265,9 @@ class DualAccounting(AccountingScheme):
         self._tick = TickAccounting(tick_ns, process_aware_irq)
         self._precise: Dict[int, CpuUsage] = {}
 
-    def charge(self, task, mode: CPUMode, ns: int, kind: ChargeKind) -> None:
-        self._tick.charge(task, mode, ns, kind)
+    def charge(self, task, mode: CPUMode, ns: int, kind: ChargeKind,
+               cpu: int = 0) -> None:
+        self._tick.charge(task, mode, ns, kind, cpu)
         # As in TscAccounting: divert IRQ time before the idle check, so
         # interrupt work during idle periods still reaches the audit-side
         # system account.
@@ -275,8 +282,8 @@ class DualAccounting(AccountingScheme):
         else:
             side.stime_ns += ns
 
-    def on_tick(self, task, mode: CPUMode) -> None:
-        self._tick.on_tick(task, mode)
+    def on_tick(self, task, mode: CPUMode, cpu: int = 0) -> None:
+        self._tick.on_tick(task, mode, cpu)
         if task is None:
             self.idle_ticks += 1
 

@@ -58,6 +58,30 @@ _MODE_KERNEL = CPUMode.KERNEL
 _KEY_SWITCH = (False, Provenance.SYSTEM)
 
 
+class CpuContext:
+    """Saved per-CPU kernel state (SMP register bank).
+
+    ``Kernel.current``/``need_resched``/``scheduler``/``cpu`` always describe
+    the *active* CPU; :meth:`Kernel.set_active_cpu` swaps them through these
+    banks.  On a uniprocessor no switch ever happens, so every pre-SMP code
+    path is untouched.  The scheduler and CPU references are fixed at boot;
+    only the mutable fields are written back on a switch.
+    """
+
+    __slots__ = ("index", "cpu", "scheduler", "timer", "current",
+                 "need_resched", "irq_window", "tick_offset_ns")
+
+    def __init__(self, index, cpu, scheduler, timer, tick_offset_ns):
+        self.index = index
+        self.cpu = cpu
+        self.scheduler = scheduler
+        self.timer = timer
+        self.current = None
+        self.need_resched = False
+        self.irq_window = (0, 0)
+        self.tick_offset_ns = tick_offset_ns
+
+
 def _close_frames(frames) -> None:
     """Close and drop every frame generator.
 
@@ -96,12 +120,25 @@ class Kernel:
         self.libraries = LibraryRegistry()
         self.syscalls = SyscallTable(self)
         self.engine = ExecutionEngine(self)
-        self.timekeeper = TimeKeeper(cfg.tick_ns)
+        self.timekeeper = TimeKeeper(cfg.tick_ns, cfg.nproc)
 
         self.tasks: Dict[int, Task] = {}
         self._next_pid = 1
         self.current: Optional[Task] = None
         self.need_resched = False
+
+        #: SMP state.  ``current``/``need_resched``/``scheduler``/``cpu``
+        #: above are the *active* CPU's bank; set_active_cpu swaps them.
+        self.nproc = cfg.nproc
+        self._smp = cfg.nproc > 1
+        self.cpu_index = 0
+        self._active_tick_offset = 0
+        self._cpu_contexts: List[CpuContext] = []
+        #: READY tasks in flight to another CPU's run queue (IPI-deferred:
+        #: applied at the machine's slice barrier, never mid-slice).
+        self._pending_migrations: List[Tuple[Task, int]] = []
+        #: Tasks moved by the load balancer over the run's lifetime.
+        self.balance_moves = 0
         #: Optional runtime invariant checker (see repro.verify); attached
         #: by the machine when invariant checking is enabled.
         self.invariants = None
@@ -140,6 +177,166 @@ class Kernel:
         pic.register(IRQ_DISK, self._disk_irq)
 
     # ------------------------------------------------------------------
+    # SMP: per-CPU banks, migration, load balancing
+    # ------------------------------------------------------------------
+
+    def init_smp(self, cpus: List[CPU], timers) -> None:
+        """Wire the per-CPU contexts (called by the machine when nproc > 1).
+
+        CPU 0 keeps the kernel's boot-time scheduler and CPU objects so the
+        active bank is context 0's from the start; the other CPUs get their
+        own run queue each.
+        """
+        self._cpu_contexts = [
+            CpuContext(0, self.cpu, self.scheduler, timers[0],
+                       timers[0].offset_ns)]
+        for i in range(1, self.nproc):
+            self._cpu_contexts.append(CpuContext(
+                i, cpus[i], make_scheduler(self.cfg), timers[i],
+                timers[i].offset_ns))
+
+    def set_active_cpu(self, index: int) -> None:
+        """Bank-switch the kernel onto CPU ``index``."""
+        if index == self.cpu_index:
+            return
+        old = self._cpu_contexts[self.cpu_index]
+        old.current = self.current
+        old.need_resched = self.need_resched
+        old.irq_window = self._irq_window
+        new = self._cpu_contexts[index]
+        self.cpu_index = index
+        self.cpu = new.cpu
+        self.scheduler = new.scheduler
+        self.current = new.current
+        self.need_resched = new.need_resched
+        self._irq_window = new.irq_window
+        self._active_tick_offset = new.tick_offset_ns
+
+    def timer_interrupt(self, cpu_index: int) -> None:
+        """Per-CPU local-timer entry point (SMP machines only): the CPU's
+        staggered TimerDevice calls this instead of raising IRQ 0."""
+        self.set_active_cpu(cpu_index)
+        self.pic.counts[IRQ_TIMER] = self.pic.counts.get(IRQ_TIMER, 0) + 1
+        self._timer_irq(IRQ_TIMER)
+
+    def per_cpu_state(self) -> List[Tuple["CpuContext", Optional[Task]]]:
+        """(context, current) per CPU with the active bank synced — for the
+        invariant checker, procfs and the load balancer.  Single-CPU
+        kernels report one pseudo-context."""
+        if not self._smp:
+            ctx = CpuContext(0, self.cpu, self.scheduler, None, 0)
+            return [(ctx, self.current)]
+        return [(ctx, self.current if ctx.index == self.cpu_index
+                 else ctx.current)
+                for ctx in self._cpu_contexts]
+
+    def migrate_current(self, target: int) -> int:
+        """sched_setaffinity-style self-migration of the current task.
+
+        Pins the task to ``target`` and requests a resched; schedule()
+        parks the task in the pending-migration list and the slice barrier
+        enqueues it on the target's run queue (IPI semantics — a task
+        never sits in two run queues, and never hops mid-slice)."""
+        task = self.current
+        if not self._smp:
+            return 0
+        target = int(target) % self.nproc
+        task.cpus_allowed = {target}
+        if target != self.cpu_index:
+            task.cpu = target
+            task.migrations += 1
+            self.need_resched = True
+            self.trace("sched", lambda: f"migrate -> cpu{target}", task.pid)
+        return target
+
+    def flush_migrations(self) -> int:
+        """Apply IPI-deferred migrations (slice-barrier hook)."""
+        if not self._pending_migrations:
+            return 0
+        pending = self._pending_migrations
+        self._pending_migrations = []
+        moved = 0
+        for task, src in pending:
+            if task.state is not TaskState.READY:
+                continue  # exited/stopped while in flight
+            self._migrate_place(task, src, task.cpu)
+            moved += 1
+        return moved
+
+    def load_balance(self) -> int:
+        """CFS-style periodic balancing (slice-barrier hook): while the
+        busiest run queue leads the idlest by 2+ runnable tasks, pull one
+        task across, respecting affinity."""
+        ctxs = self._cpu_contexts
+        if not ctxs:
+            return 0
+        moves = 0
+        while True:
+            loads = []
+            for ctx, cur in self.per_cpu_state():
+                loads.append(ctx.scheduler.nr_runnable
+                             + (1 if cur is not None else 0))
+            busiest = max(range(self.nproc), key=lambda i: (loads[i], -i))
+            idlest = min(range(self.nproc), key=lambda i: (loads[i], i))
+            if loads[busiest] - loads[idlest] < 2:
+                break
+            task = ctxs[busiest].scheduler.steal_task(
+                allowed=lambda t: t.cpus_allowed is None
+                or idlest in t.cpus_allowed)
+            if task is None:
+                break
+            task.migrations += 1
+            self._migrate_place(task, busiest, idlest)
+            moves += 1
+        self.balance_moves += moves
+        return moves
+
+    def _migrate_place(self, task: Task, src: int, dst: int) -> None:
+        """Enqueue a migrating task on ``dst``, renormalizing CFS vruntime
+        the way set_task_cpu() does (− src.min_vruntime + dst.min_vruntime
+        keeps the task's relative fairness position)."""
+        src_sched = self._cpu_contexts[src].scheduler
+        dst_sched = self._cpu_contexts[dst].scheduler
+        src_min = getattr(src_sched, "min_vruntime", None)
+        dst_min = getattr(dst_sched, "min_vruntime", None)
+        if src_min is not None and dst_min is not None:
+            task.vruntime = max(0, task.vruntime - src_min + dst_min)
+        task.cpu = dst
+        dst_sched.enqueue(task, wakeup=False)
+
+    def _dequeue_anywhere(self, task: Task) -> None:
+        """Remove a READY task from whichever run queue holds it (or from
+        the pending-migration list)."""
+        if self._smp:
+            for i, (t, _src) in enumerate(self._pending_migrations):
+                if t is task:
+                    del self._pending_migrations[i]
+                    return
+            self._cpu_contexts[task.cpu].scheduler.dequeue(task)
+        else:
+            self.scheduler.dequeue(task)
+
+    def _enqueue_runnable(self, task: Task, wakeup: bool) -> None:
+        """Enqueue a newly-runnable task, honoring SMP placement: wake to
+        the waking CPU (cheap wake balancing) unless the task is pinned
+        elsewhere, in which case enqueue straight on the pinned queue."""
+        if self._smp:
+            allowed = task.cpus_allowed
+            if allowed is not None and self.cpu_index not in allowed:
+                dst = min(c for c in allowed if 0 <= c < self.nproc)
+                if task.cpu != dst:
+                    task.migrations += 1
+                task.cpu = dst
+                ctx = self._cpu_contexts[dst]
+                ctx.scheduler.enqueue(task, wakeup=wakeup)
+                ctx.need_resched = True
+                return
+            if task.cpu != self.cpu_index:
+                task.cpu = self.cpu_index
+                task.migrations += 1
+        self.scheduler.enqueue(task, wakeup=wakeup)
+
+    # ------------------------------------------------------------------
     # tracing
     # ------------------------------------------------------------------
 
@@ -168,7 +365,8 @@ class Kernel:
             clock.on_advance(ns)
         self.cpu._cycles += cycles
         self.accounting.charge(
-            task, _MODE_USER if user_mode else _MODE_KERNEL, ns, kind)
+            task, _MODE_USER if user_mode else _MODE_KERNEL, ns, kind,
+            self.cpu_index)
         oracle = task.oracle_ns
         key = (user_mode, provenance)
         oracle[key] = oracle.get(key, 0) + ns
@@ -183,7 +381,8 @@ class Kernel:
         self.clock.advance(ns)
         self._irq_window = (start, self.clock.now)
         self.cpu.retire_cycles(cycles)
-        self.accounting.charge(self.current, CPUMode.KERNEL, ns, ChargeKind.IRQ)
+        self.accounting.charge(self.current, CPUMode.KERNEL, ns,
+                               ChargeKind.IRQ, self.cpu_index)
         if self.current is not None:
             self.current.oracle_charge(False, provenance, ns)
         else:
@@ -204,11 +403,13 @@ class Kernel:
         # window was deferred by that handler: on hardware its saved regs
         # would point into the handler, so it samples as system time.  This
         # is how the interrupt flood turns into victim stime (Fig. 10).
-        nominal = (self.clock.now // self.cfg.tick_ns) * self.cfg.tick_ns
+        offset = self._active_tick_offset
+        nominal = ((self.clock.now - offset) // self.cfg.tick_ns) \
+            * self.cfg.tick_ns + offset
         window_start, window_end = self._irq_window
         if window_start <= nominal < window_end:
             mode = CPUMode.KERNEL
-        if self.watchdog is not None:
+        if self.watchdog is not None and self.cpu_index == 0:
             # Lost-tick compensation: if grid instants passed without a
             # jiffy (tick swallowed by an SMI or masked window), replay
             # them against the interrupted context before accounting this
@@ -217,11 +418,14 @@ class Kernel:
             missed = nominal // self.cfg.tick_ns - 1 - self.timekeeper.jiffies
             if missed > 0:
                 self._catch_up_ticks(missed, current, mode)
-        self.timekeeper.tick(current is not None, mode is CPUMode.USER)
-        self.accounting.on_tick(current, mode)
+        self.timekeeper.tick(current is not None, mode is CPUMode.USER,
+                             self.cpu_index)
+        self.accounting.on_tick(current, mode, self.cpu_index)
         if self.invariants is not None:
             self.invariants.on_tick(current, mode is CPUMode.USER)
-        if self.watchdog is not None:
+        if self.watchdog is not None and self.cpu_index == 0:
+            # The watchdog cross-checks the *global* jiffy counter, which
+            # only the timekeeping CPU advances (see TimeKeeper).
             self.watchdog.on_tick(self.clock.now)
         if current is not None:
             self._update_curr(current)
@@ -244,8 +448,8 @@ class Kernel:
         running = current is not None
         user = mode is CPUMode.USER
         for _ in range(missed):
-            self.timekeeper.tick(running, user)
-            self.accounting.on_tick(current, mode)
+            self.timekeeper.tick(running, user, self.cpu_index)
+            self.accounting.on_tick(current, mode, self.cpu_index)
             if self.invariants is not None:
                 self.invariants.on_tick(current, user)
         self.timekeeper.jiffies_caught_up += missed
@@ -256,9 +460,15 @@ class Kernel:
                    current.pid if current is not None else None)
 
     def _nic_irq(self, line: int) -> None:
+        if self._smp:
+            # Device interrupts land on the line's affine CPU: whoever runs
+            # there eats the handler time (the IRQ-steering attack surface).
+            self.set_active_cpu(self.pic.affinity(line))
         self.consume_irq(self.costs.nic_handler_cycles, Provenance.IRQ)
 
     def _disk_irq(self, line: int) -> None:
+        if self._smp:
+            self.set_active_cpu(self.pic.affinity(line))
         self.consume_irq(self.costs.disk_handler_cycles, Provenance.IRQ)
         completion = self.disk.take_completion()
         if completion is not None:
@@ -287,7 +497,12 @@ class Kernel:
                 prev.state = TaskState.READY
             if prev.state is TaskState.READY:
                 prev.involuntary_switches += 1
-                self.scheduler.put_prev(prev)
+                if self._smp and prev.cpu != self.cpu_index:
+                    # The task asked to run elsewhere (sys_migrate): park
+                    # it for the slice barrier instead of requeueing here.
+                    self._pending_migrations.append((prev, self.cpu_index))
+                else:
+                    self.scheduler.put_prev(prev)
 
         nxt = self.scheduler.pick_next()
         self.need_resched = False
@@ -372,7 +587,7 @@ class Kernel:
                 st.send_value = payload
                 st.blocked_frame = None
             task.state = TaskState.READY
-            self.scheduler.enqueue(task, wakeup=True)
+            self._enqueue_runnable(task, wakeup=True)
             self._maybe_preempt(task)
             return True
         if task.state is TaskState.STOPPED and task.wait_channel is not None:
@@ -392,6 +607,8 @@ class Kernel:
         return woken
 
     def _maybe_preempt(self, woken: Task) -> None:
+        if self._smp and woken.cpu != self.cpu_index:
+            return  # remote enqueue; that CPU reschedules at its slice
         if self.current is None:
             return
         if self.scheduler.check_preempt_wakeup(self.current, woken):
@@ -462,7 +679,7 @@ class Kernel:
             return
         was_running = task is self.current
         if task.state is TaskState.READY:
-            self.scheduler.dequeue(task)
+            self._dequeue_anywhere(task)
         if was_running:
             self._update_curr(task)
             self.need_resched = True
@@ -494,13 +711,13 @@ class Kernel:
                 st.send_value = pending_wake
                 st.blocked_frame = None
             task.state = TaskState.READY
-            self.scheduler.enqueue(task, wakeup=True)
+            self._enqueue_runnable(task, wakeup=True)
             self._maybe_preempt(task)
         elif task.wait_channel is not None:
             task.state = TaskState.WAITING
         else:
             task.state = TaskState.READY
-            self.scheduler.enqueue(task, wakeup=True)
+            self._enqueue_runnable(task, wakeup=True)
             self._maybe_preempt(task)
 
     # ------------------------------------------------------------------
@@ -565,6 +782,7 @@ class Kernel:
         task.exec_state = ExecState()
         task.exec_state.push_frame(self._root_frame(task.guest_ctx, fn, args))
         task.vruntime = getattr(self.scheduler, "min_vruntime", 0)
+        task.cpu = self.cpu_index
         self.scheduler.enqueue(task)
         self.trace("task", lambda: f"spawn {name}", task.pid)
         return task
@@ -593,6 +811,7 @@ class Kernel:
         child.exec_state.push_frame(
             self._root_frame(child.guest_ctx, child_fn, child_args))
         self.scheduler.on_fork(parent, child)
+        child.cpu = self.cpu_index
         self.scheduler.enqueue(child)
         self.trace("task", "fork", parent.pid, child=child.pid)
         return child
@@ -607,6 +826,7 @@ class Kernel:
         thread.exec_state.push_frame(
             self._root_frame(leader.guest_ctx, fn, args))
         self.scheduler.on_fork(leader, thread)
+        thread.cpu = self.cpu_index
         self.scheduler.enqueue(thread)
         self.trace("task", "clone-thread", leader.pid, thread=thread.pid)
         return thread
@@ -668,7 +888,7 @@ class Kernel:
             self._update_curr(task)
             self.need_resched = True
         elif task.state is TaskState.READY:
-            self.scheduler.dequeue(task)
+            self._dequeue_anywhere(task)
         elif task.state is TaskState.WAITING:
             self._unpark(task)
         task.state = TaskState.ZOMBIE

@@ -57,6 +57,7 @@ class Task:
         "involuntary_switches", "debug_exceptions", "signals_received",
         "oracle_ns", "vruntime", "ran_since_pick", "timeslice_ns",
         "last_dispatch_ns", "enqueue_seq", "_pending_wake",
+        "cpu", "migrations", "cpus_allowed",
     )
 
     def __init__(self, pid: int, name: str, uid: int = 1000,
@@ -131,6 +132,16 @@ class Task:
         self.last_dispatch_ns = 0
         #: Monotone counter for FIFO tie-breaks inside schedulers.
         self.enqueue_seq = 0
+
+        # --- SMP placement ---------------------------------------------------
+        #: Index of the CPU whose run queue owns this task.
+        self.cpu = 0
+        #: Number of times the task changed CPUs (wake balancing, the load
+        #: balancer, or sys_migrate).
+        self.migrations = 0
+        #: Allowed CPU set (None = any).  sys_migrate pins to the target;
+        #: the load balancer never moves a task off its allowed set.
+        self.cpus_allowed: Optional[Set[int]] = None
 
     # ---- convenience -------------------------------------------------------
 

@@ -57,6 +57,17 @@ class Scheduler:
         """
         return None
 
+    def steal_task(self, allowed=None) -> Optional["Task"]:
+        """Dequeue and return the queued task the load balancer should
+        pull from this queue, or None if nothing is stealable.
+
+        ``allowed`` is an optional predicate Task -> bool (affinity
+        filter).  Policies pick their least-locally-deserving task so the
+        steal costs the source queue as little as possible, and must be
+        deterministic.  Returning None opts a scheduler out of balancing.
+        """
+        return None
+
     # -- time hooks -----------------------------------------------------------
 
     def update_curr(self, task: "Task", delta_ns: int) -> None:

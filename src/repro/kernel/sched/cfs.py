@@ -120,6 +120,22 @@ class CfsScheduler(Scheduler):
             return task
         return None
 
+    def steal_task(self, allowed=None) -> Optional["Task"]:
+        # Pull the entity with the *largest* vruntime: it would have waited
+        # the longest here anyway, so moving it costs local fairness the
+        # least (the flip side of pick-min).  Pid breaks ties for
+        # determinism.
+        best = None
+        for task in self._queued.values():
+            if allowed is not None and not allowed(task):
+                continue
+            if best is None or (task.vruntime, task.pid) > (best.vruntime,
+                                                            best.pid):
+                best = task
+        if best is not None:
+            self.dequeue(best)
+        return best
+
     def _update_min_vruntime(self, curr_vruntime: Optional[int]) -> None:
         """2.6.29 update_min_vruntime(): advance to min(curr, leftmost).
 

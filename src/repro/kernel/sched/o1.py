@@ -128,6 +128,25 @@ class O1Scheduler(Scheduler):
         else:
             self._active.push(task)
 
+    def steal_task(self, allowed=None) -> Optional["Task"]:
+        # Pull from the tail end of the priority spectrum: the task with
+        # the numerically highest (weakest) static priority, expired array
+        # first — it is the last in line here, so the steal disturbs the
+        # local epoch the least.  Pid breaks ties for determinism.
+        best = None
+        for array in (self._expired, self._active):
+            for q in array.queues.values():
+                for task in q:
+                    if allowed is not None and not allowed(task):
+                        continue
+                    if best is None or (task.static_prio, task.pid) \
+                            > (best.static_prio, best.pid):
+                        best = task
+            if best is not None:
+                array.remove(best)
+                return best
+        return None
+
     # -- time ----------------------------------------------------------------
 
     def update_curr(self, task: "Task", delta_ns: int) -> None:

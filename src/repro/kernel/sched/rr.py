@@ -55,6 +55,14 @@ class RoundRobinScheduler(Scheduler):
         task.timeslice_ns = self.cfg.base_timeslice_ns
         self._queue.append(task)
 
+    def steal_task(self, allowed=None) -> Optional["Task"]:
+        # Steal from the back of the FIFO: the task that would run last.
+        for task in reversed(self._queue):
+            if allowed is None or allowed(task):
+                self._queue.remove(task)
+                return task
+        return None
+
     def update_curr(self, task: "Task", delta_ns: int) -> None:
         task.ran_since_pick += max(delta_ns, 0)
         task.timeslice_ns -= min(task.timeslice_ns, max(delta_ns, 0))

@@ -175,6 +175,25 @@ def sys_sched_yield(kernel: "Kernel", task: Task):
     return 0
 
 
+def sys_getcpu(kernel: "Kernel", task: Task):
+    """getcpu(2): which CPU the caller is executing on right now.  The
+    cross-CPU tick-dodging attacker pairs this with ``clock_gettime`` to
+    predict the *local* tick grid (per-CPU ticks are staggered)."""
+    yield Compute(150)
+    return kernel.cpu_index
+
+
+def sys_migrate(kernel: "Kernel", task: Task, cpu: int):
+    """sched_setaffinity(2) collapsed to its attack-relevant core: pin
+    the calling task to ``cpu`` and move it there at the next slice
+    barrier.  A uniprocessor accepts only cpu 0 (a no-op), mirroring a
+    full-mask setaffinity call."""
+    if not 0 <= cpu < kernel.nproc:
+        raise InvalidArgument(f"cpu {cpu} out of range")
+    yield Compute(1_000)
+    return kernel.migrate_current(cpu)
+
+
 def sys_setpriority(kernel: "Kernel", task: Task, nice: int,
                     pid: Optional[int] = None):
     """setpriority(PRIO_PROCESS): raising priority requires root."""
@@ -397,6 +416,8 @@ _DEFAULT_HANDLERS = {
     "gettid": sys_gettid,
     "nanosleep": sys_nanosleep,
     "sched_yield": sys_sched_yield,
+    "getcpu": sys_getcpu,
+    "migrate": sys_migrate,
     "setpriority": sys_setpriority,
     "getpriority": sys_getpriority,
     "kill": sys_kill,

@@ -82,14 +82,31 @@ class ClockInterval:
 
 
 class TimeKeeper:
-    """Tracks jiffies and tick statistics."""
+    """Tracks jiffies and tick statistics.
 
-    def __init__(self, tick_ns: int) -> None:
+    SMP note (audited for PR 6): ``jiffies`` is a single global counter in
+    Linux, advanced by one designated timekeeping CPU — not once per CPU
+    per period.  We mirror that: only CPU 0's tick increments ``jiffies``
+    (so ``uptime_ns`` stays wall time), while every CPU's tick increments
+    ``ticks_total`` and its own per-CPU mode counter.  On a uniprocessor
+    every tick is CPU 0's, so the pre-SMP behavior is unchanged.
+    """
+
+    def __init__(self, tick_ns: int, nproc: int = 1) -> None:
         self.tick_ns = tick_ns
+        self.nproc = nproc
         self.jiffies = 0
         self.ticks_user = 0
         self.ticks_kernel = 0
         self.ticks_idle = 0
+        #: Tick samples across all CPUs (== jiffies on a uniprocessor,
+        #: modulo lost-tick catch-up which replays jiffies without a
+        #: hardware tick).  The per-mode counters above sum to this.
+        self.ticks_total = 0
+        #: Per-CPU tick counts by sampled mode, for /proc/stat "cpuN" rows.
+        self.cpu_ticks_user = [0] * nproc
+        self.cpu_ticks_kernel = [0] * nproc
+        self.cpu_ticks_idle = [0] * nproc
         #: Involuntary-wait time reported by the hypervisor (ns the vCPU was
         #: runnable but descheduled) — the /proc/stat "steal" column.  Zero
         #: on bare metal; a hypervisor injects it via :meth:`account_steal`.
@@ -98,14 +115,20 @@ class TimeKeeper:
         #: ``jiffies``); zero unless the clocksource watchdog is active.
         self.jiffies_caught_up = 0
 
-    def tick(self, running: bool, user_mode: bool) -> None:
-        self.jiffies += 1
+    def tick(self, running: bool, user_mode: bool, cpu: int = 0) -> None:
+        if cpu == 0:
+            # The timekeeping CPU drives the global jiffy counter.
+            self.jiffies += 1
+        self.ticks_total += 1
         if not running:
             self.ticks_idle += 1
+            self.cpu_ticks_idle[cpu] += 1
         elif user_mode:
             self.ticks_user += 1
+            self.cpu_ticks_user[cpu] += 1
         else:
             self.ticks_kernel += 1
+            self.cpu_ticks_kernel[cpu] += 1
 
     def account_steal(self, ns: int) -> None:
         """Credit ``ns`` of hypervisor-reported steal time (paravirtual
@@ -119,7 +142,7 @@ class TimeKeeper:
         return self.jiffies * self.tick_ns
 
     def snapshot(self) -> dict:
-        return {
+        doc = {
             "jiffies": self.jiffies,
             "user": self.ticks_user,
             "kernel": self.ticks_kernel,
@@ -127,6 +150,17 @@ class TimeKeeper:
             "steal_ns": self.steal_ns,
             "jiffies_caught_up": self.jiffies_caught_up,
         }
+        if self.nproc > 1:
+            # Added only on SMP machines so single-CPU snapshots stay
+            # byte-identical to the pre-SMP format.
+            doc["ticks_total"] = self.ticks_total
+            doc["cpu_ticks"] = [
+                {"user": self.cpu_ticks_user[c],
+                 "kernel": self.cpu_ticks_kernel[c],
+                 "idle": self.cpu_ticks_idle[c]}
+                for c in range(self.nproc)
+            ]
+        return doc
 
 
 class ClocksourceWatchdog:
@@ -141,6 +175,12 @@ class ClocksourceWatchdog:
     window.  Each check closes one :class:`ClockInterval` whose
     ``uncertainty_ns`` bounds how far metered CPU time inside the window
     can be off.
+
+    SMP note (audited for PR 6): the watchdog runs on the timekeeping CPU
+    only (CPU 0), like Linux's, because its arithmetic cross-checks the
+    *global* jiffy counter — which only CPU 0 advances — against CPU 0's
+    TSC.  The kernel guarantees this by invoking ``on_tick``/
+    ``note_caught_up`` exclusively from CPU 0's timer interrupt.
     """
 
     def __init__(self, cpu: "CPU", clock: "Clock", timekeeper: TimeKeeper,

@@ -83,6 +83,73 @@ def make_memhog(pages: int, passes: int = 4,
     )
 
 
+def _smp_dodger_main(ctx: GuestContext):
+    total_cycles, tick_ns, nproc, freq_hz, guard_ns = ctx.argv
+    remaining = total_cycles
+    while remaining > 0:
+        now = yield Syscall("clock_gettime")
+        cpu = yield Syscall("getcpu")
+        # Per-CPU ticks are staggered: CPU c ticks on the grid
+        # k * tick + c * tick / nproc.  Predict the next *local* tick.
+        offset = cpu * tick_ns // nproc
+        next_tick = ((now - offset) // tick_ns + 1) * tick_ns + offset
+        window_ns = next_tick - now - guard_ns
+        if window_ns <= 0:
+            # Already inside the guard band: hop immediately (harmless
+            # no-op on a uniprocessor, where the attack cannot work).
+            yield Syscall("migrate", ((cpu + 1) % nproc,))
+            continue
+        burn = min(remaining, window_ns * freq_hz // 1_000_000_000)
+        if burn > 0:
+            yield Compute(burn)
+            remaining -= burn
+        yield Syscall("migrate", ((cpu + 1) % nproc,))
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_smp_dodger(total_cycles: int, tick_ns: int, nproc: int,
+                    freq_hz: int, guard_ns: int = 40_000) -> Program:
+    """The cross-CPU tick dodger (SMP scheduling attack): burn until just
+    before the current CPU's next timer tick, then migrate to the next
+    CPU, whose staggered tick is furthest away.  Its cycles are real, but
+    no per-CPU tick ever samples it — tick accounting bills ~nothing."""
+    return Program(
+        "smp-dodger",
+        _smp_dodger_main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(total_cycles, tick_ns, nproc, freq_hz, guard_ns),
+    )
+
+
+def _pinned_burner_main(ctx: GuestContext):
+    cpu, total_cycles, chunk = ctx.argv
+    yield Syscall("migrate", (cpu,))
+    remaining = total_cycles
+    while remaining > 0:
+        burn = min(chunk, remaining)
+        yield Compute(burn)
+        remaining -= burn
+    rusage = yield Syscall("getrusage")
+    ctx.shared["rusage"] = rusage
+    return 0
+
+
+def make_pinned_burner(cpu: int, total_cycles: int = 2_000_000_000,
+                       chunk: int = 10_000_000) -> Program:
+    """A busyloop pinned to ``cpu`` — the IRQ-steering attacker's own
+    workload, parked away from the CPU the steered interrupts land on."""
+    return Program(
+        "pinned-burner",
+        _pinned_burner_main,
+        data_symbols={},
+        needed_libs=("libc",),
+        argv=(cpu, total_cycles, chunk),
+    )
+
+
 def _busyloop_main(ctx: GuestContext):
     total_cycles, chunk = ctx.argv
     remaining = total_cycles

@@ -27,11 +27,13 @@ from ..attacks import (
     Attack,
     ExceptionFloodAttack,
     InterruptFloodAttack,
+    IrqSteerAttack,
     LibraryConstructorAttack,
     LibrarySubstitutionAttack,
     RuntimeLibraryAttack,
     SchedulingAttack,
     ShellAttack,
+    SmpDodgeAttack,
     ThrashingAttack,
 )
 from ..config import MachineConfig, default_config
@@ -60,6 +62,8 @@ ATTACK_CLASSES: Dict[str, Callable[..., Attack]] = {
     "thrashing": ThrashingAttack,
     "irq-flood": InterruptFloodAttack,
     "fault-flood": ExceptionFloodAttack,
+    "smp-dodge": SmpDodgeAttack,
+    "irq-steer": IrqSteerAttack,
 }
 
 
@@ -93,6 +97,11 @@ class ExperimentSpec:
     #: carries the hypervisor/scenario knobs
     #: (:data:`repro.virt.experiment.VM_PARAM_KEYS`; ``{}`` for defaults).
     vm: Optional[Mapping[str, Any]] = None
+    #: Number of CPUs for this point.  The default of 1 is identity-neutral:
+    #: it is popped from the canonical cfg document so every pre-SMP cache
+    #: key (and cached result) remains valid.  Values > 1 override
+    #: ``cfg.nproc`` and join the identity via the config document.
+    nproc: int = 1
     #: Not None → a :meth:`repro.faults.FaultPlan.from_dict` mapping of
     #: deterministic hardware faults (plus the watchdog toggle) for this
     #: point.  An *empty* plan is identical to None — including in the
@@ -109,7 +118,10 @@ class ExperimentSpec:
         return f"vm:{base}" if self.vm is not None else base
 
     def resolved_config(self) -> MachineConfig:
-        return self.cfg if self.cfg is not None else default_config()
+        cfg = self.cfg if self.cfg is not None else default_config()
+        if self.nproc != 1 and cfg.nproc != self.nproc:
+            cfg = cfg.with_(nproc=self.nproc)
+        return cfg
 
     def build_program(self) -> Program:
         try:
@@ -149,12 +161,18 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
     ``check_invariants`` is deliberately excluded — the checker observes
     the run without altering it, so results are interchangeable.
     """
+    cfg_doc = _canonical(asdict(spec.resolved_config()))
+    if cfg_doc.get("nproc") == 1:
+        # A single CPU is the pre-SMP machine: drop the field so the
+        # document (and hence the cache key) is byte-identical to specs
+        # hashed before the SMP layer existed.
+        cfg_doc.pop("nproc")
     doc = {
         "program": spec.program,
         "program_kwargs": _canonical(spec.program_kwargs),
         "attack": spec.attack or "none",
         "attack_kwargs": _canonical(spec.attack_kwargs),
-        "cfg": _canonical(asdict(spec.resolved_config())),
+        "cfg": cfg_doc,
         "run_attacker_to_completion": spec.run_attacker_to_completion,
         "max_ns": spec.max_ns,
         "vm": _canonical(spec.vm) if spec.vm is not None else None,
@@ -195,6 +213,9 @@ def run_spec(spec: ExperimentSpec):
     if spec.vm is not None:
         from ..virt.experiment import run_vm_experiment
 
+        if spec.nproc != 1:
+            raise SpecError("vm specs do not support nproc > 1 yet; "
+                            "the hypervisor multiplexes vCPUs onto one pCPU")
         return run_vm_experiment(
             program=spec.program,
             program_kwargs=spec.program_kwargs,
@@ -207,7 +228,7 @@ def run_spec(spec: ExperimentSpec):
     return run_experiment(
         spec.build_program(),
         attack=spec.build_attack(),
-        cfg=spec.cfg,
+        cfg=spec.cfg if spec.nproc == 1 else spec.resolved_config(),
         run_attacker_to_completion=spec.run_attacker_to_completion,
         check_invariants=spec.check_invariants,
         **kwargs)

@@ -73,10 +73,17 @@ class Scenario:
     #: watchdog's catch-up keeps conservation exact; TSC faults are
     #: read-side only).
     faults: Optional[Dict[str, Any]] = None
+    #: SMP dimension: runs on an ``nproc``-CPU machine.  Serial/batch and
+    #: cross-scheduler conformance must hold there too.
+    nproc: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         doc = asdict(self)
         doc["schedulers"] = list(self.schedulers)
+        if doc.get("nproc") == 1:
+            # Pre-SMP replay specs (and their digests) carry no nproc key;
+            # keep the uniprocessor encoding identical.
+            doc.pop("nproc")
         return doc
 
     @classmethod
@@ -95,6 +102,7 @@ class Scenario:
             process_aware_irq_accounting=self.process_aware,
             charge_switch_to=self.charge_switch_to,
             seed=self.seed,
+            nproc=self.nproc,
             scheduler=SchedulerConfig(kind=scheduler))
 
     def spec(self, scheduler: str) -> ExperimentSpec:
@@ -159,7 +167,7 @@ def generate_scenario(rng: random.Random,
         program = rng.choice(["O", "P", "W", "B"])
         program_kwargs = dict(paper_workload_params(scale)[program])
         attack, attack_kwargs = _draw_attack(rng, scale)
-    return Scenario(
+    scenario = Scenario(
         seed=rng.randrange(1, 2**31),
         hz=hz,
         accounting=rng.choice(["tick", "tsc", "dual"]),
@@ -171,6 +179,12 @@ def generate_scenario(rng: random.Random,
         attack_kwargs=attack_kwargs,
         inject=inject,
         faults=faults)
+    # SMP dimension, drawn *last* so its addition left every earlier draw
+    # — and thus every pre-SMP pinned-seed scenario — unchanged.  Fault
+    # plans stay on uniprocessors (their injectors target CPU 0's timer).
+    if inject is None and faults is None and rng.random() < 0.25:
+        scenario = replace(scenario, nproc=rng.choice([2, 4]))
+    return scenario
 
 
 def _draw_faults(rng: random.Random) -> Dict[str, Any]:
@@ -229,9 +243,9 @@ def make_injector(kind: str) -> Callable:
             acct = machine.kernel.accounting
             original = acct.on_tick
 
-            def dishonest_on_tick(task, mode):
-                original(task, mode)
-                original(task, mode)
+            def dishonest_on_tick(task, mode, cpu=0):
+                original(task, mode, cpu)
+                original(task, mode, cpu)
 
             acct.on_tick = dishonest_on_tick
     elif kind == "drop-exit":
@@ -389,7 +403,9 @@ def _check_cross_scheduler(scenario: Scenario, report: ScenarioReport,
         tolerance_ns = max(
             tolerance_ns,
             64 + stats.get("ticks", 0)
-            + stats.get("context_switches_total", 0))
+            + stats.get("context_switches_total", 0)
+            # Each cross-CPU migration is one more op-splitting boundary.
+            + stats.get("migrations_total", 0))
     reference_sched = next(iter(own))
     reference = own[reference_sched]
     for scheduler, value in own.items():

@@ -27,6 +27,17 @@ books:
   dead in neither; ``nr_runnable`` agrees with queue contents.
 * **clock-monotonic** — simulated time and jiffies never move backwards.
 
+On SMP machines (``cfg.nproc > 1``) the conservation laws generalise
+per CPU: every nanosecond of a CPU's capacity is claimed by exactly one
+account *on that CPU* (task charge, idle-IRQ, or idle loop), per-CPU
+tick counters close against the per-CPU ticks the checker observed, and
+the runqueue discipline holds across all per-CPU queues plus the
+in-flight migration list (a migrating task is queued exactly once —
+there).  The machine's SMP loop notifies the checker of its silent
+slice rewinds via :meth:`on_cpu_slice`; the wall-vs-capacity identity
+is then per-CPU (total clock advance equals the *sum* of per-CPU
+capacity, not the wall window).
+
 Checks are two-tier: O(1) hooks run on every event, and a full O(tasks)
 sweep runs every ``full_check_every_ticks`` jiffies, at every task exit
 (that task only) and at :meth:`check_full`.  Violations either raise
@@ -166,6 +177,16 @@ class InvariantChecker:
         self._last_jiffies = 0
         self.full_checks = 0
 
+        # Per-CPU shadow ledgers (SMP only; empty on nproc == 1).
+        self._smp = False
+        self._nproc = 1
+        self._cpu_cap: List[int] = []
+        self._cpu_attr: List[int] = []
+        self._cpu_idle_irq: List[int] = []
+        self._cpu_idle: List[int] = []
+        self._ticks_cpu: List[int] = []
+        self._attach_ticks_total = 0
+
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
@@ -177,6 +198,15 @@ class InvariantChecker:
         self._attach_jiffies = kernel.timekeeper.jiffies
         self._last_now = kernel.clock.now
         self._last_jiffies = kernel.timekeeper.jiffies
+        self._nproc = getattr(kernel, "nproc", 1)
+        self._smp = self._nproc > 1
+        if self._smp:
+            self._cpu_cap = [0] * self._nproc
+            self._cpu_attr = [0] * self._nproc
+            self._cpu_idle_irq = [0] * self._nproc
+            self._cpu_idle = [0] * self._nproc
+            self._ticks_cpu = [0] * self._nproc
+            self._attach_ticks_total = kernel.timekeeper.ticks_total
         kernel.invariants = self
         kernel.clock.on_advance = self.on_clock_advance
 
@@ -216,6 +246,13 @@ class InvariantChecker:
     # hooks (called by clock/kernel/engine/machine)
     # ------------------------------------------------------------------
 
+    def on_cpu_slice(self, cpu: int, now: int) -> None:
+        """The SMP loop silently moved the clock to ``now`` (slice rewind
+        or barrier) and made ``cpu`` the active CPU.  The jump is not a
+        clock advance — no capacity passes — but the monotonicity cursor
+        must follow it or the rewind would read as time going backwards."""
+        self._last_now = now
+
     def on_clock_advance(self, delta_ns: int) -> None:
         if delta_ns < 0:
             self._report("clock-monotonic",
@@ -223,6 +260,8 @@ class InvariantChecker:
             return
         self._clock_total += delta_ns
         self._pending_ns += delta_ns
+        if self._smp:
+            self._cpu_cap[self.kernel.cpu_index] += delta_ns
 
     def on_charge(self, task: Optional["Task"], ns: int, user_mode: bool,
                   kind: "ChargeKind") -> None:
@@ -235,6 +274,12 @@ class InvariantChecker:
                 f"{self._pending_ns + ns}ns)",
                 task.pid if task is not None else None)
             self._pending_ns = 0
+        if self._smp:
+            cpu = self.kernel.cpu_index
+            if task is None:
+                self._cpu_idle_irq[cpu] += ns
+            else:
+                self._cpu_attr[cpu] += ns
         if task is None:
             self._idle_irq_ns += ns
             # Idle-period IRQ time is still diverted to the scheme's
@@ -266,10 +311,14 @@ class InvariantChecker:
                          f"idle advance of {delta_ns}ns exceeds clock delta")
             self._pending_ns = 0
         self._idle_ns += delta_ns
+        if self._smp:
+            self._cpu_idle[self.kernel.cpu_index] += delta_ns
 
     def on_tick(self, task: Optional["Task"], user_mode: bool) -> None:
         """After the accounting scheme sampled this jiffy."""
         self._ticks_total += 1
+        if self._smp:
+            self._ticks_cpu[self.kernel.cpu_index] += 1
         if task is None:
             self._idle_ticks += 1
         else:
@@ -333,12 +382,17 @@ class InvariantChecker:
             self._report(
                 "time-conservation",
                 f"{self._pending_ns}ns advanced without attribution")
-        observed = kernel.clock.now - self._attach_now
-        if observed != self._clock_total:
-            self._report(
-                "clock-monotonic",
-                f"clock moved {observed}ns but only {self._clock_total}ns "
-                f"passed through advance()")
+        if not self._smp:
+            # On SMP the wall clock and the capacity total diverge by
+            # design: N CPUs each account the same wall window, so
+            # _clock_total is the *sum* of per-CPU capacity (checked per
+            # CPU below) while clock.now only tracks the wall.
+            observed = kernel.clock.now - self._attach_now
+            if observed != self._clock_total:
+                self._report(
+                    "clock-monotonic",
+                    f"clock moved {observed}ns but only {self._clock_total}"
+                    f"ns passed through advance()")
         if kernel.idle_irq_ns != self._idle_irq_ns:
             self._report(
                 "time-conservation",
@@ -350,14 +404,48 @@ class InvariantChecker:
             self._report(
                 "time-conservation",
                 f"{self._clock_total}ns elapsed but {accounted}ns accounted")
+        if self._smp and self._pending_ns == 0:
+            # Per-CPU conservation: every nanosecond of a CPU's capacity
+            # is claimed by exactly one account *on that CPU*.
+            for c in range(self._nproc):
+                cpu_accounted = (self._cpu_attr[c] + self._cpu_idle_irq[c]
+                                 + self._cpu_idle[c])
+                if cpu_accounted != self._cpu_cap[c]:
+                    self._report(
+                        "time-conservation",
+                        f"cpu{c}: {self._cpu_cap[c]}ns of capacity but "
+                        f"{cpu_accounted}ns accounted")
 
     def _check_tick_conservation(self) -> None:
         kernel = self.kernel
-        jiffies = kernel.timekeeper.jiffies - self._attach_jiffies
+        tk = kernel.timekeeper
+        jiffies = tk.jiffies - self._attach_jiffies
         if jiffies < self._last_jiffies - self._attach_jiffies:
             self._report("clock-monotonic", "jiffies moved backwards")
-        self._last_jiffies = kernel.timekeeper.jiffies
-        if jiffies != self._ticks_total:
+        self._last_jiffies = tk.jiffies
+        if self._smp:
+            # Jiffies advance on the timekeeping CPU only; the checker's
+            # global tick count closes against ticks_total instead.
+            ticks = tk.ticks_total - self._attach_ticks_total
+            if ticks != self._ticks_total:
+                self._report(
+                    "tick-conservation",
+                    f"timekeeper counted {ticks} ticks, checker saw "
+                    f"{self._ticks_total}")
+            if jiffies != self._ticks_cpu[0]:
+                self._report(
+                    "tick-conservation",
+                    f"jiffies advanced {jiffies} but cpu0 fired "
+                    f"{self._ticks_cpu[0]} ticks")
+            for c in range(self._nproc):
+                per_mode = (tk.cpu_ticks_user[c] + tk.cpu_ticks_kernel[c]
+                            + tk.cpu_ticks_idle[c])
+                if per_mode != self._ticks_cpu[c]:
+                    self._report(
+                        "tick-conservation",
+                        f"cpu{c} per-mode ticks sum to {per_mode}, checker "
+                        f"saw {self._ticks_cpu[c]}")
+        elif jiffies != self._ticks_total:
             self._report(
                 "tick-conservation",
                 f"timekeeper counted {jiffies} jiffies, checker saw "
@@ -367,8 +455,8 @@ class InvariantChecker:
                 "tick-conservation",
                 f"scheme idle_ticks {kernel.accounting.idle_ticks} != "
                 f"shadow {self._idle_ticks}")
-        tk = kernel.timekeeper
-        if tk.ticks_user + tk.ticks_kernel + tk.ticks_idle != tk.jiffies:
+        reference = tk.ticks_total if self._smp else tk.jiffies
+        if tk.ticks_user + tk.ticks_kernel + tk.ticks_idle != reference:
             self._report(
                 "tick-conservation",
                 "per-mode tick counters do not sum to jiffies")
@@ -440,24 +528,47 @@ class InvariantChecker:
         from ..kernel.process import TaskState
 
         kernel = self.kernel
-        queued = kernel.scheduler.queued_pids()
-        if queued is None:
-            return
+        if self._smp:
+            queued: List[int] = []
+            currents = []
+            for ctx, cpu_current in kernel.per_cpu_state():
+                pids = ctx.scheduler.queued_pids()
+                if pids is None:
+                    return
+                if ctx.scheduler.nr_runnable != len(pids):
+                    self._report(
+                        "runqueue",
+                        f"cpu{ctx.index} nr_runnable "
+                        f"{ctx.scheduler.nr_runnable} != {len(pids)} "
+                        f"queued tasks")
+                queued.extend(pids)
+                if cpu_current is not None:
+                    currents.append(cpu_current)
+            # An in-flight migration holds its task out of every runqueue
+            # until the slice barrier; it still counts as queued exactly
+            # once — there.
+            queued.extend(
+                task.pid for task, _src in kernel._pending_migrations)
+        else:
+            queued = kernel.scheduler.queued_pids()
+            if queued is None:
+                return
+            if kernel.scheduler.nr_runnable != len(queued):
+                self._report(
+                    "runqueue",
+                    f"nr_runnable {kernel.scheduler.nr_runnable} != "
+                    f"{len(queued)} queued tasks")
+            currents = [kernel.current] if kernel.current is not None else []
         if len(queued) != len(set(queued)):
             dupes = sorted({p for p in queued if queued.count(p) > 1})
             self._report("runqueue",
                          f"pids queued more than once: {dupes}",
                          dupes[0] if dupes else None)
         queued_set = set(queued)
-        if kernel.scheduler.nr_runnable != len(queued):
-            self._report(
-                "runqueue",
-                f"nr_runnable {kernel.scheduler.nr_runnable} != "
-                f"{len(queued)} queued tasks")
-        current = kernel.current
-        if current is not None and current.pid in queued_set:
-            self._report("runqueue", "current task is on the run queue",
-                         current.pid)
+        for current in currents:
+            if current.pid in queued_set:
+                self._report("runqueue", "current task is on the run queue",
+                             current.pid)
         waiting_members: Dict[int, str] = {}
         for channel, tasks in kernel._wait_queues.items():
             for task in tasks:
@@ -539,6 +650,11 @@ class VirtInvariantChecker:
 
     A full sweep also runs every guest machine's own kernel-level checker,
     so one :meth:`check_full` closes the two-level law end to end.
+
+    The hypervisor multiplexes single-vCPU guests onto one physical core
+    (``run_spec`` rejects vm specs with ``nproc > 1``), so the per-vCPU
+    laws here are already "per CPU" — the guest-side sweep it triggers is
+    the place where the SMP-generalised kernel checker would engage.
     """
 
     def __init__(self, mode: str = "raise",

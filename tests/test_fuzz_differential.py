@@ -183,3 +183,53 @@ def test_fuzz_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "2 scenarios, 0 failing" in out
+
+
+# ----------------------------------------------------------------------
+# the SMP dimension
+# ----------------------------------------------------------------------
+
+def test_smp_dimension_is_drawn_and_clean():
+    """A quarter of clean scenarios ride on multi-CPU machines; the SMP
+    draw never lands on injected/faulted scenarios (those stay on the
+    uniprocessor where their detection expectations were calibrated)."""
+    nprocs = set()
+    for seed in range(120):
+        scenario = generate_scenario(random.Random(seed),
+                                     inject_probability=0.3)
+        nprocs.add(scenario.nproc)
+        if scenario.nproc != 1:
+            assert scenario.inject is None and scenario.faults is None
+    assert {1, 2, 4} <= nprocs
+
+
+def test_smp_scenario_round_trips_with_nproc():
+    scenario = tiny_scenario(nproc=2)
+    doc = json.loads(json.dumps(scenario.to_dict()))
+    assert doc["nproc"] == 2
+    assert Scenario.from_dict(doc) == scenario
+
+
+def test_smp_scenario_passes_both_legs():
+    """Serial-vs-batch and the invariants must hold on a 2-CPU run."""
+    scenario = tiny_scenario(nproc=2, schedulers=("cfs", "rr"))
+    report = run_scenario(scenario)
+    assert report.ok, report.failures
+
+
+def test_shrinking_preserves_nproc():
+    """The SMP dimension is part of the failure's identity: every shrink
+    candidate keeps it, so a multi-CPU failure replays on multi-CPU."""
+    scenario = tiny_scenario(
+        nproc=4, program="W",
+        program_kwargs=dict(paper_workload_params(0.02)["W"]),
+        schedulers=("cfs", "o1"))
+    probes = []
+
+    def predicate(candidate):
+        probes.append(candidate)
+        return False  # nothing simpler "fails": keep the original
+
+    shrunk = shrink_scenario(scenario, still_fails=predicate, max_steps=8)
+    assert shrunk.nproc == 4
+    assert probes and all(c.nproc == 4 for c in probes)
