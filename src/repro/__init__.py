@@ -27,6 +27,7 @@ from .config import (
     MemoryConfig,
     NS_PER_SEC,
     SchedulerConfig,
+    ServeConfig,
     default_config,
 )
 from .errors import ReproError, SimulationError, KernelError
@@ -43,7 +44,7 @@ from .programs.ops import (
     Provenance,
     Syscall,
 )
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # Imported after __version__: repro.verify pulls in the runner, whose spec
 # hashing reads the version back from this module.
@@ -61,6 +62,7 @@ __all__ = [
     "MemoryConfig",
     "NS_PER_SEC",
     "SchedulerConfig",
+    "ServeConfig",
     "default_config",
     "ReproError",
     "SimulationError",

@@ -26,6 +26,13 @@ Commands:
   clocksource watchdog on and off; print fault/watchdog counters, the
   trust-annotated invoice and the user-side verification, and check that
   the watchdog holds metering error down (see docs/faults.md);
+* ``serve [--host H] [--port P] [--db PATH] [--jobs N] [--selftest]`` —
+  the multi-tenant metering daemon: tenants register, submit workload
+  specs over a JSON HTTP API, and get invoices, trust reports and
+  steal-audit verdicts back, all billed through a crash-safe SQLite
+  usage ledger with Prometheus counters on ``/metrics``
+  (see docs/serve.md); ``--selftest`` drives the honest/attacker/quota
+  scenario end to end and exits non-zero on any check failure;
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -481,6 +488,32 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.selftest:
+        import json as _json
+
+        from .serve import run_selftest
+
+        print(f"repro serve selftest (store: {args.db}, "
+              f"scale {args.scale}, {args.jobs} workers)")
+        report = run_selftest(args.db, scale=args.scale, jobs=args.jobs)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote {args.json}")
+        n_ok = sum(1 for c in report["checks"] if c["passed"])
+        print(f"\n{n_ok}/{len(report['checks'])} checks passed")
+        return 0 if report["passed"] else 1
+
+    from .config import ServeConfig
+    from .serve import serve_forever
+
+    serve_forever(ServeConfig(host=args.host, port=args.port, db=args.db,
+                              jobs=args.jobs))
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .analysis.calibration import calibrate
 
@@ -652,6 +685,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_flags(faults)
     faults.set_defaults(func=_cmd_faults)
 
+    serve = sub.add_parser(
+        "serve", help="multi-tenant metering daemon (JSON API over HTTP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="listen port; 0 picks an ephemeral port "
+                            "(default 8787)")
+    serve.add_argument("--db", default="repro-usage.db",
+                       help="SQLite usage-store path "
+                            "(default repro-usage.db)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="worker threads executing submissions "
+                            "(default 2)")
+    serve.add_argument("--selftest", action="store_true",
+                       help="boot a throwaway server, drive the honest/"
+                            "attacker/quota scenario end to end over HTTP "
+                            "and exit non-zero on any check failure")
+    serve.add_argument("--scale", type=float, default=0.1,
+                       help="selftest workload scale (default 0.1)")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write the selftest report to PATH")
+    serve.set_defaults(func=_cmd_serve)
+
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)
     gallery.set_defaults(func=_cmd_gallery)
@@ -692,9 +748,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Domain failures are an exit code and a one-line diagnosis, not a
+        # traceback — scripts and CI gate on the code.
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

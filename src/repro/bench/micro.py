@@ -353,6 +353,53 @@ def _bench_cache(quick: bool) -> BenchSpec:
                      note="1 put + 1 get of a real result per op")
 
 
+# ---------------------------------------------------------------------------
+# serve submit round trip
+# ---------------------------------------------------------------------------
+
+def _bench_serve_submit(quick: bool) -> BenchSpec:
+    import json as _json
+    import os
+    import urllib.request
+
+    from ..serve import MeteringService, ReproServer, UsageStore
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    store = UsageStore(os.path.join(tmpdir, "usage.db"))
+    server = ReproServer(MeteringService(store, jobs=1))
+    server.start_background()
+    base = server.address
+
+    def post(path: str, body: dict) -> dict:
+        req = urllib.request.Request(
+            base + path, data=_json.dumps(body).encode(), method="POST",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return _json.loads(resp.read())
+
+    tenant = post("/v1/tenants", {"name": "bench"})
+    submit_path = f"/v1/tenants/{tenant['tenant_id']}/jobs"
+    spec = {"program": "W", "program_kwargs": {"loops": 50},
+            "label": "bench:serve"}
+    # Warm the ledger: every measured submission is the steady-state hot
+    # path (HTTP + validation + idempotency check + ledger-served bill).
+    post(submit_path, {"spec": spec})
+    ops = 25 if quick else 100
+
+    def fn(n: int) -> None:
+        try:
+            for i in range(n):
+                post(submit_path, {"spec": spec,
+                                   "idempotency_key": f"op-{i}"})
+        finally:
+            server.close()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return BenchSpec(name="serve.submit_roundtrip", kind="micro", ops=ops,
+                     fn=fn,
+                     note="1 HTTP submit billed from the ledger per op")
+
+
 #: name → builder(quick) pairs, dependency-light first.  The names are
 #: static so :func:`repro.bench.harness.run_suite` can filter *before*
 #: constructing a benchmark (construction does the setup work — building
@@ -376,6 +423,7 @@ MICRO_BUILDERS = [
     ("fault.tick", _bench_fault_tick),
     ("watchdog.check", _bench_watchdog_check),
     ("cache.roundtrip", _bench_cache),
+    ("serve.submit_roundtrip", _bench_serve_submit),
     ("virt.vcpu_switch", _bench_vcpu_switch),
     ("virt.tick", _bench_virt_tick),
     ("engine.slice_loop", _bench_engine),

@@ -24,6 +24,7 @@ from ..metering.billing import (
     PER_SECOND_PLAN,
     Invoice,
     PricePlan,
+    plan_by_name,
 )
 from ..programs.stdlib import install_standard_libraries
 from .instance import Instance, VmInstance
@@ -104,19 +105,26 @@ class CloudProvider:
     # -- billing ------------------------------------------------------------------
 
     def invoice_uptime(self, name: str,
-                       plan: PricePlan = PER_HOUR_PLAN) -> Invoice:
-        """EC2-style: bill wall-clock uptime, partial units rounded up."""
+                       plan: "PricePlan | str" = PER_HOUR_PLAN) -> Invoice:
+        """EC2-style: bill wall-clock uptime, partial units rounded up.
+
+        ``plan`` also accepts a wire name (``"per-cpu-hour"``), the form
+        tenants use over the ``repro serve`` API."""
         instance = self.instances[name]
+        if isinstance(plan, str):
+            plan = plan_by_name(plan)
         # Uptime billing has no utime/stime split; file it all as utime.
         return Invoice(job_name=f"{name} (uptime)", plan=plan,
                        usage=CpuUsage(instance.uptime_ns, 0))
 
     def invoice_cpu(self, name: str,
-                    plan: PricePlan = PER_SECOND_PLAN) -> Invoice:
+                    plan: "PricePlan | str" = PER_SECOND_PLAN) -> Invoice:
         """Metered-CPU tariff: bill what the provider's meter sees — the
         kernel's per-task accounting for shared instances, the
         hypervisor's tick-sampled billing for VMs."""
         instance = self.instances[name]
+        if isinstance(plan, str):
+            plan = plan_by_name(plan)
         return Invoice(job_name=f"{name} (cpu)", plan=plan,
                        usage=instance.metered_usage())
 

@@ -222,6 +222,39 @@ class MachineConfig:
         return replace(self, **changes)
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of the ``repro serve`` metering daemon."""
+
+    #: Bind address for the JSON API.
+    host: str = "127.0.0.1"
+    #: Listen port; 0 asks the OS for an ephemeral port.
+    port: int = 8787
+    #: Path of the SQLite WAL usage store (created on first boot).
+    db: str = "repro-usage.db"
+    #: Worker threads executing tenant submissions.
+    jobs: int = 2
+    #: Relative margin the tenant audit grants the meter before calling a
+    #: bill overbilled (fraction of the oracle's own-work time).
+    audit_tolerance_fraction: float = 0.1
+    #: Absolute floor of that margin, ns — absorbs tick quantisation on
+    #: short runs.
+    audit_tolerance_floor_ns: int = 5_000_000
+
+    def validate(self) -> None:
+        if not self.host:
+            raise ConfigError("serve host must be non-empty")
+        if not 0 <= self.port <= 65_535:
+            raise ConfigError("serve port must be in [0, 65535]")
+        if not self.db:
+            raise ConfigError("serve db path must be non-empty")
+        if self.jobs < 1:
+            raise ConfigError("serve jobs must be >= 1")
+        if (self.audit_tolerance_fraction < 0
+                or self.audit_tolerance_floor_ns < 0):
+            raise ConfigError("audit tolerances must be non-negative")
+
+
 def default_config(**changes) -> MachineConfig:
     """Build a validated :class:`MachineConfig`, applying optional overrides.
 

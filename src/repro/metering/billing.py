@@ -57,6 +57,19 @@ PER_HOUR_PLAN = PricePlan("per-cpu-hour", microdollars_per_unit=100_000,
 PER_SECOND_PLAN = PricePlan("per-cpu-second", microdollars_per_unit=28,
                             unit_ns=NS_PER_SEC, round_up=False)
 
+#: The tariffs a tenant can sign up for, by wire name — shared by the
+#: cloud provider's invoicing and the ``repro serve`` tenant registry.
+PLANS = {plan.name: plan for plan in (PER_HOUR_PLAN, PER_SECOND_PLAN)}
+
+
+def plan_by_name(name: str) -> PricePlan:
+    """Resolve a plan's wire name; :class:`ConfigError` on unknown names."""
+    try:
+        return PLANS[name]
+    except KeyError:
+        raise ConfigError(f"unknown pricing plan {name!r}; "
+                          f"have {sorted(PLANS)}") from None
+
 
 @dataclass(frozen=True)
 class TrustReport:

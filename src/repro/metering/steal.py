@@ -120,6 +120,41 @@ def audit_steal(est_steal_ns: int, reported_steal_ns: int,
     )
 
 
+def audit_result(result: ExperimentResult,
+                 tolerance_fraction: float = 0.1,
+                 tolerance_floor_ns: int = 5_000_000,
+                 trust_uncertainty_ns: int = 0) -> StealReport:
+    """Tenant audit for *any* experiment result — the live-API entry point
+    used by ``repro serve``'s ``/audit`` endpoint.
+
+    VM results carry the guest steal estimator's measurement and go
+    through :func:`audit_vm_result` unchanged.  Process-level results have
+    no steal clock, so the audit falls back to the §III-B ground truth the
+    oracle keeps: the bill is checked against the nanoseconds of
+    legitimate work the task (and its thread group) really performed —
+    billed time beyond that margin means the meter charged the tenant for
+    someone else's cycles (the §IV-B1 tick-dodging theft).
+
+    ``trust_uncertainty_ns`` widens the acceptance floor by the metering
+    uncertainty the invoice's trust report declared, mirroring
+    :meth:`~repro.metering.verification.BillVerifier.verify`: a bill
+    metered under declared hardware faults is judged against what the
+    degraded meter could honestly report.
+    """
+    if "victim_ran_ns" in result.stats:
+        return audit_vm_result(result)
+    ran_ns = int(round(result.oracle_own_s() * 1e9))
+    return audit_steal(
+        est_steal_ns=0,
+        reported_steal_ns=0,
+        billed_ns=result.usage.total_ns,
+        ran_ns=ran_ns,
+        samples=0,
+        tolerance_fraction=tolerance_fraction,
+        tolerance_floor_ns=tolerance_floor_ns + max(0, trust_uncertainty_ns),
+    )
+
+
 def audit_vm_result(result: ExperimentResult,
                     tolerance_fraction: float = 0.05,
                     tolerance_floor_ns: Optional[int] = None) -> StealReport:

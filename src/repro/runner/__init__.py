@@ -25,6 +25,7 @@ from .specs import (
     SpecError,
     grid,
     run_spec,
+    spec_from_dict,
     spec_key,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "SweepTelemetry",
     "grid",
     "run_spec",
+    "spec_from_dict",
     "spec_key",
 ]

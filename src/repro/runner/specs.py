@@ -195,6 +195,135 @@ def spec_key(spec: ExperimentSpec) -> str:
     return hashlib.sha256(doc.encode("utf-8")).hexdigest()
 
 
+#: Fields a wire-format spec document may carry (``repro serve`` job
+#: submissions).  ``cfg`` is restricted to the *simple* top-level machine
+#: knobs — nested cost/scheduler/memory sections stay server-side.
+SPEC_DOC_FIELDS = frozenset({
+    "program", "program_kwargs", "attack", "attack_kwargs", "cfg",
+    "run_attacker_to_completion", "max_ns", "check_invariants", "vm",
+    "nproc", "faults", "label",
+})
+
+#: The MachineConfig fields a spec document's ``cfg`` mapping may set.
+CFG_DOC_FIELDS = frozenset({
+    "cpu_freq_hz", "nproc", "hz", "accounting",
+    "process_aware_irq_accounting", "charge_switch_to", "seed",
+    "max_time_ns",
+})
+
+
+def spec_from_dict(doc: Mapping[str, Any]) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from an untrusted JSON document.
+
+    The inverse of :func:`spec_identity` for the wire: every field is
+    validated (unknown keys, unknown program/attack names and malformed
+    configs raise :class:`SpecError`) so a tenant submission can never
+    reach :func:`run_spec` malformed.
+    """
+    from ..errors import ConfigError
+
+    if not isinstance(doc, Mapping):
+        raise SpecError(f"spec document must be a mapping, got "
+                        f"{type(doc).__name__}")
+    unknown = set(doc) - SPEC_DOC_FIELDS
+    if unknown:
+        raise SpecError(f"unknown spec fields {sorted(unknown)}; "
+                        f"have {sorted(SPEC_DOC_FIELDS)}")
+    if "program" not in doc or not isinstance(doc["program"], str):
+        raise SpecError("spec document needs a 'program' name")
+
+    cfg = None
+    cfg_doc = doc.get("cfg")
+    if cfg_doc is not None:
+        if not isinstance(cfg_doc, Mapping):
+            raise SpecError("'cfg' must be a mapping of machine knobs")
+        bad = set(cfg_doc) - CFG_DOC_FIELDS
+        if bad:
+            raise SpecError(f"unknown cfg fields {sorted(bad)}; "
+                            f"have {sorted(CFG_DOC_FIELDS)}")
+        try:
+            cfg = default_config(**dict(cfg_doc))
+        except (ConfigError, TypeError) as exc:
+            raise SpecError(f"bad cfg: {exc}") from None
+
+    attack = doc.get("attack")
+    if attack in ("none", ""):
+        attack = None
+    vm = doc.get("vm")
+    if attack is not None and vm is None and attack not in ATTACK_CLASSES:
+        raise SpecError(f"unknown attack {attack!r}; "
+                        f"have {sorted(ATTACK_CLASSES)}")
+    program = doc["program"]
+    if vm is None and program not in PROGRAM_FACTORIES:
+        raise SpecError(f"unknown program {program!r}; "
+                        f"have {sorted(PROGRAM_FACTORIES)}")
+
+    def mapping_field(name):
+        value = doc.get(name)
+        if value is None:
+            return {}
+        if not isinstance(value, Mapping):
+            raise SpecError(f"{name!r} must be a mapping")
+        return dict(value)
+
+    nproc = doc.get("nproc", 1)
+    if not isinstance(nproc, int) or isinstance(nproc, bool) or nproc < 1:
+        raise SpecError(f"nproc must be a positive integer, got {nproc!r}")
+    max_ns = doc.get("max_ns")
+    if max_ns is not None and (not isinstance(max_ns, int) or max_ns <= 0):
+        raise SpecError(f"max_ns must be a positive integer, got {max_ns!r}")
+    faults = doc.get("faults")
+    if faults is not None:
+        if not isinstance(faults, Mapping):
+            raise SpecError("'faults' must be a FaultPlan mapping")
+        from ..faults import normalize_plan
+
+        try:
+            normalize_plan(faults)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise SpecError(f"bad fault plan: {exc}") from None
+    if vm is not None:
+        if not isinstance(vm, Mapping):
+            raise SpecError("'vm' must be a mapping of hypervisor knobs")
+        # Fail at submission, not deep inside a worker thread: mirror the
+        # validation run_vm_experiment would do.
+        from ..virt.experiment import VM_ATTACK_NAMES, VM_PARAM_KEYS
+
+        bad_vm = set(vm) - VM_PARAM_KEYS
+        if bad_vm:
+            raise SpecError(f"unknown vm fields {sorted(bad_vm)}; "
+                            f"have {sorted(VM_PARAM_KEYS)}")
+        if attack is not None and attack not in VM_ATTACK_NAMES:
+            raise SpecError(f"unknown vm attack {attack!r}; "
+                            f"have {sorted(VM_ATTACK_NAMES)} or 'none'")
+
+    spec = ExperimentSpec(
+        program=program,
+        program_kwargs=mapping_field("program_kwargs"),
+        attack=attack,
+        attack_kwargs=mapping_field("attack_kwargs"),
+        cfg=cfg,
+        run_attacker_to_completion=doc.get("run_attacker_to_completion"),
+        max_ns=max_ns,
+        check_invariants=doc.get("check_invariants"),
+        vm=dict(vm) if vm is not None else None,
+        nproc=nproc,
+        faults=dict(faults) if faults is not None else None,
+        label=str(doc.get("label", "")),
+    )
+    # Fail fast on constructor-level garbage (bad program kwargs are only
+    # caught at build time otherwise — deep inside a worker thread).
+    if vm is None:
+        try:
+            spec.build_program()
+            spec.build_attack()
+        except SpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"bad program/attack kwargs: {exc}") from None
+    return spec
+
+
 def run_spec(spec: ExperimentSpec):
     """Execute one spec on a fresh machine — the worker-side entry point.
 

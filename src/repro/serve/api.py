@@ -1,0 +1,267 @@
+"""HTTP surface of ``repro serve`` — stdlib only, JSON in and out.
+
+A :class:`ReproServer` is a ``ThreadingHTTPServer`` wrapping one
+:class:`~repro.serve.service.MeteringService`; every request thread calls
+into the service, which serialises on the store's lock — the HTTP layer
+adds no state of its own beyond the request counters on ``/metrics``.
+
+Routes (all responses JSON unless noted):
+
+========  ==================================  =====================================
+method    path                                body / result
+========  ==================================  =====================================
+GET       ``/healthz``                        liveness + version
+GET       ``/metrics``                        Prometheus text format (0.0.4)
+POST      ``/v1/tenants``                     ``{name, plan?, quota_ns?}`` → tenant
+GET       ``/v1/tenants``                     all tenants
+GET       ``/v1/tenants/{tid}``               tenant + job-state counts
+POST      ``/v1/tenants/{tid}/quota``         ``{quota_ns}`` → tenant
+GET       ``/v1/tenants/{tid}/usage``         usage ledger + totals
+GET       ``/v1/tenants/{tid}/jobs``          this tenant's jobs
+POST      ``/v1/tenants/{tid}/jobs``          ``{spec, wait?, idempotency_key?,
+                                              over_quota?}`` → job (429 over quota)
+GET       ``/v1/jobs/{jid}``                  job document (poll for async jobs)
+GET       ``/v1/jobs/{jid}/invoice``          the bill
+GET       ``/v1/jobs/{jid}/trust``            clocksource trust report
+GET       ``/v1/jobs/{jid}/audit``            tenant-side steal/overbilling audit
+========  ==================================  =====================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ServeConfig
+
+from .metrics import PROMETHEUS_CONTENT_TYPE
+from .service import MeteringService, ServiceError
+from .store import QuotaExceeded, StoreError, UsageStore
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Request bodies above this are refused outright (spec documents are small).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _json_bytes(doc: Any) -> bytes:
+    return (json.dumps(doc, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ReproServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - manual serving only
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, body: bytes,
+               content_type: str = JSON_CONTENT_TYPE) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.service.metrics.observe_http(self.command, status)
+
+    def _reply_json(self, status: int, doc: Any) -> None:
+        self._reply(status, _json_bytes(doc))
+
+    def _reply_error(self, status: int, message: str,
+                     **extra: Any) -> None:
+        doc = {"error": message}
+        doc.update(extra)
+        self._reply_json(status, doc)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ServiceError("request body must be a JSON object")
+        return doc
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        return tuple(part for part in path.split("/") if part)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        try:
+            handled = self._handle(method, self._route(), service)
+        except QuotaExceeded as exc:
+            self._reply_error(429, str(exc), job=exc.job)
+        except ServiceError as exc:
+            self._reply_error(exc.status, str(exc))
+        except StoreError as exc:
+            self._reply_error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply_error(500, f"{type(exc).__name__}: {exc}")
+        else:
+            if not handled:
+                self._reply_error(
+                    404, f"no route for {method} {self.path}")
+
+    def _handle(self, method: str, route: Tuple[str, ...],
+                service: MeteringService) -> bool:
+        if method == "GET" and route == ("healthz",):
+            from .. import __version__
+            self._reply_json(200, {"ok": True, "version": __version__,
+                                   "store": service.store.path})
+            return True
+        if method == "GET" and route == ("metrics",):
+            self._reply(200, service.metrics_text().encode("utf-8"),
+                        content_type=PROMETHEUS_CONTENT_TYPE)
+            return True
+        if route[:1] != ("v1",):
+            return False
+
+        if route[1:2] == ("tenants",):
+            if len(route) == 2:
+                if method == "POST":
+                    body = self._read_body()
+                    name = body.get("name")
+                    if not isinstance(name, str) or not name:
+                        raise ServiceError(
+                            "tenant registration needs a non-empty "
+                            "string 'name'")
+                    tenant = service.register_tenant(
+                        name, plan=body.get("plan", "per-cpu-second"),
+                        quota_ns=body.get("quota_ns"))
+                    self._reply_json(201, tenant)
+                    return True
+                if method == "GET":
+                    self._reply_json(200,
+                                     {"tenants": service.store.tenants()})
+                    return True
+                return False
+            tenant_id = route[2]
+            tail = route[3:]
+            if method == "GET" and tail == ():
+                self._reply_json(200, service.tenant_doc(tenant_id))
+                return True
+            if method == "POST" and tail == ("quota",):
+                body = self._read_body()
+                if "quota_ns" not in body:
+                    raise ServiceError("quota update needs 'quota_ns' "
+                                       "(null clears the quota)")
+                self._reply_json(
+                    200, service.set_quota(tenant_id, body["quota_ns"]))
+                return True
+            if method == "GET" and tail == ("usage",):
+                self._reply_json(200, service.usage_doc(tenant_id))
+                return True
+            if tail == ("jobs",):
+                if method == "GET":
+                    self._reply_json(
+                        200, {"jobs": service.jobs_doc(tenant_id)})
+                    return True
+                body = self._read_body()
+                spec_doc = body.get("spec")
+                if not isinstance(spec_doc, dict):
+                    raise ServiceError(
+                        "submission needs a 'spec' object (see docs/serve.md)")
+                job = service.submit(
+                    tenant_id, spec_doc,
+                    idempotency_key=body.get("idempotency_key"),
+                    wait=bool(body.get("wait", True)),
+                    over_quota=body.get("over_quota", "reject"))
+                self._reply_json(200, job)
+                return True
+            return False
+
+        if route[1:2] == ("jobs",) and len(route) >= 3 and method == "GET":
+            job_id = route[2]
+            tail = route[3:]
+            if tail == ():
+                self._reply_json(200, service.job_doc(job_id))
+                return True
+            if tail == ("invoice",):
+                self._reply_json(200, service.invoice_doc(job_id))
+                return True
+            if tail == ("trust",):
+                self._reply_json(200, service.trust_doc(job_id))
+                return True
+            if tail == ("audit",):
+                self._reply_json(200, service.audit_doc(job_id))
+                return True
+        return False
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The serve daemon: HTTP front over one :class:`MeteringService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: MeteringService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        """Run the accept loop on a daemon thread (tests, selftest).
+
+        The tight poll interval keeps ``close()`` prompt — shutdown()
+        blocks until the accept loop notices the flag.
+        """
+        thread = threading.Thread(
+            target=lambda: self.serve_forever(poll_interval=0.02),
+            name="repro-serve-http", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def serve_forever(cfg: Optional["ServeConfig"] = None,
+                  verbose: bool = True) -> None:
+    """Entry point for ``repro serve``: block until interrupted."""
+    from ..config import ServeConfig
+
+    cfg = cfg or ServeConfig()
+    cfg.validate()
+    store = UsageStore(cfg.db)
+    service = MeteringService(
+        store, jobs=cfg.jobs,
+        audit_tolerance_fraction=cfg.audit_tolerance_fraction,
+        audit_floor_ns=cfg.audit_tolerance_floor_ns)
+    server = ReproServer(service, host=cfg.host, port=cfg.port,
+                         verbose=verbose)
+    print(f"repro serve listening on {server.address} (store: {cfg.db}, "
+          f"{cfg.jobs} worker{'s' if cfg.jobs != 1 else ''})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    finally:
+        server.close()

@@ -1,0 +1,135 @@
+"""Prometheus-text-format counters for the serve daemon.
+
+The fleet-health series the ROADMAP asks for, in the plain exposition
+format (``# HELP`` / ``# TYPE`` / ``name{labels} value``) so any scraper —
+or ``curl | grep`` — can read them.  Wherever a counter has a durable
+source of truth it is *derived from the store at scrape time* (jobs by
+state, billed ns by tenant and trust grade, quota rejections): a crash
+and restart can never make the metrics disagree with the ledger.  Only
+genuinely process-local counters (HTTP requests served, jobs in flight,
+store fsyncs this process) live in memory.
+
+Output is deterministic: families in declaration order, label values
+sorted — the API-contract suite pins the format.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import UsageStore
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _sample(name: str, labels: Dict[str, str], value) -> str:
+    if labels:
+        body = ",".join(f'{k}="{_escape(str(v))}"'
+                        for k, v in sorted(labels.items()))
+        return f"{name}{{{body}}} {value}"
+    return f"{name} {value}"
+
+
+class MetricsRegistry:
+    """Counter registry + exposition renderer for one service process."""
+
+    def __init__(self, store: "UsageStore") -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self._http_requests: Dict[Tuple[str, str], int] = {}
+        self._jobs_inflight = 0
+        self._quota_rejections: Dict[str, int] = {}
+        self._jobs_served_from_ledger = 0
+
+    # -- in-memory counters ------------------------------------------------
+
+    def observe_http(self, method: str, code: int) -> None:
+        key = (method.upper(), str(code))
+        with self._lock:
+            self._http_requests[key] = self._http_requests.get(key, 0) + 1
+
+    def job_started(self) -> None:
+        with self._lock:
+            self._jobs_inflight += 1
+
+    def job_finished(self) -> None:
+        with self._lock:
+            self._jobs_inflight -= 1
+
+    def quota_rejected(self, tenant_name: str) -> None:
+        with self._lock:
+            self._quota_rejections[tenant_name] = \
+                self._quota_rejections.get(tenant_name, 0) + 1
+
+    def served_from_ledger(self) -> None:
+        with self._lock:
+            self._jobs_served_from_ledger += 1
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self) -> str:
+        """The ``/metrics`` page."""
+        store = self._store
+        with self._lock:
+            http = dict(self._http_requests)
+            inflight = self._jobs_inflight
+            rejections = dict(self._quota_rejections)
+            from_ledger = self._jobs_served_from_ledger
+
+        lines: List[str] = []
+
+        def family(name: str, kind: str, help_text: str,
+                   samples: List[str]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(samples)
+
+        counts = store.job_state_counts()
+        family("repro_serve_jobs_total", "counter",
+               "Jobs ever submitted, by current state.",
+               [_sample("repro_serve_jobs_total", {"state": state},
+                        counts[state]) for state in sorted(counts)])
+        family("repro_serve_jobs_inflight", "gauge",
+               "Jobs currently executing on the worker pool.",
+               [_sample("repro_serve_jobs_inflight", {}, inflight)])
+        family("repro_serve_jobs_served_from_ledger_total", "counter",
+               "Completed jobs answered from the durable ledger "
+               "without re-running the simulation.",
+               [_sample("repro_serve_jobs_served_from_ledger_total", {},
+                        from_ledger)])
+        billed = store.billed_ns_by_tenant_trust()
+        family("repro_serve_billed_ns_total", "counter",
+               "Billed CPU nanoseconds by tenant and trust grade.",
+               [_sample("repro_serve_billed_ns_total",
+                        {"tenant": tenant, "trust": trust}, total)
+                for (tenant, trust), total in sorted(billed.items())])
+        family("repro_serve_ledger_entries_total", "counter",
+               "Rows in the append-only usage ledger.",
+               [_sample("repro_serve_ledger_entries_total", {},
+                        store.ledger_count())])
+        family("repro_serve_quota_rejections_total", "counter",
+               "Submissions rejected because the tenant was over budget.",
+               [_sample("repro_serve_quota_rejections_total",
+                        {"tenant": tenant}, n)
+                for tenant, n in sorted(rejections.items())]
+               or [_sample("repro_serve_quota_rejections_total",
+                           {"tenant": ""}, 0)])
+        family("repro_serve_store_fsyncs_total", "counter",
+               "Durable commits (fsyncs) the usage store performed.",
+               [_sample("repro_serve_store_fsyncs_total", {},
+                        store.fsyncs)])
+        family("repro_serve_http_requests_total", "counter",
+               "HTTP requests served, by method and status code.",
+               [_sample("repro_serve_http_requests_total",
+                        {"method": method, "code": code}, n)
+                for (method, code), n in sorted(http.items())]
+               or [_sample("repro_serve_http_requests_total",
+                           {"method": "GET", "code": "0"}, 0)])
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,401 @@
+"""Tenant/job/quota domain logic for the serve daemon — no HTTP in here.
+
+:class:`MeteringService` glues the durable :class:`~repro.serve.store
+.UsageStore` to the deterministic :func:`~repro.runner.specs.run_spec`
+execution path on a thread worker pool:
+
+* submissions are validated (:func:`~repro.runner.specs.spec_from_dict`),
+  deduplicated by idempotency key, quota-checked against the tenant's
+  ledger total, and executed concurrently;
+* a spec whose identity already has a completed result in the ledger is
+  **served from the ledger** — the simulator is deterministic, so the
+  stored result is bit-identical to a re-run;
+* every completed job is billed through one idempotent store transaction,
+  so the conservation law ``sum(job billed) == ledger total`` holds under
+  any interleaving and any number of crash-and-retry cycles;
+* invoices, trust reports and tenant audits are derived *deterministically
+  from the stored result document* — the concurrency suite holds the
+  service's invoices byte-identical to serially produced ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ReproError
+from ..metering.billing import (
+    PER_SECOND_PLAN,
+    PLANS,
+    PricePlan,
+    TrustReport,
+)
+from ..metering.steal import audit_result
+from ..analysis.experiment import ExperimentResult
+from ..runner.specs import SpecError, run_spec, spec_from_dict, spec_key
+from .metrics import MetricsRegistry
+from .store import InjectedCrash, QuotaExceeded, UsageStore
+
+INVOICE_SCHEMA = "repro-serve-invoice-v1"
+TRUST_SCHEMA = "repro-serve-trust-v1"
+AUDIT_SCHEMA = "repro-serve-audit-v1"
+USAGE_SCHEMA = "repro-serve-usage-v1"
+
+
+class ServiceError(ReproError):
+    """A request the service refuses; carries the HTTP status to use."""
+
+    status = 400
+
+
+class NotFound(ServiceError):
+    status = 404
+
+
+class Conflict(ServiceError):
+    status = 409
+
+
+def _trust_doc(trust: TrustReport) -> Dict[str, Any]:
+    return {
+        "level": trust.level.value,
+        "uncertainty_ns": trust.uncertainty_ns,
+        "intervals_trusted": trust.intervals_trusted,
+        "intervals_degraded": trust.intervals_degraded,
+        "intervals_untrusted": trust.intervals_untrusted,
+    }
+
+
+def spec_doc_name(spec_doc: Dict[str, Any]) -> str:
+    """Mirror of :attr:`~repro.runner.specs.ExperimentSpec.name` on the
+    wire-format document (used for invoice job names, so an invoice is a
+    pure function of the spec and its result)."""
+    label = spec_doc.get("label") or ""
+    if label:
+        return label
+    base = f"{spec_doc.get('program')}:{spec_doc.get('attack') or 'none'}"
+    return f"vm:{base}" if spec_doc.get("vm") is not None else base
+
+
+def invoice_doc_for(job_name: str, result_doc: Dict[str, Any],
+                    plan: PricePlan) -> Dict[str, Any]:
+    """One job's invoice as a plain JSON document.
+
+    Deterministic in (job_name, result document, plan) alone — both the
+    service and the concurrency suite's serial reference path call exactly
+    this function, which is what makes "concurrent invoices are
+    byte-identical to serial ones" a meaningful equality.
+    """
+    usage = result_doc["usage"]
+    utime_ns = int(usage["utime_ns"])
+    stime_ns = int(usage["stime_ns"])
+    billed_ns = utime_ns + stime_ns
+    trust = TrustReport.from_stats(result_doc.get("stats", {}))
+    low = max(0, billed_ns - trust.uncertainty_ns)
+    high = billed_ns + trust.uncertainty_ns
+    return {
+        "schema": INVOICE_SCHEMA,
+        "job": job_name,
+        "plan": plan.name,
+        "utime_ns": utime_ns,
+        "stime_ns": stime_ns,
+        "billed_ns": billed_ns,
+        "billable_bounds_ns": [low, high],
+        "amount_microdollars": plan.cost_microdollars(billed_ns),
+        "trust": _trust_doc(trust),
+    }
+
+
+class MeteringService:
+    """Hosts many concurrent tenant simulations over one durable ledger."""
+
+    def __init__(self, store: UsageStore, jobs: int = 2,
+                 audit_tolerance_fraction: float = 0.1,
+                 audit_floor_ns: int = 5_000_000,
+                 run: Callable[..., ExperimentResult] = run_spec) -> None:
+        self.store = store
+        self.metrics = MetricsRegistry(store)
+        self.audit_tolerance_fraction = audit_tolerance_fraction
+        self.audit_floor_ns = audit_floor_ns
+        self._run = run
+        self._pool = ThreadPoolExecutor(max_workers=max(1, jobs),
+                                        thread_name_prefix="repro-serve")
+        self._futures: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(self, name: str, plan: str = PER_SECOND_PLAN.name,
+                        quota_ns: Optional[int] = None) -> Dict[str, Any]:
+        if plan not in PLANS:
+            raise ServiceError(f"unknown plan {plan!r}; "
+                               f"have {sorted(PLANS)}")
+        return self.store.register_tenant(name, plan=plan, quota_ns=quota_ns)
+
+    def tenant_doc(self, tenant_id: str) -> Dict[str, Any]:
+        try:
+            tenant = self.store.tenant(tenant_id)
+        except KeyError:
+            raise NotFound(f"no such tenant {tenant_id!r}") from None
+        tenant["billed_ns"] = self.store.ledger_total_ns(tenant_id)
+        tenant["jobs"] = {
+            state: sum(1 for job in
+                       self.store.jobs_for_tenant(tenant_id, state=state))
+            for state in ("queued", "running", "completed", "failed",
+                          "rejected")}
+        return tenant
+
+    def set_quota(self, tenant_id: str,
+                  quota_ns: Optional[int]) -> Dict[str, Any]:
+        try:
+            self.store.set_quota(tenant_id, quota_ns)
+        except KeyError:
+            raise NotFound(f"no such tenant {tenant_id!r}") from None
+        self._release_queued(tenant_id)
+        return self.tenant_doc(tenant_id)
+
+    def _release_queued(self, tenant_id: str) -> None:
+        """Dispatch queued (over-budget) jobs that now fit the quota."""
+        tenant = self.store.tenant(tenant_id)
+        for job in self.store.jobs_for_tenant(tenant_id, state="queued"):
+            with self._lock:
+                if job["job_id"] in self._futures:
+                    continue  # already dispatched, just not running yet
+                if not self._under_quota(tenant):
+                    break
+                self._dispatch(job["job_id"])
+
+    def _under_quota(self, tenant: Dict[str, Any]) -> bool:
+        quota_ns = tenant["quota_ns"]
+        if quota_ns is None:
+            return True
+        return self.store.ledger_total_ns(tenant["tenant_id"]) < quota_ns
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, tenant_id: str, spec_doc: Dict[str, Any],
+               idempotency_key: Optional[str] = None, wait: bool = True,
+               over_quota: str = "reject",
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one workload spec for a tenant.
+
+        ``wait=True`` blocks until the job reaches a terminal state and
+        returns the completed job document (invoice included);
+        ``wait=False`` returns immediately with the job id for polling.
+        ``over_quota`` picks the §II budget policy: ``"reject"`` refuses
+        the submission (HTTP 429 at the API layer), ``"queue"`` parks it
+        until the quota is raised.
+        """
+        if over_quota not in ("reject", "queue"):
+            raise ServiceError(
+                f"over_quota must be 'reject' or 'queue', "
+                f"got {over_quota!r}")
+        try:
+            tenant = self.store.tenant(tenant_id)
+        except KeyError:
+            raise NotFound(f"no such tenant {tenant_id!r}") from None
+        try:
+            spec = spec_from_dict(spec_doc)
+        except SpecError as exc:
+            raise ServiceError(f"bad spec: {exc}") from None
+        key = spec_key(spec)
+
+        with self._lock:
+            job, created = self.store.create_job(
+                tenant_id, key, dict(spec_doc),
+                idempotency_key=idempotency_key)
+            job_id = job["job_id"]
+            if created:
+                if not self._under_quota(tenant):
+                    if over_quota == "reject":
+                        self.store.set_job_state(
+                            job_id, "rejected",
+                            error="tenant over CPU-time quota")
+                        self.metrics.quota_rejected(tenant["name"])
+                        raise QuotaExceeded(
+                            f"tenant {tenant['name']!r} is over its "
+                            f"CPU-time budget", job=self.store.job(job_id))
+                    # over_quota == "queue": park it, undispatched.
+                    future = None
+                else:
+                    future = self._dispatch(job_id)
+            else:
+                future = self._futures.get(job_id)
+
+        if wait and future is not None:
+            self._wait(future, timeout_s)
+        return self.job_doc(job_id)
+
+    def _dispatch(self, job_id: str) -> Future:
+        future = self._pool.submit(self._execute, job_id)
+        self._futures[job_id] = future
+        return future
+
+    @staticmethod
+    def _wait(future: Future, timeout_s: Optional[float]) -> None:
+        try:
+            future.result(timeout=timeout_s)
+        except InjectedCrash:
+            # Crash simulation: the job is left exactly as the crash left
+            # it; the caller inspects the job document.
+            pass
+        except Exception:
+            # Execution failures are recorded on the job row; the job
+            # document is the API-visible error report.
+            pass
+
+    def retry_job(self, job_id: str, wait: bool = True,
+                  timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Re-dispatch a job that a crash (or failure) left unfinished.
+
+        The billing transaction is idempotent, so retrying a job that
+        already reached the ledger completes it without double-billing.
+        """
+        job = self.job_doc(job_id)
+        if job["state"] == "rejected":
+            raise Conflict(f"job {job_id} was rejected; resubmit instead")
+        with self._lock:
+            future = self._futures.get(job_id)
+            if future is None or future.done():
+                future = self._dispatch(job_id)
+        if wait:
+            self._wait(future, timeout_s)
+        return self.job_doc(job_id)
+
+    # -- execution (worker threads) ---------------------------------------
+
+    def _execute(self, job_id: str) -> None:
+        self.metrics.job_started()
+        try:
+            job = self.store.job(job_id)
+            ledger_doc = self.store.find_result_by_spec(job["spec_key"])
+            if ledger_doc is not None:
+                self.metrics.served_from_ledger()
+                self._bill(job_id, job, ledger_doc, cached=True)
+                return
+            self.store.set_job_state(job_id, "running")
+            spec = spec_from_dict(job["spec"])
+            result = self._run(spec)
+            self._bill(job_id, job, result.to_dict(), cached=False)
+        except InjectedCrash:
+            raise
+        except Exception as exc:
+            self.store.set_job_state(job_id, "failed",
+                                     error=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            self.metrics.job_finished()
+
+    def _bill(self, job_id: str, job: Dict[str, Any],
+              result_doc: Dict[str, Any], cached: bool) -> None:
+        tenant = self.store.tenant(job["tenant_id"])
+        plan = PLANS[tenant["plan"]]
+        usage = result_doc["usage"]
+        utime_ns = int(usage["utime_ns"])
+        stime_ns = int(usage["stime_ns"])
+        billed_ns = utime_ns + stime_ns
+        trust = TrustReport.from_stats(result_doc.get("stats", {}))
+        self.store.bill_job(
+            job_id, result_doc,
+            billed_ns=billed_ns, utime_ns=utime_ns, stime_ns=stime_ns,
+            trust_level=trust.level.value,
+            uncertainty_ns=trust.uncertainty_ns,
+            amount_microdollars=plan.cost_microdollars(billed_ns),
+            cached=cached)
+
+    # -- queries -----------------------------------------------------------
+
+    def job_doc(self, job_id: str) -> Dict[str, Any]:
+        try:
+            job = self.store.job(job_id)
+        except KeyError:
+            raise NotFound(f"no such job {job_id!r}") from None
+        if job["state"] == "completed":
+            job["invoice"] = self._invoice_for_job(job)
+        else:
+            job["invoice"] = None
+        return job
+
+    def _invoice_for_job(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = self.store.tenant(job["tenant_id"])
+        return invoice_doc_for(spec_doc_name(job["spec"]), job["result"],
+                               PLANS[tenant["plan"]])
+
+    def _completed_job(self, job_id: str) -> Dict[str, Any]:
+        job = self.job_doc(job_id)
+        if job["state"] != "completed":
+            raise Conflict(f"job {job_id} is {job['state']}, not completed")
+        return job
+
+    def invoice_doc(self, job_id: str) -> Dict[str, Any]:
+        return self._completed_job(job_id)["invoice"]
+
+    def trust_doc(self, job_id: str) -> Dict[str, Any]:
+        job = self._completed_job(job_id)
+        trust = TrustReport.from_stats(job["result"].get("stats", {}))
+        doc = _trust_doc(trust)
+        doc["schema"] = TRUST_SCHEMA
+        doc["job_id"] = job_id
+        return doc
+
+    def audit_doc(self, job_id: str) -> Dict[str, Any]:
+        """The live tenant audit: guest steal estimator for VM jobs, the
+        provenance oracle for process jobs (see
+        :func:`repro.metering.steal.audit_result`)."""
+        job = self._completed_job(job_id)
+        result = ExperimentResult.from_dict(job["result"])
+        trust = TrustReport.from_stats(result.stats)
+        report = audit_result(
+            result,
+            tolerance_fraction=self.audit_tolerance_fraction,
+            tolerance_floor_ns=self.audit_floor_ns,
+            trust_uncertainty_ns=trust.uncertainty_ns)
+        return {
+            "schema": AUDIT_SCHEMA,
+            "job_id": job_id,
+            "verdict": report.verdict.value,
+            "flagged": report.verdict.value != "consistent",
+            "billed_ns": report.billed_ns,
+            "ran_ns": report.ran_ns,
+            "overbilling_ns": report.overbilling_ns,
+            "est_steal_ns": report.est_steal_ns,
+            "reported_steal_ns": report.reported_steal_ns,
+            "report_gap_ns": report.report_gap_ns,
+            "samples": report.samples,
+            "tolerance_fraction": report.tolerance_fraction,
+            "tolerance_floor_ns": report.tolerance_floor_ns,
+        }
+
+    def usage_doc(self, tenant_id: str) -> Dict[str, Any]:
+        tenant = self.tenant_doc(tenant_id)
+        ledger = self.store.ledger_for_tenant(tenant_id)
+        return {
+            "schema": USAGE_SCHEMA,
+            "tenant": tenant,
+            "ledger": [entry.to_dict() for entry in ledger],
+            "total_billed_ns": self.store.ledger_total_ns(tenant_id),
+            "total_amount_microdollars": sum(
+                entry.amount_microdollars for entry in ledger),
+        }
+
+    def jobs_doc(self, tenant_id: str) -> List[Dict[str, Any]]:
+        self.tenant_doc(tenant_id)  # NotFound on unknown tenant
+        return [self.job_doc(job["job_id"])
+                for job in self.store.jobs_for_tenant(tenant_id)]
+
+    def metrics_text(self) -> str:
+        return self.metrics.render()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Wait for every dispatched job to reach a terminal state."""
+        with self._lock:
+            futures = list(self._futures.values())
+        for future in futures:
+            self._wait(future, timeout_s)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self.store.close()

@@ -99,3 +99,112 @@ class TestCommands:
         warm = capsys.readouterr().out
         assert "0 run, 8 cached" in warm
         assert "[FAIL]" not in warm
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.db == "repro-usage.db"
+        assert args.jobs == 2
+        assert not args.selftest
+
+    def test_serve_selftest_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--selftest", "--db", "x.db", "--scale", "0.2",
+             "--json", "r.json", "--port", "0"])
+        assert args.selftest
+        assert args.db == "x.db"
+        assert args.json == "r.json"
+
+
+class TestExitCodes:
+    """The CI contract: every self-checking command exits non-zero the
+    moment an internal check fails — for the pass AND fail paths."""
+
+    def test_serve_selftest_pass_is_zero(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "serve-report.json"
+        assert main(["serve", "--selftest",
+                     "--db", str(tmp_path / "usage.db"),
+                     "--scale", "0.05",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[FAIL]" not in out
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert all(c["passed"] for c in report["checks"])
+
+    def test_serve_selftest_fail_is_one(self, monkeypatch, capsys):
+        import repro.serve as serve_pkg
+
+        def failing_selftest(db, scale=0.1, jobs=2, quiet=False):
+            return {"passed": False,
+                    "checks": [{"name": "rigged", "passed": False,
+                                "detail": "injected"}]}
+
+        monkeypatch.setattr(serve_pkg, "run_selftest", failing_selftest)
+        assert main(["serve", "--selftest", "--db", "unused.db"]) == 1
+        assert "0/1 checks passed" in capsys.readouterr().out
+
+    def test_fuzz_pass_is_zero(self, monkeypatch, capsys):
+        import repro.verify.fuzz as fuzz_mod
+
+        monkeypatch.setattr(
+            fuzz_mod, "run_fuzz",
+            lambda **kwargs: fuzz_mod.FuzzSummary(iterations=3))
+        assert main(["fuzz", "--iterations", "3", "--quiet"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_fuzz_fail_is_one(self, monkeypatch, capsys):
+        import repro.verify.fuzz as fuzz_mod
+
+        monkeypatch.setattr(
+            fuzz_mod, "run_fuzz",
+            lambda **kwargs: fuzz_mod.FuzzSummary(
+                iterations=3, failures=["divergence"], saved=["f.json"]))
+        assert main(["fuzz", "--iterations", "3", "--quiet"]) == 1
+        assert "1 failing" in capsys.readouterr().out
+
+    def test_faults_pass_is_zero(self, capsys):
+        assert main(["faults", "--intensity", "0.2",
+                     "--scale", "0.05"]) == 0
+        assert "[FAIL]" not in capsys.readouterr().out
+
+    def test_faults_fail_is_one(self, monkeypatch, capsys):
+        # Sabotage the watchdog: the "wd-on" leg secretly runs with the
+        # watchdog off, so "watchdog reduces metering error" must fail —
+        # and the command must say so with its exit code.
+        import dataclasses
+
+        import repro.runner.specs as specs_mod
+        from repro.faults import sweep_plan
+
+        real_run_spec = specs_mod.run_spec
+
+        def sabotaged(spec):
+            if spec.label.endswith("wd-on"):
+                spec = dataclasses.replace(
+                    spec,
+                    faults=sweep_plan(0.2, watchdog=False).to_dict())
+            return real_run_spec(spec)
+
+        monkeypatch.setattr(specs_mod, "run_spec", sabotaged)
+        assert main(["faults", "--intensity", "0.2",
+                     "--scale", "0.05"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_domain_errors_exit_one_without_traceback(self, monkeypatch,
+                                                      capsys):
+        import repro.serve as serve_pkg
+        from repro.errors import ReproError
+
+        def exploding_selftest(db, scale=0.1, jobs=2, quiet=False):
+            raise ReproError("store is on fire")
+
+        monkeypatch.setattr(serve_pkg, "run_selftest", exploding_selftest)
+        assert main(["serve", "--selftest", "--db", "unused.db"]) == 1
+        err = capsys.readouterr().err
+        assert "repro serve: store is on fire" in err

@@ -32,20 +32,20 @@ from repro.verify.fuzz import generate_scenario, run_scenario
 SCALE = 0.05
 
 #: spec_key() of five pinned specs.  Identity hashes cover repro_version,
-#: so these were re-stamped at the 1.4.0 -> 1.5.0 bump after verifying
-#: they matched the pre-SMP tree at equal version; the version-free
-#: checks below (key neutrality, result/fuzz/trace digests) are the
-#: pre-SMP goldens verbatim.  The vm spec is key-only (hypervisor runs
-#: are covered by their own suite); the other four also pin the full
+#: so these are re-stamped at every version bump (1.4.0 -> 1.5.0 -> 1.6.0)
+#: after verifying they matched the pre-SMP tree at equal version; the
+#: version-free checks below (key neutrality, result/fuzz/trace digests)
+#: are the pre-SMP goldens verbatim.  The vm spec is key-only (hypervisor
+#: runs are covered by their own suite); the other four also pin the full
 #: result document below.
 GOLDEN_SPEC_KEYS = {
-    "O:none": "45455c593574d6fc3de17b842b7b89a8553e4d3a892870a701109f35cda17a21",
-    "W:none": "10bd8f27ee57e220947907deb022a9c1bb37af9e13585742ac2e222802cd05c0",
-    "O:shell": "94a2633b8ae50255dd3d6b39ccf990dee0316e946f095868f5c216f94d39df4d",
+    "O:none": "696a3a6e3e4378586df07a9ab2df7aeebded2c1d4a40dd32eab87e7492b09668",
+    "W:none": "220747426e67b788c8b36fc911e85ba814e4c3d7685f08d8c198b3f78fd23462",
+    "O:shell": "4a011fda6a909d4fdd3f3f52e5609a5a40a117809de029e9b60b5e51474bc25b",
     "W:scheduling":
-        "f89438c6ec61efd50d91df13995f2b931267e9a47d885079688e4a56ba01279a",
+        "4347bad6d215b389934745d199a050c9b008ecc43ee3faf77387f2f3690b9f57",
     "vm:W:none":
-        "d379aade227d36b83904cd537f812853daa645c1e6b30fd0f8a4499457f39e13",
+        "d5d49d39c8d42fbde0ac8fef27706673e169d92b23e1587c0989a6163c1d8351",
 }
 
 #: sha256 over json.dumps(result.to_dict(), sort_keys, compact) — every
