@@ -33,6 +33,13 @@ Commands:
   usage ledger with Prometheus counters on ``/metrics``
   (see docs/serve.md); ``--selftest`` drives the honest/attacker/quota
   scenario end to end and exits non-zero on any check failure;
+* ``fleet [--hosts N] [--guests M] [--prevalence F] [--seed S]
+  [--jobs N] [--json P]`` — datacenter-scale population sweep: expand a
+  seeded fleet spec into per-host experiments, run the distinct spec
+  identities through the batch runner and stream the population-weighted
+  results into mergeable sketches (billing-error percentiles, trust-grade
+  mix, steal-audit detection/false-positive rates); peak memory is
+  independent of the host count (see docs/fleet.md);
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -514,6 +521,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .fleet import FleetSpec, run_fleet
+    from .runner import ConsoleProgress, ResultCache
+
+    _apply_invariants_flag(args)
+    fleet = FleetSpec(hosts=args.hosts, guests=args.guests,
+                      prevalence=args.prevalence, seed=args.seed,
+                      scale=args.scale, vm_fraction=args.vm_fraction)
+    print(f"fleet: {fleet.hosts} hosts x {fleet.guests} guests "
+          f"(prevalence {fleet.prevalence}, seed {fleet.seed}, "
+          f"scale {fleet.scale}, {args.jobs} job(s))")
+    start = _time.perf_counter()
+    aggregator = run_fleet(
+        fleet, jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        timeout_s=args.timeout_s, retries=args.retries,
+        progress=None if args.quiet else ConsoleProgress())
+    wall_s = _time.perf_counter() - start
+    report = aggregator.report()
+
+    audit = report["audit"]
+    print(f"\npopulation {report['population']} guests collapsed to "
+          f"{report['distinct_runs']} distinct runs "
+          f"({report['failed_runs']} failed) in {wall_s:.1f}s")
+    print(f"billed {report['billed_total_ns'] / 1e9:.3f}s for "
+          f"{report['ran_total_ns'] / 1e9:.3f}s actually run "
+          f"(overbilled {report['overbilled_total_ns'] / 1e9:+.3f}s)")
+    print(f"trust mix: {report['trust_mix']}")
+    print(f"audit verdicts: {report['verdicts']}")
+    det = audit["detection_rate"]
+    fpr = audit["false_positive_rate"]
+    print(f"steal-audit detection rate: "
+          f"{'n/a (no attacked guests)' if det is None else f'{det:.1%}'} "
+          f"over {audit['attacked_weight']} attacked guest(s)")
+    print(f"false-positive rate: "
+          f"{'n/a (no honest guests)' if fpr is None else f'{fpr:.1%}'} "
+          f"over {audit['honest_weight']} honest guest(s)")
+    print(f"\n{'population':<10} {'count':>6} {'mean':>8} {'p50':>8} "
+          f"{'p90':>8} {'p99':>8}")
+    for name in ("all", "attacked", "honest"):
+        summary = report["billing_error"][name]
+        if not summary["count"]:
+            print(f"{name:<10} {0:>6}")
+            continue
+        print(f"{name:<10} {summary['count']:>6} {summary['mean']:>8.3f} "
+              f"{summary['p50']:>8.3f} {summary['p90']:>8.3f} "
+              f"{summary['p99']:>8.3f}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0 if report["failed_runs"] == 0 else 1
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .analysis.calibration import calibrate
 
@@ -608,7 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id",
                      choices=[f"fig{n}" for n in range(4, 12)]
-                             + ["vmsched", "faultsweep", "smp"])
+                             + ["vmsched", "faultsweep", "smp", "fleet"])
     fig.add_argument("--scale", type=float, default=0.4)
     add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
@@ -707,6 +773,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", metavar="PATH", default=None,
                        help="write the selftest report to PATH")
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="datacenter-scale population sweep with streaming "
+                      "aggregation")
+    fleet.add_argument("--hosts", type=int, default=100,
+                       help="physical hosts in the fleet (default 100)")
+    fleet.add_argument("--guests", type=int, default=2,
+                       help="metered guest slots per host (default 2)")
+    fleet.add_argument("--prevalence", type=float, default=0.1,
+                       help="attacker co-residency probability per host "
+                            "(default 0.1)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="population seed; same seed, same fleet "
+                            "(default 0)")
+    fleet.add_argument("--scale", type=float, default=0.1,
+                       help="workload run-length scale (default 0.1)")
+    fleet.add_argument("--vm-fraction", type=float, default=0.5,
+                       help="fraction of hosts that are hypervisor hosts "
+                            "(default 0.5)")
+    fleet.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full aggregate report to PATH")
+    fleet.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    add_runner_flags(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

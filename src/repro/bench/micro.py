@@ -354,6 +354,49 @@ def _bench_cache(quick: bool) -> BenchSpec:
 
 
 # ---------------------------------------------------------------------------
+# fleet: expansion/dedup and streaming aggregation
+# ---------------------------------------------------------------------------
+
+def _bench_fleet_expand(quick: bool) -> BenchSpec:
+    from ..fleet import FleetSpec, distinct_units
+
+    hosts = 200 if quick else 2_000
+
+    def fn(n: int) -> None:
+        distinct_units(FleetSpec(hosts=n, guests=2, prevalence=0.1,
+                                 seed=7, scale=0.05))
+
+    return BenchSpec(name="fleet.expand", kind="micro", ops=hosts, fn=fn,
+                     note="one host drawn, spec-built and deduped per op "
+                          "(no experiments run)")
+
+
+def _bench_fleet_aggregate(quick: bool) -> BenchSpec:
+    from ..fleet import FleetAggregator, FleetSpec, distinct_units
+    from ..runner import BatchRunner
+
+    # Real outcomes, produced once in setup; the timed loop is the pure
+    # streaming fold (audit + trust grade + sketch update per op).
+    fleet = FleetSpec(hosts=6, guests=2, prevalence=0.3, seed=7, scale=0.04)
+    groups = distinct_units(fleet)
+    outcomes = BatchRunner().run([group.unit.spec for group in groups])
+    pairs = list(zip(groups, outcomes))
+    ops = 10_000 if quick else 50_000
+
+    def fn(n: int) -> None:
+        aggregator = FleetAggregator(fleet)
+        add = aggregator.add
+        for i in range(n):
+            group, outcome = pairs[i % len(pairs)]
+            add(group, outcome)
+        aggregator.report()
+
+    return BenchSpec(name="fleet.aggregate", kind="micro", ops=ops, fn=fn,
+                     note="one weighted outcome folded into the streaming "
+                          "aggregate per op")
+
+
+# ---------------------------------------------------------------------------
 # serve submit round trip
 # ---------------------------------------------------------------------------
 
@@ -423,6 +466,8 @@ MICRO_BUILDERS = [
     ("fault.tick", _bench_fault_tick),
     ("watchdog.check", _bench_watchdog_check),
     ("cache.roundtrip", _bench_cache),
+    ("fleet.expand", _bench_fleet_expand),
+    ("fleet.aggregate", _bench_fleet_aggregate),
     ("serve.submit_roundtrip", _bench_serve_submit),
     ("virt.vcpu_switch", _bench_vcpu_switch),
     ("virt.tick", _bench_virt_tick),

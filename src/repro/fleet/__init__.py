@@ -1,0 +1,40 @@
+"""Datacenter-scale population sweeps with streaming aggregation.
+
+``repro.fleet`` turns a small declarative :class:`FleetSpec` (N hosts × M
+guests, attacker prevalence, workload / fault / CPU-count mixes — all
+seeded) into a deterministic simulated datacenter, runs the distinct spec
+identities it collapses to through the standard batch runner, and folds
+the population-weighted results into mergeable sketches so the report for
+10k hosts costs the memory of 10.  See ``docs/fleet.md``.
+"""
+
+from .aggregate import FLEET_REPORT_SCHEMA, FleetAggregator
+from .expand import FleetUnit, UnitGroup, distinct_units, expand_fleet
+from .runner import run_fleet
+from .sketch import SKETCH_SCHEMA, HistogramSketch
+from .spec import (
+    FLEET_SCHEMA,
+    FleetSpec,
+    FleetSpecError,
+    fleet_from_dict,
+    fleet_identity,
+    fleet_key,
+)
+
+__all__ = [
+    "FLEET_REPORT_SCHEMA",
+    "FLEET_SCHEMA",
+    "SKETCH_SCHEMA",
+    "FleetAggregator",
+    "FleetSpec",
+    "FleetSpecError",
+    "FleetUnit",
+    "HistogramSketch",
+    "UnitGroup",
+    "distinct_units",
+    "expand_fleet",
+    "fleet_from_dict",
+    "fleet_identity",
+    "fleet_key",
+    "run_fleet",
+]

@@ -1,0 +1,182 @@
+"""Streaming aggregation of fleet sweep results.
+
+The :class:`FleetAggregator` consumes one
+:class:`~repro.runner.pool.RunOutcome` per distinct spec identity —
+weighted by how many guest slots drew that identity — and folds it
+straight into mergeable state: integer nanosecond totals, integer
+trust-grade / audit-verdict counters, and :class:`HistogramSketch`es of
+the per-guest billing error.  Nothing per-host is ever retained, so the
+peak memory of a 10k-host sweep equals that of a 10-host sweep.
+
+Every statistic the final :meth:`report` carries is a pure function of
+commutative integer state (plus per-identity floats computed identically
+everywhere), so any sharding of the population across processes — or
+merging partial aggregators with :meth:`merge` — reproduces the serial
+report bit for bit.  The fleet determinism test pins exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..metering.billing import TrustReport
+from ..metering.steal import audit_result
+from .expand import UnitGroup
+from .sketch import HistogramSketch
+from .spec import FleetSpec, fleet_key
+
+FLEET_REPORT_SCHEMA = "repro-fleet-report-v1"
+
+#: Billing-error grid: ``(billed - ran) / ran`` per guest.  Honest guests
+#: sit near 0; a tick-dodging co-resident burning fraction ``b`` of every
+#: tick inflates the victim's bill by up to ``b / (1 - b)`` (9x at 0.9),
+#: so the range covers that with room; outliers land in the overflow
+#: bucket and still count.
+ERROR_LO = -1.0
+ERROR_HI = 15.0
+ERROR_BINS = 256
+
+_POPULATIONS = ("all", "attacked", "honest")
+
+
+def _error_sketch() -> HistogramSketch:
+    return HistogramSketch(ERROR_LO, ERROR_HI, bins=ERROR_BINS)
+
+
+class FleetAggregator:
+    """Fold weighted run outcomes into a constant-size fleet summary."""
+
+    def __init__(self, fleet: FleetSpec) -> None:
+        self.fleet = fleet
+        self.distinct_runs = 0
+        self.failed_runs = 0
+        self.failed_weight = 0
+        self.cached_runs = 0
+        self.billed_total_ns = 0
+        self.ran_total_ns = 0
+        self.overbilled_total_ns = 0
+        self.error = {name: _error_sketch() for name in _POPULATIONS}
+        self.trust: Dict[str, int] = {"trusted": 0, "degraded": 0,
+                                      "untrusted": 0}
+        self.verdicts: Dict[str, int] = {"consistent": 0, "overbilled": 0,
+                                         "misreported": 0}
+        self.attacked_weight = 0
+        self.honest_weight = 0
+        self.flagged_attacked_weight = 0
+        self.flagged_honest_weight = 0
+
+    # -- folding -------------------------------------------------------------
+
+    def add(self, group: UnitGroup, outcome: Any) -> None:
+        """Fold one distinct identity's outcome, weighted by its
+        multiplicity.  ``outcome`` is the :class:`RunOutcome` the batch
+        runner produced for ``group.unit.spec``."""
+        weight = group.weight
+        self.distinct_runs += 1
+        if getattr(outcome, "cached", False):
+            self.cached_runs += 1
+        result = outcome.result if outcome.ok else None
+        if result is None:
+            self.failed_runs += 1
+            self.failed_weight += weight
+            return
+
+        audit = audit_result(result)
+        flagged = audit.verdict.value != "consistent"
+        self.verdicts[audit.verdict.value] += weight
+        self.billed_total_ns += audit.billed_ns * weight
+        self.ran_total_ns += audit.ran_ns * weight
+        self.overbilled_total_ns += audit.overbilling_ns * weight
+
+        error = audit.overbilling_ns / max(audit.ran_ns, 1)
+        self.error["all"].add(error, weight)
+        if group.unit.attacked:
+            self.attacked_weight += weight
+            self.error["attacked"].add(error, weight)
+            if flagged:
+                self.flagged_attacked_weight += weight
+        else:
+            self.honest_weight += weight
+            self.error["honest"].add(error, weight)
+            if flagged:
+                self.flagged_honest_weight += weight
+
+        self.trust[TrustReport.from_stats(result.stats).level.value] += weight
+
+    def merge(self, other: "FleetAggregator") -> None:
+        """Fold a shard's partial aggregate in (commutative, exact)."""
+        self.distinct_runs += other.distinct_runs
+        self.failed_runs += other.failed_runs
+        self.failed_weight += other.failed_weight
+        self.cached_runs += other.cached_runs
+        self.billed_total_ns += other.billed_total_ns
+        self.ran_total_ns += other.ran_total_ns
+        self.overbilled_total_ns += other.overbilled_total_ns
+        for name in _POPULATIONS:
+            self.error[name].merge(other.error[name])
+        for grade, weight in other.trust.items():
+            self.trust[grade] += weight
+        for verdict, weight in other.verdicts.items():
+            self.verdicts[verdict] += weight
+        self.attacked_weight += other.attacked_weight
+        self.honest_weight += other.honest_weight
+        self.flagged_attacked_weight += other.flagged_attacked_weight
+        self.flagged_honest_weight += other.flagged_honest_weight
+
+    # -- reporting -----------------------------------------------------------
+
+    @staticmethod
+    def _rate(numerator: int, denominator: int) -> Optional[float]:
+        if denominator == 0:
+            return None
+        return round(numerator / denominator, 9)
+
+    @staticmethod
+    def _summary(sketch: HistogramSketch) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"count": sketch.total}
+        if sketch.total:
+            doc.update(
+                mean=round(sketch.mean(), 9),
+                p50=round(sketch.percentile(0.50), 9),
+                p90=round(sketch.percentile(0.90), 9),
+                p99=round(sketch.percentile(0.99), 9),
+                min=round(sketch.min, 9),
+                max=round(sketch.max, 9),
+            )
+        doc["sketch"] = sketch.to_dict()
+        return doc
+
+    def report(self) -> Dict[str, Any]:
+        """The whole sweep as one deterministic JSON document.  No wall
+        times, no host lists — a pure function of the fleet spec and the
+        simulator, which is what makes ``--jobs 1`` and ``--jobs 8``
+        reports comparable with ``==``."""
+        audited_weight = (self.fleet.population
+                          - self.failed_weight)
+        return {
+            "schema": FLEET_REPORT_SCHEMA,
+            "fleet": self.fleet.to_dict(),
+            "fleet_key": fleet_key(self.fleet),
+            "population": self.fleet.population,
+            "distinct_runs": self.distinct_runs,
+            "failed_runs": self.failed_runs,
+            "failed_weight": self.failed_weight,
+            "audited_weight": audited_weight,
+            "billed_total_ns": self.billed_total_ns,
+            "ran_total_ns": self.ran_total_ns,
+            "overbilled_total_ns": self.overbilled_total_ns,
+            "billing_error": {name: self._summary(self.error[name])
+                              for name in _POPULATIONS},
+            "trust_mix": dict(self.trust),
+            "verdicts": dict(self.verdicts),
+            "audit": {
+                "attacked_weight": self.attacked_weight,
+                "honest_weight": self.honest_weight,
+                "flagged_attacked_weight": self.flagged_attacked_weight,
+                "flagged_honest_weight": self.flagged_honest_weight,
+                "detection_rate": self._rate(self.flagged_attacked_weight,
+                                             self.attacked_weight),
+                "false_positive_rate": self._rate(self.flagged_honest_weight,
+                                                  self.honest_weight),
+            },
+        }

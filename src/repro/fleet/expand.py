@@ -1,0 +1,151 @@
+"""Deterministic expansion of a :class:`FleetSpec` into experiment specs.
+
+:func:`expand_fleet` walks the population host by host, drawing each
+host's fate from its own seeded RNG stream (``fleet:<seed>:host:<i>``, so
+host 17 of a 10k-host fleet is the same host in an 8-host prefix sweep),
+and yields one :class:`FleetUnit` per metered guest slot.
+
+The simulator is deterministic given a spec, so a population drawn from
+finite mixes collapses to a *small* number of distinct spec identities no
+matter how many hosts it covers — :func:`distinct_units` folds the
+expansion stream into (unit, multiplicity) groups keyed by
+:func:`~repro.runner.specs.spec_key`.  That is the trick that makes a
+10k-host sweep tractable: run each distinct identity once, weight its
+contribution by how many guests drew it.  Peak memory is bounded by the
+mix cross-product, never by the host count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from ..runner.specs import ExperimentSpec, spec_key
+from .spec import FleetSpec
+
+#: Process-level attack mounted on attacked bare-metal hosts (the paper's
+#: §IV-B1 priority/fork scheduling attack); forks scale with the workload.
+BARE_ATTACK = "scheduling"
+BARE_ATTACK_NICE = -20
+BARE_ATTACK_FORKS = 8_000
+
+
+@dataclass(frozen=True)
+class FleetUnit:
+    """One metered guest slot: where it lives and what it runs."""
+
+    host: int
+    guest: int
+    #: ``"vm"`` (hypervisor host) or ``"bare"`` (bare-metal host).
+    kind: str
+    workload: str
+    #: An attacker is co-resident on this unit's host.
+    attacked: bool
+    #: Hardware-fault intensity drawn for the host (0.0 = honest).
+    intensity: float
+    spec: ExperimentSpec
+
+
+def _draw(rng: random.Random, mix: Sequence[Tuple[Any, float]]) -> Any:
+    """Weighted draw — one ``rng.random()`` per call, deterministic."""
+    total = sum(weight for _, weight in mix)
+    x = rng.random() * total
+    acc = 0.0
+    for value, weight in mix:
+        acc += weight
+        if x < acc:
+            return value
+    return mix[-1][0]
+
+
+def _host_rng(fleet: FleetSpec, host: int) -> random.Random:
+    # Seeding from a string hashes it through sha512 (random.seed
+    # version 2): stable across processes, platforms and PYTHONHASHSEED.
+    return random.Random(f"fleet:{fleet.seed}:host:{host}")
+
+
+def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
+    """Yield every guest slot of the population, in (host, guest) order.
+
+    A generator on purpose: expansion is O(1) memory regardless of the
+    host count.  Draw order per host is fixed (attacked, kind, nproc,
+    intensity, burn, then one workload per guest) so adding a mix never
+    reshuffles the draws of unrelated dimensions.
+    """
+    from ..analysis.figures import paper_workload_params
+    from ..faults import sweep_plan
+
+    workload_params = paper_workload_params(fleet.scale)
+    forks = max(1, int(BARE_ATTACK_FORKS * fleet.scale))
+
+    for host in range(fleet.hosts):
+        rng = _host_rng(fleet, host)
+        attacked = rng.random() < fleet.prevalence
+        kind = "vm" if rng.random() < fleet.vm_fraction else "bare"
+        nproc = _draw(rng, fleet.nproc_mix)
+        intensity = float(_draw(rng, fleet.fault_mix))
+        burn = float(_draw(rng, fleet.burn_mix))
+        faults = (sweep_plan(intensity, watchdog=True).to_dict()
+                  if intensity > 0 else None)
+        for guest in range(fleet.guests):
+            workload = _draw(rng, fleet.workload_mix)
+            kwargs = dict(workload_params[workload])
+            label = (f"fleet:h{host}:g{guest}:{kind}:{workload}"
+                     f"{':attacked' if attacked else ''}")
+            if kind == "vm":
+                spec = ExperimentSpec(
+                    program=workload, program_kwargs=kwargs,
+                    attack="vm-sched" if attacked else None,
+                    attack_kwargs=({"burn_fraction": burn}
+                                   if attacked else {}),
+                    vm={}, faults=faults, label=label)
+            else:
+                spec = ExperimentSpec(
+                    program=workload, program_kwargs=kwargs,
+                    attack=BARE_ATTACK if attacked else None,
+                    attack_kwargs=({"nice": BARE_ATTACK_NICE,
+                                    "forks": forks} if attacked else {}),
+                    nproc=nproc, faults=faults, label=label)
+            yield FleetUnit(host=host, guest=guest, kind=kind,
+                            workload=workload, attacked=attacked,
+                            intensity=intensity, spec=spec)
+
+
+@dataclass(frozen=True)
+class UnitGroup:
+    """All guest slots sharing one spec identity."""
+
+    key: str
+    unit: FleetUnit  # the first-seen representative
+    weight: int      # guest slots drawing this identity
+
+
+def distinct_units(fleet: FleetSpec) -> List[UnitGroup]:
+    """Fold the expansion stream into distinct-identity groups.
+
+    First-seen order, so the downstream run/aggregate order is a pure
+    function of the fleet spec.  The representative keeps the first
+    unit's host/guest coordinates; its label is rewritten to carry the
+    group's weight instead, since it now stands for many slots.
+    """
+    groups: Dict[str, List[Any]] = {}
+    order: List[str] = []
+    for unit in expand_fleet(fleet):
+        key = spec_key(unit.spec)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = [unit, 1]
+            order.append(key)
+        else:
+            entry[1] += 1
+    result: List[UnitGroup] = []
+    for key in order:
+        unit, weight = groups[key]
+        label = (f"fleet:{unit.kind}:{unit.workload}"
+                 f"{':attacked' if unit.attacked else ''}"
+                 f"{f':i={unit.intensity}' if unit.intensity else ''}"
+                 f":x{weight}")
+        unit = replace(unit, spec=replace(unit.spec, label=label))
+        result.append(UnitGroup(key=key, unit=unit, weight=weight))
+    return result

@@ -1,0 +1,160 @@
+"""Mergeable fixed-bin histogram sketches for streaming fleet aggregation.
+
+A 10k-host sweep must never materialise a per-host result list, so every
+distribution the fleet report carries (billing error, foremost) is folded
+into a :class:`HistogramSketch`: a fixed, deterministic bin grid over a
+declared value range with **integer** weights per bin.  Integer counts
+make the sketch exactly mergeable — addition is associative and
+commutative, so any sharding of the population across processes (or any
+chunking order) produces the identical sketch, bin for bin, and therefore
+identical percentiles.  That is the property the fleet determinism suite
+pins: ``--jobs 1`` and ``--jobs 4`` aggregate reports are bit-identical.
+
+Values outside ``[lo, hi)`` land in explicit underflow/overflow buckets
+(clamped to the range edges by the percentile query), and exact min/max
+are tracked separately — min/max are order-independent too, so merging
+stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+SKETCH_SCHEMA = "repro-hist-sketch-v1"
+
+
+class HistogramSketch:
+    """Fixed-bin histogram with integer weights over ``[lo, hi)``."""
+
+    __slots__ = ("lo", "hi", "bins", "width", "counts", "underflow",
+                 "overflow", "_min", "_max")
+
+    def __init__(self, lo: float, hi: float, bins: int = 64) -> None:
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi})")
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.width = (self.hi - self.lo) / self.bins
+        self.counts: List[int] = [0] * self.bins
+        self.underflow = 0
+        self.overflow = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- building ----------------------------------------------------------
+
+    def add(self, value: float, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        if weight == 0:
+            return
+        value = float(value)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value < self.lo:
+            self.underflow += weight
+        elif value >= self.hi:
+            self.overflow += weight
+        else:
+            index = int((value - self.lo) / self.width)
+            # Guard the right edge against float rounding.
+            if index >= self.bins:  # pragma: no cover - rounding edge
+                index = self.bins - 1
+            self.counts[index] += weight
+
+    def merge(self, other: "HistogramSketch") -> None:
+        """Fold another sketch in (must share the exact bin grid)."""
+        if (other.lo, other.hi, other.bins) != (self.lo, self.hi, self.bins):
+            raise ValueError(
+                f"cannot merge sketches with different grids: "
+                f"[{self.lo}, {self.hi})x{self.bins} vs "
+                f"[{other.lo}, {other.hi})x{other.bins}")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        for value in (other._min, other._max):
+            if value is None:
+                continue
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self.underflow + sum(self.counts) + self.overflow
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1], linearly interpolated
+        within the containing bin (range edges for the outlier buckets).
+        Deterministic in the bin counts alone."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = q * total
+        acc = float(self.underflow)
+        if target <= acc and self.underflow:
+            return self._min if self._min is not None else self.lo
+        for index, count in enumerate(self.counts):
+            if count and target <= acc + count:
+                frac = (target - acc) / count
+                return self.lo + (index + frac) * self.width
+            acc += count
+        return self._max if self._max is not None else self.hi
+
+    def mean(self) -> float:
+        """Bin-midpoint mean (outlier buckets at the range edges)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        acc = self.underflow * self.lo + self.overflow * self.hi
+        for index, count in enumerate(self.counts):
+            if count:
+                acc += count * (self.lo + (index + 0.5) * self.width)
+        return acc / total
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Sparse, deterministic JSON form (zero bins omitted)."""
+        return {
+            "schema": SKETCH_SCHEMA,
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": self.bins,
+            "counts": {str(i): c for i, c in enumerate(self.counts) if c},
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "min": self._min,
+            "max": self._max,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "HistogramSketch":
+        sketch = cls(doc["lo"], doc["hi"], doc["bins"])
+        for index, count in doc.get("counts", {}).items():
+            sketch.counts[int(index)] = int(count)
+        sketch.underflow = int(doc.get("underflow", 0))
+        sketch.overflow = int(doc.get("overflow", 0))
+        sketch._min = doc.get("min")
+        sketch._max = doc.get("max")
+        return sketch

@@ -1,0 +1,189 @@
+"""Declarative population specs for datacenter-scale sweeps.
+
+A :class:`FleetSpec` describes a whole simulated datacenter — N hosts
+each hosting M metered guests, an attacker co-residency rate, and the
+workload / fault-plan / CPU-count mixes the population is drawn from —
+in one small, hashable, JSON-serialisable document.  Everything is
+seeded: the same spec always expands to the same population, host by
+host and guest by guest, which is what lets a fleet sweep be sharded
+across any number of worker processes and still aggregate bit-for-bit
+identically to a serial run.
+
+The spec deliberately mirrors :class:`~repro.runner.ExperimentSpec`'s
+design: frozen, by-value, validated at parse time
+(:func:`fleet_from_dict`), and content-hashed (:func:`fleet_key`) so the
+serve layer can ledger-serve a repeated fleet submission exactly like a
+repeated single-spec submission.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Tuple
+
+from .. import __version__
+from ..errors import ReproError
+
+FLEET_SCHEMA = "repro-fleet-v1"
+
+
+class FleetSpecError(ReproError):
+    """A fleet document that cannot describe a population."""
+
+
+def _mix(*pairs) -> Tuple[Tuple[Any, float], ...]:
+    return tuple((value, float(weight)) for value, weight in pairs)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One simulated datacenter population, drawn deterministically.
+
+    ``hosts`` physical hosts each carry ``guests`` metered guest slots.
+    Per host, one seeded draw decides whether an attacker is co-resident
+    (probability ``prevalence``), whether the host is a hypervisor host
+    (probability ``vm_fraction``) or bare metal, its CPU count (bare
+    hosts only — the hypervisor multiplexes onto one pCPU), and its
+    hardware-fault intensity; each guest slot then draws a workload from
+    ``workload_mix``.  On an attacked hypervisor host the co-resident
+    runs the §IV-B1-style tick-dodging guest at a drawn ``burn_mix``
+    fraction; on an attacked bare-metal host the guest's workload runs
+    next to the process-level scheduling attacker.
+    """
+
+    hosts: int = 100
+    guests: int = 2
+    prevalence: float = 0.1
+    seed: int = 0
+    #: Workload run-length scale, as for the figures (1.0 ≈ paper/200).
+    scale: float = 0.1
+    vm_fraction: float = 0.5
+    workload_mix: Tuple[Tuple[str, float], ...] = field(
+        default_factory=lambda: _mix(("W", 0.4), ("O", 0.3), ("P", 0.2),
+                                     ("B", 0.1)))
+    #: Hardware-fault intensity mix (0.0 = honest hardware); nonzero
+    #: intensities run under ``repro.faults.sweep_plan`` with the
+    #: clocksource watchdog on.
+    fault_mix: Tuple[Tuple[float, float], ...] = field(
+        default_factory=lambda: _mix((0.0, 0.9), (0.1, 0.1)))
+    #: CPU-count mix for bare-metal hosts.
+    nproc_mix: Tuple[Tuple[int, float], ...] = field(
+        default_factory=lambda: _mix((1, 0.6), (2, 0.4)))
+    #: Tick-fraction burned by the VM tick-dodging attacker.
+    burn_mix: Tuple[Tuple[float, float], ...] = field(
+        default_factory=lambda: _mix((0.6, 0.4), (0.9, 0.6)))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.hosts, int) or self.hosts < 1:
+            raise FleetSpecError(f"hosts must be a positive integer, "
+                                 f"got {self.hosts!r}")
+        if not isinstance(self.guests, int) or self.guests < 1:
+            raise FleetSpecError(f"guests must be a positive integer, "
+                                 f"got {self.guests!r}")
+        if not 0.0 <= float(self.prevalence) <= 1.0:
+            raise FleetSpecError(f"prevalence must be in [0, 1], "
+                                 f"got {self.prevalence!r}")
+        if not 0.0 <= float(self.vm_fraction) <= 1.0:
+            raise FleetSpecError(f"vm_fraction must be in [0, 1], "
+                                 f"got {self.vm_fraction!r}")
+        if not float(self.scale) > 0:
+            raise FleetSpecError(f"scale must be positive, "
+                                 f"got {self.scale!r}")
+        for name in ("workload_mix", "fault_mix", "nproc_mix", "burn_mix"):
+            mix = getattr(self, name)
+            if not mix:
+                raise FleetSpecError(f"{name} must not be empty")
+            if any(weight < 0 for _, weight in mix):
+                raise FleetSpecError(f"{name} weights must be >= 0")
+            if not sum(weight for _, weight in mix) > 0:
+                raise FleetSpecError(f"{name} needs positive total weight")
+        from ..runner.specs import PROGRAM_FACTORIES
+
+        for workload, _ in self.workload_mix:
+            if workload not in PROGRAM_FACTORIES:
+                raise FleetSpecError(
+                    f"unknown workload {workload!r} in workload_mix; "
+                    f"have {sorted(PROGRAM_FACTORIES)}")
+        for nproc, _ in self.nproc_mix:
+            if not isinstance(nproc, int) or nproc < 1:
+                raise FleetSpecError(f"nproc_mix entries must be positive "
+                                     f"integers, got {nproc!r}")
+        for burn, _ in self.burn_mix:
+            if not 0.0 <= float(burn) <= 1.0:
+                raise FleetSpecError(f"burn_mix entries must be in [0, 1], "
+                                     f"got {burn!r}")
+        for intensity, _ in self.fault_mix:
+            if not 0.0 <= float(intensity) <= 1.0:
+                raise FleetSpecError(f"fault_mix intensities must be in "
+                                     f"[0, 1], got {intensity!r}")
+
+    @property
+    def population(self) -> int:
+        """Metered guest slots across the whole fleet."""
+        return self.hosts * self.guests
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hosts": self.hosts,
+            "guests": self.guests,
+            "prevalence": float(self.prevalence),
+            "seed": self.seed,
+            "scale": float(self.scale),
+            "vm_fraction": float(self.vm_fraction),
+            "workload_mix": [[name, weight]
+                             for name, weight in self.workload_mix],
+            "fault_mix": [[intensity, weight]
+                          for intensity, weight in self.fault_mix],
+            "nproc_mix": [[nproc, weight]
+                          for nproc, weight in self.nproc_mix],
+            "burn_mix": [[burn, weight] for burn, weight in self.burn_mix],
+        }
+
+
+_FLEET_FIELDS = frozenset(f.name for f in fields(FleetSpec))
+_MIX_FIELDS = ("workload_mix", "fault_mix", "nproc_mix", "burn_mix")
+
+
+def fleet_from_dict(doc: Mapping[str, Any]) -> FleetSpec:
+    """Build a :class:`FleetSpec` from an untrusted JSON document."""
+    if not isinstance(doc, Mapping):
+        raise FleetSpecError(f"fleet document must be a mapping, got "
+                             f"{type(doc).__name__}")
+    unknown = set(doc) - _FLEET_FIELDS
+    if unknown:
+        raise FleetSpecError(f"unknown fleet fields {sorted(unknown)}; "
+                             f"have {sorted(_FLEET_FIELDS)}")
+    kwargs: Dict[str, Any] = dict(doc)
+    for name in _MIX_FIELDS:
+        if name not in kwargs:
+            continue
+        mix = kwargs[name]
+        if (not isinstance(mix, (list, tuple))
+                or not all(isinstance(pair, (list, tuple)) and len(pair) == 2
+                           for pair in mix)):
+            raise FleetSpecError(f"{name} must be a list of "
+                                 f"[value, weight] pairs")
+        kwargs[name] = tuple((value, float(weight)) for value, weight in mix)
+    try:
+        return FleetSpec(**kwargs)
+    except TypeError as exc:
+        raise FleetSpecError(f"bad fleet document: {exc}") from None
+
+
+def fleet_identity(fleet: FleetSpec) -> Dict[str, Any]:
+    """The JSON document hashed by :func:`fleet_key` — includes the repro
+    version, per the "results are only reusable for the code that produced
+    them" rule the single-spec cache identity follows."""
+    doc = fleet.to_dict()
+    doc["schema"] = FLEET_SCHEMA
+    doc["repro_version"] = __version__
+    return doc
+
+
+def fleet_key(fleet: FleetSpec) -> str:
+    """Stable content hash of the fleet spec (serve-layer ledger identity)."""
+    doc = json.dumps(fleet_identity(fleet), sort_keys=True,
+                     separators=(",", ":"))
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()

@@ -288,9 +288,13 @@ class BatchRunner:
                         # os._exit): the whole pool is unusable from here.
                         broken = True
                         payload = self._broken_payload(exc)
-                    except Exception as exc:  # unpicklable result etc.
-                        payload = ("error", (type(exc).__name__, str(exc),
-                                             ""), 0.0)
+                    except Exception as exc:
+                        # The future itself raised — an unpicklable result
+                        # or argument, most commonly.  Same bounded
+                        # retry-or-failure fold as every other error: the
+                        # point charges its attempt and retries until the
+                        # budget runs out.
+                        payload = self._error_payload(exc)
                     if self._finish(outcomes, index, total, payload,
                                     attempts[index], emit):
                         queue.append(index)
@@ -304,8 +308,7 @@ class BatchRunner:
                         except BrokenExecutor as exc:
                             payload = self._broken_payload(exc)
                         except Exception as exc:
-                            payload = ("error", (type(exc).__name__,
-                                                 str(exc), ""), 0.0)
+                            payload = self._error_payload(exc)
                         if self._finish(outcomes, index, total, payload,
                                         attempts[index], emit):
                             queue.append(index)
@@ -319,4 +322,11 @@ class BatchRunner:
     def _broken_payload(exc: BaseException) -> Tuple[str, object, float]:
         message = str(exc) or ("a worker process died abruptly; "
                                "the pool was replaced")
+        return ("error", (type(exc).__name__, message, ""), 0.0)
+
+    @staticmethod
+    def _error_payload(exc: BaseException) -> Tuple[str, object, float]:
+        """A future-raised exception (unpicklable result/argument, executor
+        bookkeeping error) as a worker payload — never an empty message."""
+        message = str(exc) or type(exc).__name__
         return ("error", (type(exc).__name__, message, ""), 0.0)

@@ -20,10 +20,14 @@ GET       ``/v1/tenants/{tid}/usage``         usage ledger + totals
 GET       ``/v1/tenants/{tid}/jobs``          this tenant's jobs
 POST      ``/v1/tenants/{tid}/jobs``          ``{spec, wait?, idempotency_key?,
                                               over_quota?}`` → job (429 over quota)
+POST      ``/v1/tenants/{tid}/fleet``         ``{fleet, wait?, idempotency_key?,
+                                              over_quota?}`` → fleet job
+                                              (docs/fleet.md; poll when async)
 GET       ``/v1/jobs/{jid}``                  job document (poll for async jobs)
 GET       ``/v1/jobs/{jid}/invoice``          the bill
 GET       ``/v1/jobs/{jid}/trust``            clocksource trust report
 GET       ``/v1/jobs/{jid}/audit``            tenant-side steal/overbilling audit
+GET       ``/v1/jobs/{jid}/fleet``            a fleet job's aggregate report
 ========  ==================================  =====================================
 """
 
@@ -189,6 +193,20 @@ class _Handler(BaseHTTPRequestHandler):
                     over_quota=body.get("over_quota", "reject"))
                 self._reply_json(200, job)
                 return True
+            if method == "POST" and tail == ("fleet",):
+                body = self._read_body()
+                fleet_doc = body.get("fleet")
+                if not isinstance(fleet_doc, dict):
+                    raise ServiceError(
+                        "fleet submission needs a 'fleet' object "
+                        "(see docs/fleet.md)")
+                job = service.submit_fleet(
+                    tenant_id, fleet_doc,
+                    idempotency_key=body.get("idempotency_key"),
+                    wait=bool(body.get("wait", True)),
+                    over_quota=body.get("over_quota", "reject"))
+                self._reply_json(200, job)
+                return True
             return False
 
         if route[1:2] == ("jobs",) and len(route) >= 3 and method == "GET":
@@ -205,6 +223,9 @@ class _Handler(BaseHTTPRequestHandler):
                 return True
             if tail == ("audit",):
                 self._reply_json(200, service.audit_doc(job_id))
+                return True
+            if tail == ("fleet",):
+                self._reply_json(200, service.fleet_doc(job_id))
                 return True
         return False
 

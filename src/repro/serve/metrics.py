@@ -45,6 +45,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._http_requests: Dict[Tuple[str, str], int] = {}
         self._jobs_inflight = 0
+        self._jobs_failed = 0
         self._quota_rejections: Dict[str, int] = {}
         self._jobs_served_from_ledger = 0
 
@@ -63,6 +64,10 @@ class MetricsRegistry:
         with self._lock:
             self._jobs_inflight -= 1
 
+    def job_failed(self) -> None:
+        with self._lock:
+            self._jobs_failed += 1
+
     def quota_rejected(self, tenant_name: str) -> None:
         with self._lock:
             self._quota_rejections[tenant_name] = \
@@ -80,6 +85,7 @@ class MetricsRegistry:
         with self._lock:
             http = dict(self._http_requests)
             inflight = self._jobs_inflight
+            failed = self._jobs_failed
             rejections = dict(self._quota_rejections)
             from_ledger = self._jobs_served_from_ledger
 
@@ -99,6 +105,10 @@ class MetricsRegistry:
         family("repro_serve_jobs_inflight", "gauge",
                "Jobs currently executing on the worker pool.",
                [_sample("repro_serve_jobs_inflight", {}, inflight)])
+        family("repro_serve_jobs_failed_total", "counter",
+               "Job executions that raised and were recorded as failed "
+               "(never silently swallowed).",
+               [_sample("repro_serve_jobs_failed_total", {}, failed)])
         family("repro_serve_jobs_served_from_ledger_total", "counter",
                "Completed jobs answered from the durable ledger "
                "without re-running the simulation.",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ReproError
@@ -41,6 +42,12 @@ INVOICE_SCHEMA = "repro-serve-invoice-v1"
 TRUST_SCHEMA = "repro-serve-trust-v1"
 AUDIT_SCHEMA = "repro-serve-audit-v1"
 USAGE_SCHEMA = "repro-serve-usage-v1"
+
+#: Trust-mix grades a fleet job folds into its synthesized watchdog
+#: counters, worst-grade-wins like per-run interval grading.
+_FLEET_TRUST_KEYS = (("trusted", "watchdog_intervals_trusted"),
+                     ("degraded", "watchdog_intervals_degraded"),
+                     ("untrusted", "watchdog_intervals_untrusted"))
 
 
 class ServiceError(ReproError):
@@ -113,11 +120,15 @@ class MeteringService:
     def __init__(self, store: UsageStore, jobs: int = 2,
                  audit_tolerance_fraction: float = 0.1,
                  audit_floor_ns: int = 5_000_000,
-                 run: Callable[..., ExperimentResult] = run_spec) -> None:
+                 run: Callable[..., ExperimentResult] = run_spec,
+                 fleet_jobs: int = 1) -> None:
         self.store = store
         self.metrics = MetricsRegistry(store)
         self.audit_tolerance_fraction = audit_tolerance_fraction
         self.audit_floor_ns = audit_floor_ns
+        #: Worker processes per fleet job (1 = serial; the aggregate is
+        #: bit-identical either way).
+        self.fleet_jobs = max(1, fleet_jobs)
         self._run = run
         self._pool = ThreadPoolExecutor(max_workers=max(1, jobs),
                                         thread_name_prefix="repro-serve")
@@ -156,21 +167,21 @@ class MeteringService:
         return self.tenant_doc(tenant_id)
 
     def _release_queued(self, tenant_id: str) -> None:
-        """Dispatch queued (over-budget) jobs that now fit the quota."""
-        tenant = self.store.tenant(tenant_id)
+        """Dispatch queued (over-budget) jobs that now fit the quota.
+
+        Admission goes through :meth:`UsageStore.try_reserve`, which
+        re-reads the tenant row under the store lock on every iteration —
+        a concurrent ``set_quota`` lowering the budget mid-release is
+        honoured immediately instead of being evaluated against a tenant
+        dict fetched once before the loop.
+        """
         for job in self.store.jobs_for_tenant(tenant_id, state="queued"):
             with self._lock:
                 if job["job_id"] in self._futures:
                     continue  # already dispatched, just not running yet
-                if not self._under_quota(tenant):
+                if not self.store.try_reserve(tenant_id, job["job_id"]):
                     break
                 self._dispatch(job["job_id"])
-
-    def _under_quota(self, tenant: Dict[str, Any]) -> bool:
-        quota_ns = tenant["quota_ns"]
-        if quota_ns is None:
-            return True
-        return self.store.ledger_total_ns(tenant["tenant_id"]) < quota_ns
 
     # -- submission --------------------------------------------------------
 
@@ -187,6 +198,45 @@ class MeteringService:
         the submission (HTTP 429 at the API layer), ``"queue"`` parks it
         until the quota is raised.
         """
+        try:
+            spec = spec_from_dict(spec_doc)
+        except SpecError as exc:
+            raise ServiceError(f"bad spec: {exc}") from None
+        return self._admit(tenant_id, spec_key(spec), dict(spec_doc),
+                           idempotency_key=idempotency_key, wait=wait,
+                           over_quota=over_quota, timeout_s=timeout_s)
+
+    def submit_fleet(self, tenant_id: str, fleet_doc: Dict[str, Any],
+                     idempotency_key: Optional[str] = None,
+                     wait: bool = True, over_quota: str = "reject",
+                     timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Submit a whole fleet sweep (see docs/fleet.md) as one job.
+
+        The job's identity is the fleet spec's content hash, so a repeated
+        fleet submission is served from the ledger like any repeated spec;
+        the population's total billed nanoseconds count against the
+        tenant's quota exactly like a single run's.
+        """
+        from ..fleet import FleetSpecError, fleet_from_dict, fleet_key
+
+        try:
+            fleet = fleet_from_dict(fleet_doc)
+        except FleetSpecError as exc:
+            raise ServiceError(f"bad fleet spec: {exc}") from None
+        spec_doc = {
+            "label": (f"fleet:{fleet.hosts}x{fleet.guests}"
+                      f":p={fleet.prevalence}:s={fleet.seed}"),
+            "fleet": fleet.to_dict(),
+        }
+        return self._admit(tenant_id, fleet_key(fleet), spec_doc,
+                           idempotency_key=idempotency_key, wait=wait,
+                           over_quota=over_quota, timeout_s=timeout_s)
+
+    def _admit(self, tenant_id: str, key: str, spec_doc: Dict[str, Any],
+               idempotency_key: Optional[str], wait: bool,
+               over_quota: str, timeout_s: Optional[float]) -> Dict[str, Any]:
+        """Create-dedup-reserve-dispatch, shared by spec and fleet
+        submissions."""
         if over_quota not in ("reject", "queue"):
             raise ServiceError(
                 f"over_quota must be 'reject' or 'queue', "
@@ -195,11 +245,6 @@ class MeteringService:
             tenant = self.store.tenant(tenant_id)
         except KeyError:
             raise NotFound(f"no such tenant {tenant_id!r}") from None
-        try:
-            spec = spec_from_dict(spec_doc)
-        except SpecError as exc:
-            raise ServiceError(f"bad spec: {exc}") from None
-        key = spec_key(spec)
 
         with self._lock:
             job, created = self.store.create_job(
@@ -207,7 +252,11 @@ class MeteringService:
                 idempotency_key=idempotency_key)
             job_id = job["job_id"]
             if created:
-                if not self._under_quota(tenant):
+                # Check-and-reserve is one atomic step under the store
+                # lock: racing submissions from one tenant serialise here,
+                # so at most one can be dispatched-but-unbilled against a
+                # finite quota at a time (see UsageStore.try_reserve).
+                if not self.store.try_reserve(tenant_id, job_id):
                     if over_quota == "reject":
                         self.store.set_job_state(
                             job_id, "rejected",
@@ -224,7 +273,7 @@ class MeteringService:
                 future = self._futures.get(job_id)
 
         if wait and future is not None:
-            self._wait(future, timeout_s)
+            self._wait(future, timeout_s, job_id)
         return self.job_doc(job_id)
 
     def _dispatch(self, job_id: str) -> Future:
@@ -232,18 +281,31 @@ class MeteringService:
         self._futures[job_id] = future
         return future
 
-    @staticmethod
-    def _wait(future: Future, timeout_s: Optional[float]) -> None:
+    def _wait(self, future: Future, timeout_s: Optional[float],
+              job_id: str) -> None:
         try:
             future.result(timeout=timeout_s)
+        except FutureTimeout:
+            # Still executing — the caller polls the job document.
+            pass
         except InjectedCrash:
             # Crash simulation: the job is left exactly as the crash left
             # it; the caller inspects the job document.
             pass
-        except Exception:
-            # Execution failures are recorded on the job row; the job
-            # document is the API-visible error report.
-            pass
+        except Exception as exc:
+            # _execute records its own failures on the job row before
+            # re-raising.  If it died before getting that far (the store
+            # update itself failed, a dispatch-path bug), the error must
+            # still never vanish silently: record it here.
+            try:
+                job = self.store.job(job_id)
+            except KeyError:  # pragma: no cover - job row gone entirely
+                return
+            if job["state"] not in ("completed", "failed", "rejected"):
+                self.store.set_job_state(
+                    job_id, "failed",
+                    error=f"{type(exc).__name__}: {exc}")
+                self.metrics.job_failed()
 
     def retry_job(self, job_id: str, wait: bool = True,
                   timeout_s: Optional[float] = None) -> Dict[str, Any]:
@@ -260,7 +322,7 @@ class MeteringService:
             if future is None or future.done():
                 future = self._dispatch(job_id)
         if wait:
-            self._wait(future, timeout_s)
+            self._wait(future, timeout_s, job_id)
         return self.job_doc(job_id)
 
     # -- execution (worker threads) ---------------------------------------
@@ -275,17 +337,51 @@ class MeteringService:
                 self._bill(job_id, job, ledger_doc, cached=True)
                 return
             self.store.set_job_state(job_id, "running")
-            spec = spec_from_dict(job["spec"])
-            result = self._run(spec)
-            self._bill(job_id, job, result.to_dict(), cached=False)
+            if "fleet" in job["spec"]:
+                result_doc = self._run_fleet_job(job["spec"]["fleet"])
+            else:
+                spec = spec_from_dict(job["spec"])
+                result_doc = self._run(spec).to_dict()
+            self._bill(job_id, job, result_doc, cached=False)
         except InjectedCrash:
             raise
         except Exception as exc:
             self.store.set_job_state(job_id, "failed",
                                      error=f"{type(exc).__name__}: {exc}")
+            self.metrics.job_failed()
             raise
         finally:
+            self.store.release_reservation(job_id)
             self.metrics.job_finished()
+
+    def _run_fleet_job(self, fleet_doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a fleet sweep and shape its aggregate as a result document.
+
+        The document is :meth:`ExperimentResult.to_dict`-compatible —
+        usage carries the population's billed nanoseconds, the oracle the
+        honestly-run seconds, and the trust-mix weights land in the
+        watchdog counters — so billing, invoices, trust reports and the
+        tenant audit all work on fleet jobs unchanged.  The full streaming
+        aggregate rides along under ``fleet_report``.
+        """
+        from ..fleet import fleet_from_dict, run_fleet
+
+        fleet = fleet_from_dict(fleet_doc)
+        report = run_fleet(fleet, jobs=self.fleet_jobs).report()
+        stats = {wire: report["trust_mix"][grade]
+                 for grade, wire in _FLEET_TRUST_KEYS
+                 if report["trust_mix"][grade]}
+        return {
+            "program": "fleet",
+            "attack": "population",
+            "usage": {"utime_ns": report["billed_total_ns"], "stime_ns": 0},
+            "attacker_usage": None,
+            "wall_ns": 0,
+            "rusage": None,
+            "oracle_seconds": {"user": report["ran_total_ns"] / 1e9},
+            "stats": stats,
+            "fleet_report": report,
+        }
 
     def _bill(self, job_id: str, job: Dict[str, Any],
               result_doc: Dict[str, Any], cached: bool) -> None:
@@ -367,6 +463,16 @@ class MeteringService:
             "tolerance_floor_ns": report.tolerance_floor_ns,
         }
 
+    def fleet_doc(self, job_id: str) -> Dict[str, Any]:
+        """The full streaming aggregate of a completed fleet job."""
+        job = self._completed_job(job_id)
+        report = job["result"].get("fleet_report")
+        if report is None:
+            raise Conflict(f"job {job_id} is not a fleet job")
+        doc = dict(report)
+        doc["job_id"] = job_id
+        return doc
+
     def usage_doc(self, tenant_id: str) -> Dict[str, Any]:
         tenant = self.tenant_doc(tenant_id)
         ledger = self.store.ledger_for_tenant(tenant_id)
@@ -392,9 +498,9 @@ class MeteringService:
     def drain(self, timeout_s: Optional[float] = None) -> None:
         """Wait for every dispatched job to reach a terminal state."""
         with self._lock:
-            futures = list(self._futures.values())
-        for future in futures:
-            self._wait(future, timeout_s)
+            futures = dict(self._futures)
+        for job_id, future in futures.items():
+            self._wait(future, timeout_s, job_id)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -147,6 +147,11 @@ class UsageStore:
         self.path = str(path)
         self._lock = threading.RLock()
         self._crash_hooks: Dict[str, Callable[[], None]] = {}
+        #: In-flight quota reservations (job_id -> tenant_id).  Purely
+        #: in-memory: a reservation exists only while the job that took it
+        #: is dispatched-but-unbilled in *this* process, so a restart can
+        #: never leak one.
+        self._reservations: Dict[str, str] = {}
         #: Committed write transactions — with synchronous=FULL, a lower
         #: bound on the fsyncs the durability story paid for.
         self.fsyncs = 0
@@ -265,6 +270,46 @@ class UsageStore:
                     "UPDATE tenants SET quota_ns = ? WHERE tenant_id = ?",
                     (quota_ns, tenant_id))
         return self.tenant(tenant_id)
+
+    # -- quota reservations ------------------------------------------------
+
+    def try_reserve(self, tenant_id: str, job_id: str) -> bool:
+        """Atomically check the tenant's quota and reserve admission.
+
+        The check-then-dispatch race lives here: billing lands long after
+        admission, so "ledger total < quota" alone lets N racing
+        submissions all pass before any of them bills.  Under the store
+        lock this re-reads the tenant row (a concurrent ``set_quota`` is
+        always honoured), then admits only if the tenant is under budget
+        **and** has no other dispatched-but-unbilled job holding a
+        reservation — one in-flight job pessimistically reserves the whole
+        remaining budget, which is exactly serial admission.  Unlimited
+        tenants (``quota_ns`` NULL) are admitted without a reservation and
+        never serialise.
+
+        Returns True if the job may dispatch; the caller must
+        :meth:`release_reservation` once the job reaches a terminal state.
+        """
+        with self._lock:
+            tenant = self.tenant(tenant_id)  # KeyError on unknown tenant
+            quota_ns = tenant["quota_ns"]
+            if quota_ns is None:
+                return True
+            if tenant_id in self._reservations.values():
+                return False
+            if self.ledger_total_ns(tenant_id) >= quota_ns:
+                return False
+            self._reservations[job_id] = tenant_id
+            return True
+
+    def release_reservation(self, job_id: str) -> None:
+        """Drop a job's quota reservation (no-op if it never took one)."""
+        with self._lock:
+            self._reservations.pop(job_id, None)
+
+    def reservation_count(self) -> int:
+        with self._lock:
+            return len(self._reservations)
 
     # -- jobs --------------------------------------------------------------
 

@@ -110,6 +110,56 @@ class TestBrokenPoolRecovery:
         assert message
 
 
+def _poison_execute(spec, timeout_s):
+    """Worker-side wrapper producing an unpicklable *result*: the run
+    itself succeeds, but the payload cannot cross the pickle boundary back
+    to the parent, so the future raises in the parent instead."""
+    from repro.runner import pool as pool_module
+
+    payload = pool_module._real_execute_spec(spec, timeout_s)
+    if spec.label == "poison":
+        return ("ok", lambda: None, payload[2])
+    return payload
+
+
+class TestUnpicklableResult:
+    def test_unpicklable_result_consumes_retry_budget(self, monkeypatch):
+        """A future that raises (unpicklable result) must route through
+        the same bounded-retry fold as a worker crash: the point charges
+        every attempt, emits RETRIED events, and lands as a structured
+        failure naming the pickling error — never a terminal failure on
+        attempt one with retries left, and never a lost sweep."""
+        from repro.runner import pool as pool_module
+        from repro.runner.progress import FAILED, RETRIED
+
+        monkeypatch.setattr(pool_module, "_real_execute_spec",
+                            pool_module._execute_spec, raising=False)
+        monkeypatch.setattr(pool_module, "_execute_spec", _poison_execute)
+
+        poison = ExperimentSpec(program="O",
+                                program_kwargs={"iterations": 40},
+                                label="poison")
+        sweep = [_good("g0"), poison, _good("g1")]
+        runner = BatchRunner(jobs=2, retries=2)
+        outcomes = runner.run(sweep)
+
+        by_label = {o.spec.label: o for o in outcomes}
+        bad = by_label["poison"]
+        assert not bad.ok
+        assert bad.attempts == 3  # 1 initial + 2 retries, fully consumed
+        assert bad.failure.attempts == 3
+        assert "pickle" in bad.failure.message.lower()
+        assert bad.failure.message  # never an empty failure message
+
+        kinds = [e.kind for e in runner.telemetry.events if e.index == 1]
+        assert kinds.count(RETRIED) == 2
+        assert kinds.count(FAILED) == 1
+
+        # The rest of the sweep is untouched.
+        for label in ("g0", "g1"):
+            assert by_label[label].ok, str(by_label[label].failure)
+
+
 class TestFractionalTimeout:
     def test_sub_second_timeout_fires(self, monkeypatch):
         # With alarm()-based enforcement int(0.3) == 0 disables the timer

@@ -241,6 +241,7 @@ class TestMetricsExposition:
         assert families == [
             "repro_serve_jobs_total",
             "repro_serve_jobs_inflight",
+            "repro_serve_jobs_failed_total",
             "repro_serve_jobs_served_from_ledger_total",
             "repro_serve_billed_ns_total",
             "repro_serve_ledger_entries_total",

@@ -32,20 +32,21 @@ from repro.verify.fuzz import generate_scenario, run_scenario
 SCALE = 0.05
 
 #: spec_key() of five pinned specs.  Identity hashes cover repro_version,
-#: so these are re-stamped at every version bump (1.4.0 -> 1.5.0 -> 1.6.0)
-#: after verifying they matched the pre-SMP tree at equal version; the
-#: version-free checks below (key neutrality, result/fuzz/trace digests)
-#: are the pre-SMP goldens verbatim.  The vm spec is key-only (hypervisor
-#: runs are covered by their own suite); the other four also pin the full
-#: result document below.
+#: so these are re-stamped at every version bump
+#: (1.4.0 -> 1.5.0 -> 1.6.0 -> 1.7.0) after verifying they matched the
+#: pre-SMP tree at equal version; the version-free checks below (key
+#: neutrality, result/fuzz/trace digests) are the pre-SMP goldens
+#: verbatim.  The vm spec is key-only (hypervisor runs are covered by
+#: their own suite); the other four also pin the full result document
+#: below.
 GOLDEN_SPEC_KEYS = {
-    "O:none": "696a3a6e3e4378586df07a9ab2df7aeebded2c1d4a40dd32eab87e7492b09668",
-    "W:none": "220747426e67b788c8b36fc911e85ba814e4c3d7685f08d8c198b3f78fd23462",
-    "O:shell": "4a011fda6a909d4fdd3f3f52e5609a5a40a117809de029e9b60b5e51474bc25b",
+    "O:none": "8e658503b004badb23c4621922b7696a3ef1e00af1c02b3decf28c44522e06ca",
+    "W:none": "f7ee5fae77d18954179767e769bd9877fd6bbf98424ecc73bd4a50eb49f66485",
+    "O:shell": "b4d1226fb07d3e6020719c8c75fa793dd060c3aad120a841f9b9675652f74730",
     "W:scheduling":
-        "4347bad6d215b389934745d199a050c9b008ecc43ee3faf77387f2f3690b9f57",
+        "b840d73eef38970b58feadcb0b22cc07718c86678141a004d65b17d6ce9b5228",
     "vm:W:none":
-        "d5d49d39c8d42fbde0ac8fef27706673e169d92b23e1587c0989a6163c1d8351",
+        "433669cf7c2c72f862558574d1d9e135cc187767ca36038813798e7c9b9b80d8",
 }
 
 #: sha256 over json.dumps(result.to_dict(), sort_keys, compact) — every
