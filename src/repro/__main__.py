@@ -26,6 +26,12 @@ Commands:
   clocksource watchdog on and off; print fault/watchdog counters, the
   trust-annotated invoice and the user-side verification, and check that
   the watchdog holds metering error down (see docs/faults.md);
+* ``timesync [--offset-ns N] [--protocol ptp|ntp] [--program W]
+  [--json P]`` — run one workload clean, then under a network sync
+  attack (delay-asymmetry steering the host clock) with the guest-side
+  offset estimator on and off; print the sync telemetry, the
+  trust-annotated invoice, and check that the defense bounds the
+  cross-host billing error (see docs/timesync.md);
 * ``serve [--host H] [--port P] [--db PATH] [--jobs N] [--selftest]`` —
   the multi-tenant metering daemon: tenants register, submit workload
   specs over a JSON HTTP API, and get invoices, trust reports and
@@ -495,6 +501,135 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_timesync(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.figures import paper_workload_params
+    from .metering.billing import TrustReport, invoice_for
+    from .runner import ExperimentSpec
+    from .runner.specs import run_spec, spec_key
+    from .timesync import sweep_timesync
+
+    _apply_invariants_flag(args)
+    check_invariants = True if args.check_invariants else None
+    program_kwargs = paper_workload_params(args.scale)[args.program]
+    offset_ns = args.offset_ns
+
+    def spec(timesync, tag):
+        return ExperimentSpec(
+            program=args.program, program_kwargs=program_kwargs,
+            timesync=timesync, check_invariants=check_invariants,
+            label=f"timesync:{args.program}:{tag}")
+
+    sync_on = sweep_timesync(offset_ns, defense=True,
+                             protocol=args.protocol)
+    sync_off = sweep_timesync(offset_ns, defense=False,
+                              protocol=args.protocol)
+    specs = [spec(None, "clean"),
+             spec(sync_on.to_dict(), "defense-on"),
+             spec(sync_off.to_dict(), "defense-off")]
+    runner = _make_runner(args, quiet=True)
+    if runner is None:
+        results = [run_spec(s) for s in specs]
+    else:
+        results = runner.run_results(specs)
+    clean, def_on, def_off = results
+
+    print(f"sync attack (target offset {offset_ns}ns, "
+          f"{args.protocol}): {sync_on.describe()}")
+    errors = {}
+    for tag, res in zip(("clean", "defense-on", "defense-off"), results):
+        skew_ns = res.stats.get("timesync_billed_skew_ns", 0)
+        err = abs(res.total_s + skew_ns / 1e9 - res.oracle_own_s())
+        errors[tag] = err
+        print(f"{tag:<12} billed {res.total_s + skew_ns / 1e9:.6f}s "
+              f"(oracle {res.oracle_own_s():.6f}s, error {err * 1e3:.3f}ms)")
+        if "timesync_rounds" in res.stats:
+            print(f"             rounds={res.stats['timesync_rounds']} "
+                  f"lost={res.stats['timesync_lost_rounds']} "
+                  f"terminal offset="
+                  f"{res.stats['timesync_offset_ns'] / 1e3:.1f}us")
+        if "timesync_est_offset_ns" in res.stats:
+            print(f"             estimator: est="
+                  f"{res.stats['timesync_est_offset_ns'] / 1e3:.1f}us "
+                  f"correction="
+                  f"{res.stats['timesync_correction_ns'] / 1e3:.1f}us "
+                  f"uncertainty="
+                  f"{res.stats['timesync_uncertainty_ns'] / 1e3:.1f}us "
+                  f"rounds T/D/U={res.stats['timesync_trusted']}/"
+                  f"{res.stats['timesync_degraded']}/"
+                  f"{res.stats['timesync_untrusted']}")
+
+    trust = TrustReport.from_stats(def_on.stats)
+    invoice = invoice_for(args.program, def_on.usage, trust=trust)
+    print()
+    print(invoice.render())
+
+    checks = []
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        checks.append({"name": name, "passed": bool(passed),
+                       "detail": detail})
+
+    check("inert timesync spec hashes identically to no spec",
+          spec_key(spec(None, "a"))
+          == spec_key(spec({"drift_ppb": 0}, "b")),
+          "cache identity preserved for sync-free runs")
+    if offset_ns > 0:
+        check("defense reduces cross-host billing error",
+              errors["defense-on"] < errors["defense-off"],
+              f"on={errors['defense-on'] * 1e3:.3f}ms "
+              f"off={errors['defense-off'] * 1e3:.3f}ms")
+        check("defended residual within the declared uncertainty",
+              errors["defense-on"]
+              <= trust.uncertainty_s + max(2 * errors["clean"], 0.02),
+              f"err={errors['defense-on'] * 1e3:.3f}ms "
+              f"bound={trust.uncertainty_s * 1e3:.3f}ms")
+        check("estimator degrades trust under the sync attack",
+              not trust.is_trusted and trust.uncertainty_ns > 0,
+              f"trust={trust.level.value} "
+              f"uncertainty={trust.uncertainty_s * 1e3:.3f}ms")
+        off_trust = TrustReport.from_stats(def_off.stats)
+        check("undefended run silently stays TRUSTED (the lie)",
+              off_trust.is_trusted,
+              f"defense-off trust={off_trust.level.value}")
+
+    print()
+    ok = True
+    for entry in checks:
+        status = "PASS" if entry["passed"] else "FAIL"
+        ok = ok and entry["passed"]
+        print(f"  [{status}] {entry['name']} ({entry['detail']})")
+
+    if args.json:
+        doc = {
+            "command": "timesync",
+            "program": args.program,
+            "offset_ns": offset_ns,
+            "protocol": args.protocol,
+            "scale": args.scale,
+            "spec": sync_on.to_dict(),
+            "check_invariants": bool(args.check_invariants),
+            "passed": ok,
+            "checks": checks,
+            "errors_s": errors,
+            "trust": {
+                "level": trust.level.value,
+                "uncertainty_ns": trust.uncertainty_ns,
+                "intervals_trusted": trust.intervals_trusted,
+                "intervals_degraded": trust.intervals_degraded,
+                "intervals_untrusted": trust.intervals_untrusted,
+            },
+            "results": {spec_.name: res.to_dict()
+                        for spec_, res in zip(specs, results)},
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.selftest:
         import json as _json
@@ -529,12 +664,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from .runner import ConsoleProgress, ResultCache
 
     _apply_invariants_flag(args)
+    kwargs = {}
+    if args.sync_prevalence > 0:
+        kwargs["sync_mix"] = ((0, 1.0 - args.sync_prevalence),
+                              (args.sync_offset_ns, args.sync_prevalence))
     fleet = FleetSpec(hosts=args.hosts, guests=args.guests,
                       prevalence=args.prevalence, seed=args.seed,
-                      scale=args.scale, vm_fraction=args.vm_fraction)
+                      scale=args.scale, vm_fraction=args.vm_fraction,
+                      **kwargs)
     print(f"fleet: {fleet.hosts} hosts x {fleet.guests} guests "
           f"(prevalence {fleet.prevalence}, seed {fleet.seed}, "
           f"scale {fleet.scale}, {args.jobs} job(s))")
+    if args.sync_prevalence > 0:
+        print(f"sync-attack mix: {args.sync_prevalence:.0%} of bare-metal "
+              f"hosts steered to {args.sync_offset_ns}ns offset")
     start = _time.perf_counter()
     aggregator = run_fleet(
         fleet, jobs=args.jobs,
@@ -674,7 +817,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("fig_id",
                      choices=[f"fig{n}" for n in range(4, 12)]
-                             + ["vmsched", "faultsweep", "smp", "fleet"])
+                             + ["vmsched", "faultsweep", "smp", "fleet",
+                                "timesync"])
     fig.add_argument("--scale", type=float, default=0.4)
     add_runner_flags(fig)
     fig.set_defaults(func=_cmd_figure)
@@ -751,6 +895,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_flags(faults)
     faults.set_defaults(func=_cmd_faults)
 
+    timesync = sub.add_parser(
+        "timesync", help="network time plane: sync attack vs guest defense")
+    timesync.add_argument("--offset-ns", type=int, default=5_000_000,
+                          help="clock offset the attacker steers the host "
+                               "to, in ns (default 5ms)")
+    timesync.add_argument("--protocol", choices=["ptp", "ntp"],
+                          default="ptp",
+                          help="sync protocol the host runs (default ptp)")
+    timesync.add_argument("--program", choices=["O", "P", "W", "B"],
+                          default="W", help="workload to meter (default W)")
+    timesync.add_argument("--scale", type=float, default=0.4)
+    timesync.add_argument("--json", metavar="PATH", default=None,
+                          help="write a machine-readable report to PATH")
+    add_runner_flags(timesync)
+    timesync.set_defaults(func=_cmd_timesync)
+
     serve = sub.add_parser(
         "serve", help="multi-tenant metering daemon (JSON API over HTTP)")
     serve.add_argument("--host", default="127.0.0.1",
@@ -792,6 +952,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--vm-fraction", type=float, default=0.5,
                        help="fraction of hosts that are hypervisor hosts "
                             "(default 0.5)")
+    fleet.add_argument("--sync-prevalence", type=float, default=0.0,
+                       help="probability a bare-metal host is under a "
+                            "network sync attack (default 0: no time "
+                            "plane, population identical to earlier "
+                            "releases)")
+    fleet.add_argument("--sync-offset-ns", type=int, default=5_000_000,
+                       help="clock offset sync-attacked hosts are steered "
+                            "to, in ns (default 5ms)")
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the full aggregate report to PATH")
     fleet.add_argument("--quiet", action="store_true",

@@ -130,7 +130,8 @@ def run_experiment(program: Program,
                    trace=(),
                    check_invariants: Optional[bool] = None,
                    machine_hook=None,
-                   faults=None) -> ExperimentResult:
+                   faults=None,
+                   timesync=None) -> ExperimentResult:
     """Execute ``program`` under ``attack`` on a fresh machine.
 
     ``extra_libraries`` installs additional shared objects (e.g. a plugin
@@ -145,13 +146,18 @@ def run_experiment(program: Program,
     accounting corruption.  ``faults`` (a :class:`~repro.faults.FaultPlan`
     or mapping) injects deterministic hardware misbehaviour; fault and
     watchdog counters land in ``stats`` when a plan is active.
+    ``timesync`` (a :class:`~repro.timesync.TimeSyncSpec` or mapping)
+    attaches the simulated network time plane; ``timesync_*`` counters —
+    including the cross-host billing skew — land in ``stats`` when the
+    spec is active.
     """
     attack = attack or NoAttack()
     if check_invariants is None:
         from ..verify.invariants import default_invariants
         check_invariants = default_invariants()
     machine = Machine(cfg or default_config(), trace=trace,
-                      invariants=bool(check_invariants), faults=faults)
+                      invariants=bool(check_invariants), faults=faults,
+                      timesync=timesync)
     if machine_hook is not None:
         machine_hook(machine)
     install_standard_libraries(machine.kernel.libraries)
@@ -195,6 +201,10 @@ def run_experiment(program: Program,
         # Close the trailing trust interval before the final sweep so the
         # uncertainty totals in stats cover the whole run.
         machine.watchdog.finalize(machine.clock.now)
+    if machine.timesync is not None:
+        # Settle the disciplined clock and run the timesync-conservation
+        # cross-check before the full sweep.
+        machine.timesync.finalize(machine.clock.now)
     machine.check_invariants()
 
     group = machine.kernel.thread_group(victim)
@@ -218,6 +228,10 @@ def run_experiment(program: Program,
         if machine.invariant_checker is not None:
             stats["tolerated_violations"] = \
                 len(machine.invariant_checker.tolerated_violations)
+    if machine.timesync is not None:
+        # Timesync counters exist only on timesync-active runs, same
+        # discipline as fault stats.
+        stats.update(machine.timesync.stats())
     if machine.cfg.nproc > 1:
         # SMP counters only exist on SMP runs so uniprocessor results
         # (and their cached digests) stay byte-identical to pre-SMP ones.

@@ -733,6 +733,125 @@ def figure_faultsweep(scale: float = 1.0,
     return fig
 
 
+#: Injected clock offsets (ns) swept by the timesync figure.
+SYNC_OFFSETS: Tuple[int, ...] = (0, 2_000_000, 5_000_000, 10_000_000)
+
+
+def _sync_error_s(res) -> float:
+    """Cross-host billing error: the bill is stamped end-on-local-clock,
+    so it absorbs the run's terminal sync skew (already corrected by the
+    estimator when the defense was on)."""
+    skew_ns = res.stats.get("timesync_billed_skew_ns", 0)
+    return abs(res.total_s + skew_ns / 1e9 - res.oracle_own_s())
+
+
+def figure_timesync(scale: float = 1.0,
+                    cfg: Optional[MachineConfig] = None,
+                    runner: Optional[BatchRunner] = None) -> FigureResult:
+    """Cross-host billing error vs injected clock offset, defense on/off.
+
+    The network-time analogue of ``faultsweep``: a delay-asymmetry attack
+    (``sweep_timesync``; docs/timesync.md) biases every PTP offset
+    estimate, the victim's servo faithfully steers its clock off true
+    time, and a meter that stamps job boundaries across hosts mis-bills
+    by exactly the terminal skew.  With the guest-side offset estimator
+    armed, servo activity beyond the honest-oscillator envelope is
+    clipped out of the bill and the residual stays inside the declared
+    uncertainty; without it the error grows linearly with the injected
+    offset — silently, with a TRUSTED invoice.
+    """
+    from ..timesync import sweep_timesync
+    from ..timesync.spec import DEFAULT_INTERVAL_NS
+
+    wkw = paper_workload_params(scale)["W"]
+    # The workload shrinks with ``scale`` but a fixed 100ms sync cadence
+    # would starve the servo of rounds on short runs; shrink the exchange
+    # interval in step (floor 2ms) so the round count stays comparable.
+    # At scale >= 1 this is exactly the default interval.
+    interval_ns = max(2_000_000, int(DEFAULT_INTERVAL_NS * min(scale, 1.0)))
+    specs: List[ExperimentSpec] = []
+    for offset_ns in SYNC_OFFSETS:
+        for defense in (True, False):
+            sync = sweep_timesync(offset_ns, defense=defense,
+                                  interval_ns=interval_ns)
+            specs.append(ExperimentSpec(
+                program="W", program_kwargs=wkw, cfg=cfg,
+                timesync=sync.to_dict(),
+                label=f"timesync:off={offset_ns}:"
+                      f"def={'on' if defense else 'off'}"))
+    results = _execute(specs, runner)
+
+    fig = FigureResult(
+        "timesync",
+        "Time-plane attack: cross-host billing error vs injected offset")
+    errors_on: List[float] = []
+    errors_off: List[float] = []
+    pairs = list(zip(results[::2], results[1::2]))
+    for offset_ns, (on, off) in zip(SYNC_OFFSETS, pairs):
+        label = f"offset={offset_ns / 1e6:g}ms"
+        fig.results[f"{label}:defense-on"] = on
+        fig.results[f"{label}:defense-off"] = off
+        errors_on.append(_sync_error_s(on))
+        errors_off.append(_sync_error_s(off))
+        fig.series.append((label, _bar("defense on", on),
+                           _bar("defense off", off)))
+
+    top_on = pairs[-1][0]
+    uncertainty_top_s = top_on.stats.get("timesync_uncertainty_ns", 0) / 1e9
+    fig.meta = {
+        "offsets_ns": list(SYNC_OFFSETS),
+        "error_defense_on_s": [round(e, 6) for e in errors_on],
+        "error_defense_off_s": [round(e, 6) for e in errors_off],
+        "oracle_s": [round(r.oracle_own_s(), 6) for r in results[::2]],
+        "terminal_offset_ns": [r.stats.get("timesync_offset_ns", 0)
+                               for r in results[1::2]],
+        "uncertainty_top_s": uncertainty_top_s,
+    }
+
+    zero_on, zero_off = pairs[0]
+    fig.checks.append(Check(
+        "zero offset: defense toggle leaves the bill unchanged",
+        zero_on.stats.get("timesync_billed_skew_ns")
+        == zero_off.stats.get("timesync_billed_skew_ns")
+        and abs(_sync_error_s(zero_on) - _sync_error_s(zero_off)) < 1e-9,
+        f"on={_sync_error_s(zero_on):.6f}s "
+        f"off={_sync_error_s(zero_off):.6f}s"))
+    fig.checks.append(Check(
+        "defense strictly reduces billing error at every nonzero offset",
+        all(on < off for on, off in zip(errors_on[1:], errors_off[1:])),
+        f"on={['%.4f' % e for e in errors_on[1:]]} "
+        f"off={['%.4f' % e for e in errors_off[1:]]}"))
+    fig.checks.append(Check(
+        "undefended error grows with the injected offset",
+        all(a < b for a, b in zip(errors_off[1:], errors_off[2:]))
+        and errors_off[-1] > errors_off[0] + 0.005,
+        f"off={['%.4f' % e for e in errors_off]}"))
+    terminal = pairs[-1][1].stats.get("timesync_offset_ns", 0)
+    target = -SYNC_OFFSETS[-1]  # asymmetry steers the clock *behind*
+    fig.checks.append(Check(
+        "servo converges onto the attacker's target offset",
+        abs(terminal - target) <= abs(target) * 0.05 + 200_000,
+        f"terminal={terminal}ns target={target}ns"))
+    degraded = top_on.stats.get("timesync_degraded", 0)
+    untrusted = top_on.stats.get("timesync_untrusted", 0)
+    fig.checks.append(Check(
+        "estimator grades rounds DEGRADED/UNTRUSTED at the top offset",
+        degraded + untrusted > 0 and uncertainty_top_s > 0,
+        f"degraded={degraded} untrusted={untrusted} "
+        f"uncertainty={uncertainty_top_s:.6f}s"))
+    fig.checks.append(Check(
+        "defended error within the declared uncertainty bound",
+        errors_on[-1] <= uncertainty_top_s + max(2 * errors_on[0], 0.02),
+        f"err={errors_on[-1]:.4f}s bound={uncertainty_top_s:.6f}s"))
+    silent = pairs[-1][1].stats
+    fig.checks.append(Check(
+        "undefended run carries no trust downgrade (the silent lie)",
+        "timesync_untrusted" not in silent
+        and "timesync_uncertainty_ns" not in silent,
+        "defense-off stats expose no estimator grades"))
+    return fig
+
+
 #: Attacker co-residency rates swept by the fleet figure.
 FLEET_PREVALENCES: Tuple[float, ...] = (0.0, 0.2, 0.5)
 
@@ -856,6 +975,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "faultsweep": figure_faultsweep,
     "smp": figure_smp,
     "fleet": figure_fleet,
+    "timesync": figure_timesync,
 }
 
 
@@ -898,6 +1018,13 @@ PAPER_REFERENCE: Dict[str, Dict[str, object]] = {
                            "faults and shows the clocksource watchdog "
                            "holding metering error down vs an unwatched "
                            "kernel (docs/faults.md)"},
+    "timesync": {"note": "network-time figure, not from the paper: "
+                         "metering trusts the host clock, and the host "
+                         "clock trusts the sync daemon — a delay-asymmetry "
+                         "attack (cf. Breaking Precision Time, PAPERS.md) "
+                         "steers it arbitrarily far while every packet "
+                         "looks honest; the platform-agnostic guest "
+                         "estimator bounds the damage (docs/timesync.md)"},
     "fleet": {"note": "population figure, not from the paper: the §IV "
                       "attacks at datacenter scale — a seeded fleet of "
                       "hosts swept over attacker co-residency rates, "

@@ -273,6 +273,53 @@ def _bench_watchdog_check(quick: bool) -> BenchSpec:
                           "every 8th")
 
 
+def _bench_sync_round(quick: bool) -> BenchSpec:
+    from ..sim.rng import DeterministicRng
+    from ..timesync import LinkModel, SyncNetwork, sweep_sync_plan
+
+    # Attacked + jittered so the exchange takes every branch: loss draw,
+    # asymmetry add, tamper draws, servo update.
+    net = SyncNetwork(DeterministicRng(42),
+                      attack=sweep_sync_plan(5_000_000),
+                      link=LinkModel(base_delay_ns=500_000,
+                                     jitter_ns=100_000))
+    daemon = net.add_host("bench", drift_ppb=40_000)
+    interval = daemon.interval_ns
+    ops = 20_000 if quick else 100_000
+
+    def fn(n: int) -> None:
+        exchange = net.exchange
+        for i in range(1, n + 1):
+            exchange(daemon, i * interval)
+
+    return BenchSpec(name="timesync.sync_round", kind="micro", ops=ops,
+                     fn=fn,
+                     note="one full two-way sync exchange per op "
+                          "(delay-asymmetry attack + servo armed)")
+
+
+def _bench_servo_step(quick: bool) -> BenchSpec:
+    from ..timesync.netplane import LocalClock, PtpDaemon
+
+    clock = LocalClock(drift_ppb=40_000)
+    daemon = PtpDaemon("bench", clock, 100_000_000)
+    interval = daemon.interval_ns
+    ops = 40_000 if quick else 200_000
+
+    def fn(n: int) -> None:
+        update = daemon.servo_update
+        for i in range(1, n + 1):
+            # Alternate sub-threshold (slew) and over-threshold (step)
+            # estimates so both servo paths stay hot.
+            est = 2_000_000 if i % 8 == 0 else -40_000
+            update(est, 500_000, i * interval)
+
+    return BenchSpec(name="timesync.servo_step", kind="micro", ops=ops,
+                     fn=fn,
+                     note="one servo decision per op (PI slew with a "
+                          "step every 8th)")
+
+
 # ---------------------------------------------------------------------------
 # hypervisor: tick path and vCPU context switch
 # ---------------------------------------------------------------------------
@@ -465,6 +512,8 @@ MICRO_BUILDERS = [
     ("sched.load_balance", _bench_load_balance),
     ("fault.tick", _bench_fault_tick),
     ("watchdog.check", _bench_watchdog_check),
+    ("timesync.sync_round", _bench_sync_round),
+    ("timesync.servo_step", _bench_servo_step),
     ("cache.roundtrip", _bench_cache),
     ("fleet.expand", _bench_fleet_expand),
     ("fleet.aggregate", _bench_fleet_aggregate),

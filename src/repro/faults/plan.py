@@ -23,7 +23,7 @@ point for point.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Set
+from typing import Any, Dict, Mapping, Optional, Set
 
 from ..errors import ConfigError
 
@@ -51,6 +51,11 @@ class FaultPlan:
     #: (firmware owns the core; the OS sees nothing).
     smi_period_ns: int = 0
     smi_duration_ns: int = 0
+    #: Which CPU's local timer the tick faults above target on an SMP
+    #: machine.  None (the default) preserves the historical behavior —
+    #: CPU 0, the timekeeping CPU — and is omitted from the serialized
+    #: form so every pre-existing plan identity stays byte-identical.
+    tick_cpu: Optional[int] = None
 
     # -- TSC faults (read-side: metering ground truth is untouched) --------
     #: Frequency error of the TSC clocksource, in parts per million.
@@ -63,6 +68,10 @@ class FaultPlan:
     #: start (a halted/deep-C-state TSC).
     tsc_freeze_duration_cycles: int = 0
     tsc_freeze_period_cycles: int = 0
+    #: Which CPU's TSC the faults above corrupt on an SMP machine (a
+    #: desynced socket).  None = CPU 0, omitted when serialized, exactly
+    #: like ``tick_cpu``.
+    tsc_cpu: Optional[int] = None
 
     # -- spurious interrupt storm -----------------------------------------
     #: Rate of spurious device interrupts (no payload behind them), in
@@ -110,6 +119,11 @@ class FaultPlan:
         if self.tick_delay_prob > 0 and self.tick_delay_max_ns <= 0:
             raise ConfigError("tick_delay_prob needs a positive "
                               "tick_delay_max_ns")
+        for name in ("tick_cpu", "tsc_cpu"):
+            cpu = getattr(self, name)
+            if cpu is not None and (not isinstance(cpu, int) or cpu < 0):
+                raise ConfigError(f"{name} must be None or a CPU index "
+                                  f">= 0, got {cpu!r}")
 
     # -- structure queries -------------------------------------------------
 
@@ -147,8 +161,15 @@ class FaultPlan:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Full plain-data form (every field, defaults included)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Full plain-data form (every field, defaults included — except
+        the CPU-targeting fields, omitted while None so plan documents
+        and every identity derived from them predate-SMP-targeting
+        byte-identically)."""
+        doc = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in ("tick_cpu", "tsc_cpu"):
+            if doc[name] is None:
+                del doc[name]
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
@@ -177,6 +198,10 @@ class FaultPlan:
             parts.append(f"tsc-step {self.tsc_step_cycles}cy")
         if self.tsc_freeze_duration_cycles > 0:
             parts.append("tsc-freeze")
+        if self.tick_cpu is not None:
+            parts.append(f"tick@cpu{self.tick_cpu}")
+        if self.tsc_cpu is not None:
+            parts.append(f"tsc@cpu{self.tsc_cpu}")
         if self.irq_storm_pps > 0:
             parts.append(f"irq-storm {self.irq_storm_pps:g}pps")
         if self.procfs_staleness_ns > 0:

@@ -45,6 +45,9 @@ class FleetUnit:
     #: Hardware-fault intensity drawn for the host (0.0 = honest).
     intensity: float
     spec: ExperimentSpec
+    #: Network sync-attack target offset drawn for the host (0 = no
+    #: time plane attached).
+    sync_offset_ns: int = 0
 
 
 def _draw(rng: random.Random, mix: Sequence[Tuple[Any, float]]) -> Any:
@@ -65,19 +68,32 @@ def _host_rng(fleet: FleetSpec, host: int) -> random.Random:
     return random.Random(f"fleet:{fleet.seed}:host:{host}")
 
 
+def _sync_active(fleet: FleetSpec) -> bool:
+    """True when the sync mix can actually draw a nonzero offset."""
+    return any(offset > 0 and weight > 0
+               for offset, weight in fleet.sync_mix)
+
+
 def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
     """Yield every guest slot of the population, in (host, guest) order.
 
     A generator on purpose: expansion is O(1) memory regardless of the
     host count.  Draw order per host is fixed (attacked, kind, nproc,
     intensity, burn, then one workload per guest) so adding a mix never
-    reshuffles the draws of unrelated dimensions.
+    reshuffles the draws of unrelated dimensions.  The sync-attack
+    offset draws from its own derived stream
+    (``fleet:<seed>:host:<i>:sync``) — and only when the mix can draw a
+    nonzero offset — so arming the time plane changes *which hosts are
+    sync-attacked* without reshuffling who is attacked, what anyone
+    runs, or any all-zero-mix population.
     """
     from ..analysis.figures import paper_workload_params
     from ..faults import sweep_plan
+    from ..timesync import sweep_timesync
 
     workload_params = paper_workload_params(fleet.scale)
     forks = max(1, int(BARE_ATTACK_FORKS * fleet.scale))
+    sync_active = _sync_active(fleet)
 
     for host in range(fleet.hosts):
         rng = _host_rng(fleet, host)
@@ -88,11 +104,18 @@ def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
         burn = float(_draw(rng, fleet.burn_mix))
         faults = (sweep_plan(intensity, watchdog=True).to_dict()
                   if intensity > 0 else None)
+        sync_offset = 0
+        if sync_active and kind == "bare":
+            sync_rng = random.Random(f"fleet:{fleet.seed}:host:{host}:sync")
+            sync_offset = int(_draw(sync_rng, fleet.sync_mix))
+        timesync = (sweep_timesync(sync_offset).to_dict()
+                    if sync_offset > 0 else None)
         for guest in range(fleet.guests):
             workload = _draw(rng, fleet.workload_mix)
             kwargs = dict(workload_params[workload])
             label = (f"fleet:h{host}:g{guest}:{kind}:{workload}"
-                     f"{':attacked' if attacked else ''}")
+                     f"{':attacked' if attacked else ''}"
+                     f"{f':sync={sync_offset}' if sync_offset else ''}")
             if kind == "vm":
                 spec = ExperimentSpec(
                     program=workload, program_kwargs=kwargs,
@@ -106,10 +129,12 @@ def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
                     attack=BARE_ATTACK if attacked else None,
                     attack_kwargs=({"nice": BARE_ATTACK_NICE,
                                     "forks": forks} if attacked else {}),
-                    nproc=nproc, faults=faults, label=label)
+                    nproc=nproc, faults=faults, timesync=timesync,
+                    label=label)
             yield FleetUnit(host=host, guest=guest, kind=kind,
                             workload=workload, attacked=attacked,
-                            intensity=intensity, spec=spec)
+                            intensity=intensity, spec=spec,
+                            sync_offset_ns=sync_offset)
 
 
 @dataclass(frozen=True)
@@ -145,6 +170,7 @@ def distinct_units(fleet: FleetSpec) -> List[UnitGroup]:
         label = (f"fleet:{unit.kind}:{unit.workload}"
                  f"{':attacked' if unit.attacked else ''}"
                  f"{f':i={unit.intensity}' if unit.intensity else ''}"
+                 f"{f':sync={unit.sync_offset_ns}' if unit.sync_offset_ns else ''}"
                  f":x{weight}")
         unit = replace(unit, spec=replace(unit.spec, label=label))
         result.append(UnitGroup(key=key, unit=unit, weight=weight))

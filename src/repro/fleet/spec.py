@@ -74,6 +74,16 @@ class FleetSpec:
     #: Tick-fraction burned by the VM tick-dodging attacker.
     burn_mix: Tuple[Tuple[float, float], ...] = field(
         default_factory=lambda: _mix((0.6, 0.4), (0.9, 0.6)))
+    #: Network sync-attack mix: (target clock offset in ns, weight)
+    #: pairs.  Offset 0 means the host runs no time plane at all; the
+    #: all-zero default expands to exactly the pre-timesync population
+    #: (the sync draw is skipped entirely, keeping earlier fleets
+    #: bit-identical).  Nonzero offsets attach
+    #: ``repro.timesync.sweep_timesync(offset)`` to bare-metal hosts —
+    #: the time plane disciplines the bare-metal host, so hypervisor
+    #: hosts keep their drawn offset at 0.
+    sync_mix: Tuple[Tuple[int, float], ...] = field(
+        default_factory=lambda: _mix((0, 1.0)))
 
     def __post_init__(self) -> None:
         if not isinstance(self.hosts, int) or self.hosts < 1:
@@ -91,7 +101,8 @@ class FleetSpec:
         if not float(self.scale) > 0:
             raise FleetSpecError(f"scale must be positive, "
                                  f"got {self.scale!r}")
-        for name in ("workload_mix", "fault_mix", "nproc_mix", "burn_mix"):
+        for name in ("workload_mix", "fault_mix", "nproc_mix", "burn_mix",
+                     "sync_mix"):
             mix = getattr(self, name)
             if not mix:
                 raise FleetSpecError(f"{name} must not be empty")
@@ -118,6 +129,11 @@ class FleetSpec:
             if not 0.0 <= float(intensity) <= 1.0:
                 raise FleetSpecError(f"fault_mix intensities must be in "
                                      f"[0, 1], got {intensity!r}")
+        for offset, _ in self.sync_mix:
+            if not isinstance(offset, int) or offset < 0:
+                raise FleetSpecError(f"sync_mix offsets must be "
+                                     f"non-negative integers (ns), "
+                                     f"got {offset!r}")
 
     @property
     def population(self) -> int:
@@ -139,11 +155,14 @@ class FleetSpec:
             "nproc_mix": [[nproc, weight]
                           for nproc, weight in self.nproc_mix],
             "burn_mix": [[burn, weight] for burn, weight in self.burn_mix],
+            "sync_mix": [[offset, weight]
+                         for offset, weight in self.sync_mix],
         }
 
 
 _FLEET_FIELDS = frozenset(f.name for f in fields(FleetSpec))
-_MIX_FIELDS = ("workload_mix", "fault_mix", "nproc_mix", "burn_mix")
+_MIX_FIELDS = ("workload_mix", "fault_mix", "nproc_mix", "burn_mix",
+               "sync_mix")
 
 
 def fleet_from_dict(doc: Mapping[str, Any]) -> FleetSpec:

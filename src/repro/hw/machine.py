@@ -42,7 +42,8 @@ class Machine:
     def __init__(self, cfg: Optional[MachineConfig] = None,
                  trace: Iterable[str] = (),
                  invariants=None,
-                 faults=None) -> None:
+                 faults=None,
+                 timesync=None) -> None:
         """``invariants`` enables the runtime invariant checker: False/None
         (off), True (raise on first violation), ``"collect"`` (record
         violations on ``machine.invariant_checker.violations``), or a
@@ -54,12 +55,20 @@ class Machine:
         /proc, plus the clocksource-watchdog defense.  An empty plan is
         treated exactly like no plan: no injector or watchdog is installed
         and the machine is bit-identical to a fault-free one.
+
+        ``timesync`` is an optional :class:`~repro.timesync.TimeSyncSpec`
+        (or mapping): the simulated network time plane — a PTP/NTP daemon
+        disciplining this host's clock over an attackable link.  An inert
+        spec is treated exactly like no spec: nothing is constructed and
+        the machine is bit-identical to a pre-timesync one.
         """
         from ..faults import normalize_plan
+        from ..timesync import normalize_timesync
 
         self.cfg = cfg or default_config()
         self.cfg.validate()
         self.fault_plan = normalize_plan(faults)
+        self.timesync_spec = normalize_timesync(timesync)
         self.clock = Clock()
         self.events = EventQueue()
         self.rng = DeterministicRng(self.cfg.seed)
@@ -98,6 +107,11 @@ class Machine:
             self.invariant_checker.attach(self.kernel)
         if self.fault_plan is not None:
             self._install_faults(self.fault_plan)
+        self.timesync = None
+        if self.timesync_spec is not None:
+            from ..timesync.host import MachineTimeSync
+
+            self.timesync = MachineTimeSync(self.timesync_spec, self)
         for timer in self.timers:
             timer.start()
 
@@ -119,12 +133,23 @@ class Machine:
         from ..faults import IrqStorm, StaleProcfs, TickFaultInjector, TscFault
         from ..kernel.timekeeping import ClocksourceWatchdog
 
+        def _target(name, devices):
+            idx = getattr(plan, name)
+            if idx is None:
+                return devices[0]
+            if idx >= self.cfg.nproc:
+                raise SimulationError(
+                    f"fault plan targets {name}={idx} but the machine "
+                    f"has nproc={self.cfg.nproc}")
+            return devices[idx]
+
+        self._faulted_timer = _target("tick_cpu", self.timers)
         if plan.has_tick_faults():
-            self.timer.fault = TickFaultInjector(
+            self._faulted_timer.fault = TickFaultInjector(
                 plan, self.rng.stream("faults:tick"), self.cfg.tick_ns,
                 trace_log=self.trace_log)
         if plan.has_tsc_faults():
-            self.cpu.tsc_fault = TscFault(plan)
+            _target("tsc_cpu", self.cpus).tsc_fault = TscFault(plan)
         if plan.irq_storm_pps > 0:
             self.irq_storm = IrqStorm(
                 plan, self.clock, self.events, self.pic,
@@ -143,9 +168,10 @@ class Machine:
         reaction; empty when no fault plan is active."""
         if self.fault_plan is None:
             return {}
+        faulted_timer = getattr(self, "_faulted_timer", self.timer)
         stats = {
-            "fault_ticks_lost": self.timer.ticks_lost,
-            "fault_ticks_delayed": self.timer.ticks_delayed,
+            "fault_ticks_lost": faulted_timer.ticks_lost,
+            "fault_ticks_delayed": faulted_timer.ticks_delayed,
             "fault_jiffies_caught_up": self.kernel.timekeeper.jiffies_caught_up,
         }
         if self.irq_storm is not None:
@@ -165,6 +191,16 @@ class Machine:
             if self.watchdog.flagged_at_jiffy is not None:
                 stats["watchdog_flagged_at_jiffy"] = \
                     self.watchdog.flagged_at_jiffy
+            if self.watchdog.unstable_cpu is not None:
+                stats["watchdog_unstable_cpu"] = self.watchdog.unstable_cpu
+        else:
+            # No watchdog means nobody graded the corruption: surface the
+            # raw injected damage as an uncertainty bound so the billing
+            # layer still refuses to issue a silently-TRUSTED invoice.
+            damage = ((faulted_timer.ticks_lost + faulted_timer.ticks_delayed)
+                      * self.cfg.tick_ns)
+            if damage:
+                stats["fault_uncertainty_ns"] = damage
         return stats
 
     def check_invariants(self) -> None:

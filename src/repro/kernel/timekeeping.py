@@ -114,6 +114,19 @@ class TimeKeeper:
         #: Jiffies recovered by lost-tick compensation (a subset of
         #: ``jiffies``); zero unless the clocksource watchdog is active.
         self.jiffies_caught_up = 0
+        #: CLOCK_REALTIME discipline: signed ns the network time plane has
+        #: steered this host's wall clock away from the boot-relative
+        #: uptime axis (settimeofday/adjtimex landing on the timekeeper).
+        #: Stays 0 — and out of :meth:`snapshot` — unless a sync daemon is
+        #: attached, so pre-timesync machines are byte-identical.
+        self.walltime_offset_ns = 0
+        self.sync_steered = False
+
+    @property
+    def walltime_ns(self) -> int:
+        """The host's wall-clock view: uptime plus sync-plane steering.
+        Equals ``uptime_ns`` exactly on machines without a time plane."""
+        return self.uptime_ns + self.walltime_offset_ns
 
     def tick(self, running: bool, user_mode: bool, cpu: int = 0) -> None:
         if cpu == 0:
@@ -150,6 +163,10 @@ class TimeKeeper:
             "steal_ns": self.steal_ns,
             "jiffies_caught_up": self.jiffies_caught_up,
         }
+        if self.sync_steered:
+            # Present only on sync-disciplined machines so every other
+            # snapshot stays byte-identical to the pre-timesync format.
+            doc["walltime_offset_ns"] = self.walltime_offset_ns
         if self.nproc > 1:
             # Added only on SMP machines so single-CPU snapshots stay
             # byte-identical to the pre-SMP format.
@@ -187,7 +204,8 @@ class ClocksourceWatchdog:
                  tick_ns: int, timer: Optional["TimerDevice"] = None,
                  check_every_ticks: int = 8,
                  degraded_skew: float = 0.02,
-                 unstable_skew: float = 0.10) -> None:
+                 unstable_skew: float = 0.10,
+                 cpu_index: int = 0) -> None:
         if check_every_ticks <= 0:
             raise ValueError("check_every_ticks must be positive")
         if not 0 < degraded_skew <= unstable_skew:
@@ -201,8 +219,15 @@ class ClocksourceWatchdog:
         self.degraded_skew = degraded_skew
         self.unstable_skew = unstable_skew
 
+        #: Which CPU's TSC this watchdog instance monitors (the
+        #: timekeeping CPU in practice; recorded so stats can say *whose*
+        #: clocksource tripped the latch).
+        self.cpu_index = cpu_index
         self.clocksource = "tsc"
         self.unstable = False
+        #: CPU index whose cross-check tripped the unstable latch; None
+        #: while the clocksource is still trusted.
+        self.unstable_cpu: Optional[int] = None
         self.flagged_at_jiffy: Optional[int] = None
         self.checks = 0
         self.intervals: List[ClockInterval] = []
@@ -254,6 +279,7 @@ class ClocksourceWatchdog:
             # clocksource_mark_unstable() does.  The interval that caught
             # the lie is the one branded UNTRUSTED.
             self.unstable = True
+            self.unstable_cpu = self.cpu_index
             self.clocksource = "jiffies"
             self.flagged_at_jiffy = self.timekeeper.jiffies
             trust = TrustLevel.UNTRUSTED
@@ -302,6 +328,7 @@ class ClocksourceWatchdog:
         return {
             "clocksource": self.clocksource,
             "unstable": self.unstable,
+            "unstable_cpu": self.unstable_cpu,
             "flagged_at_jiffy": self.flagged_at_jiffy,
             "checks": self.checks,
             "intervals": len(self.intervals),

@@ -100,21 +100,38 @@ class TrustReport:
 
     @classmethod
     def from_stats(cls, stats: "dict") -> "TrustReport":
-        """Rebuild a trust report from an experiment result's watchdog
-        counters — the stats travel through the result cache, the live
-        watchdog object does not."""
-        trusted = int(stats.get("watchdog_intervals_trusted", 0))
-        degraded = int(stats.get("watchdog_intervals_degraded", 0))
-        untrusted = int(stats.get("watchdog_intervals_untrusted", 0))
+        """Rebuild a trust report from an experiment result's counters —
+        the stats travel through the result cache, the live watchdog and
+        sync-estimator objects do not.
+
+        Every grading path folds in here: the clocksource watchdog's
+        interval grades (``watchdog_*``), the guest-side sync estimator's
+        round grades and declared bound (``timesync_*``), and raw
+        ungraded fault damage (``fault_uncertainty_ns``, emitted when
+        corruption was injected with no watchdog to grade it).  All new
+        terms default to zero when their keys are absent, so a
+        watchdog-only stats dict produces the exact pre-timesync report.
+        """
+        trusted = (int(stats.get("watchdog_intervals_trusted", 0))
+                   + int(stats.get("timesync_trusted", 0)))
+        degraded = (int(stats.get("watchdog_intervals_degraded", 0))
+                    + int(stats.get("timesync_degraded", 0)))
+        untrusted = (int(stats.get("watchdog_intervals_untrusted", 0))
+                     + int(stats.get("timesync_untrusted", 0)))
+        fault_uncertainty = int(stats.get("fault_uncertainty_ns", 0))
         if untrusted:
             level = TrustLevel.UNTRUSTED
-        elif degraded:
+        elif degraded or fault_uncertainty:
+            # Known corruption with nobody to grade it is still not a
+            # TRUSTED invoice.
             level = TrustLevel.DEGRADED
         else:
             level = TrustLevel.TRUSTED
+        uncertainty = (int(stats.get("watchdog_uncertainty_ns", 0))
+                       + int(stats.get("timesync_uncertainty_ns", 0))
+                       + fault_uncertainty)
         return cls(level=level,
-                   uncertainty_ns=int(stats.get("watchdog_uncertainty_ns",
-                                                0)),
+                   uncertainty_ns=uncertainty,
                    intervals_trusted=trusted,
                    intervals_degraded=degraded,
                    intervals_untrusted=untrusted)

@@ -108,6 +108,13 @@ class ExperimentSpec:
     #: cache key, so zero-fault results remain bit-compatible with runs
     #: from before the fault layer existed.
     faults: Optional[Mapping[str, Any]] = None
+    #: Not None → a :meth:`repro.timesync.TimeSyncSpec.from_dict` mapping
+    #: attaching the simulated network time plane (protocol, link, drift,
+    #: attack plan, defense toggle) to this point.  An *inert* spec is
+    #: identical to None — including in the cache key, so sync-free
+    #: results remain bit-compatible with runs from before the time plane
+    #: existed.
+    timesync: Optional[Mapping[str, Any]] = None
     label: str = ""
 
     @property
@@ -186,6 +193,14 @@ def spec_identity(spec: ExperimentSpec) -> Dict[str, Any]:
             # Only a non-empty plan joins the identity: empty plans hash
             # exactly like the pre-fault-layer spec document.
             doc["faults"] = _canonical(plan.to_dict())
+    if spec.timesync is not None:
+        from ..timesync import normalize_timesync
+
+        sync = normalize_timesync(spec.timesync)
+        if sync is not None:
+            # Same rule as faults: only an active time plane joins the
+            # identity; inert specs hash like the pre-timesync document.
+            doc["timesync"] = _canonical(sync.to_dict())
     return doc
 
 
@@ -201,7 +216,7 @@ def spec_key(spec: ExperimentSpec) -> str:
 SPEC_DOC_FIELDS = frozenset({
     "program", "program_kwargs", "attack", "attack_kwargs", "cfg",
     "run_attacker_to_completion", "max_ns", "check_invariants", "vm",
-    "nproc", "faults", "label",
+    "nproc", "faults", "timesync", "label",
 })
 
 #: The MachineConfig fields a spec document's ``cfg`` mapping may set.
@@ -282,6 +297,16 @@ def spec_from_dict(doc: Mapping[str, Any]) -> ExperimentSpec:
             normalize_plan(faults)
         except (ReproError, TypeError, ValueError) as exc:
             raise SpecError(f"bad fault plan: {exc}") from None
+    timesync = doc.get("timesync")
+    if timesync is not None:
+        if not isinstance(timesync, Mapping):
+            raise SpecError("'timesync' must be a TimeSyncSpec mapping")
+        from ..timesync import normalize_timesync
+
+        try:
+            normalize_timesync(timesync)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise SpecError(f"bad timesync spec: {exc}") from None
     if vm is not None:
         if not isinstance(vm, Mapping):
             raise SpecError("'vm' must be a mapping of hypervisor knobs")
@@ -309,6 +334,7 @@ def spec_from_dict(doc: Mapping[str, Any]) -> ExperimentSpec:
         vm=dict(vm) if vm is not None else None,
         nproc=nproc,
         faults=dict(faults) if faults is not None else None,
+        timesync=dict(timesync) if timesync is not None else None,
         label=str(doc.get("label", "")),
     )
     # Fail fast on constructor-level garbage (bad program kwargs are only
@@ -345,6 +371,9 @@ def run_spec(spec: ExperimentSpec):
         if spec.nproc != 1:
             raise SpecError("vm specs do not support nproc > 1 yet; "
                             "the hypervisor multiplexes vCPUs onto one pCPU")
+        if spec.timesync is not None:
+            raise SpecError("vm specs do not support timesync yet; the "
+                            "time plane disciplines the bare-metal host")
         return run_vm_experiment(
             program=spec.program,
             program_kwargs=spec.program_kwargs,
@@ -354,6 +383,8 @@ def run_spec(spec: ExperimentSpec):
             cfg=spec.cfg,
             check_invariants=spec.check_invariants,
             **kwargs)
+    if spec.timesync is not None:
+        kwargs["timesync"] = spec.timesync
     return run_experiment(
         spec.build_program(),
         attack=spec.build_attack(),

@@ -76,6 +76,11 @@ class Scenario:
     #: SMP dimension: runs on an ``nproc``-CPU machine.  Serial/batch and
     #: cross-scheduler conformance must hold there too.
     nproc: int = 1
+    #: Time-plane dimension: a :class:`~repro.timesync.TimeSyncSpec`
+    #: mapping attaching a (possibly attacked) sync daemon to the host.
+    #: Serial/batch conformance and the timesync-conservation invariant
+    #: must hold under it.
+    timesync: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         doc = asdict(self)
@@ -84,6 +89,10 @@ class Scenario:
             # Pre-SMP replay specs (and their digests) carry no nproc key;
             # keep the uniprocessor encoding identical.
             doc.pop("nproc")
+        if doc.get("timesync") is None:
+            # Same rule for the time plane: sync-free replay specs stay
+            # byte-identical to pre-timesync ones.
+            doc.pop("timesync")
         return doc
 
     @classmethod
@@ -93,6 +102,8 @@ class Scenario:
         doc["program_kwargs"] = dict(doc.get("program_kwargs", {}))
         doc["attack_kwargs"] = dict(doc.get("attack_kwargs", {}))
         doc["faults"] = dict(doc["faults"]) if doc.get("faults") else None
+        doc["timesync"] = (dict(doc["timesync"])
+                           if doc.get("timesync") else None)
         return cls(**doc)
 
     def config(self, scheduler: str) -> MachineConfig:
@@ -114,6 +125,7 @@ class Scenario:
             cfg=self.config(scheduler),
             check_invariants=True,
             faults=dict(self.faults) if self.faults else None,
+            timesync=dict(self.timesync) if self.timesync else None,
             label=f"fuzz-{self.seed}:{scheduler}")
 
 
@@ -184,6 +196,12 @@ def generate_scenario(rng: random.Random,
     # plans stay on uniprocessors (their injectors target CPU 0's timer).
     if inject is None and faults is None and rng.random() < 0.25:
         scenario = replace(scenario, nproc=rng.choice([2, 4]))
+    # Time-plane dimension, drawn after SMP for the same reason: earlier
+    # pinned seeds draw identical scenarios.  Uniprocessor hosts only —
+    # the sync plane and an SMP host are each plenty of interleaving.
+    if inject is None and faults is None and scenario.nproc == 1 \
+            and rng.random() < 0.25:
+        scenario = replace(scenario, timesync=_draw_timesync(rng))
     return scenario
 
 
@@ -199,6 +217,34 @@ def _draw_faults(rng: random.Random) -> Dict[str, Any]:
     if rng.random() < 0.3:
         plan["irq_storm_pps"] = float(rng.choice([2_000, 10_000]))
     return plan
+
+
+def _draw_timesync(rng: random.Random) -> Dict[str, Any]:
+    """Draw a random time-plane spec (as a TimeSyncSpec mapping)."""
+    kind = rng.choice(["honest", "delay-asym", "master", "tamper", "loss"])
+    attack: Dict[str, Any] = {}
+    if kind == "delay-asym":
+        attack["delay_asymmetry_ns"] = int(
+            rng.choice([1_000_000, 4_000_000, 10_000_000]))
+    elif kind == "master":
+        attack["master_offset_ns"] = int(
+            rng.choice([2_000_000, 5_000_000]))
+        if rng.random() < 0.5:
+            attack["master_drift_ppb"] = 30_000
+    elif kind == "tamper":
+        attack["tamper_prob"] = 0.3
+        attack["tamper_ns"] = 2_000_000
+    elif kind == "loss":
+        attack["loss_prob"] = float(rng.choice([0.3, 0.7]))
+    doc: Dict[str, Any] = {
+        "protocol": rng.choice(["ptp", "ntp"]),
+        "drift_ppb": int(rng.choice([0, 20_000, 50_000])),
+        "link_jitter_ns": int(rng.choice([0, 100_000])),
+        "defense": rng.random() < 0.5,
+    }
+    if attack:
+        doc["attack"] = attack
+    return doc
 
 
 def _busyloop_kwargs(hz: int, jiffies: int = 15) -> Dict[str, Any]:
@@ -391,6 +437,10 @@ def _check_cross_scheduler(scenario: Scenario, report: ScenarioReport,
         # Fault timing (IRQ storms, delayed ticks) interleaves with the
         # victim differently per scheduler; in-run invariants still apply.
         return
+    if scenario.timesync:
+        # Sync rounds are events interleaved with the victim's schedule;
+        # the timesync-conservation invariant covers these runs instead.
+        return
     if len(results) < 2:
         return
     own: Dict[str, int] = {}
@@ -450,6 +500,9 @@ def shrink_scenario(scenario: Scenario,
             # the fault-free version first: if it still fails, the plan
             # was incidental.
             yield replace(current, faults=None)
+        if current.timesync:
+            # Same logic for the time plane.
+            yield replace(current, timesync=None)
         if current.attack != "none" and current.inject is not None:
             # Injected corruption fails regardless of the attack.
             yield replace(current, attack="none", attack_kwargs={})
@@ -579,6 +632,8 @@ def run_fuzz(iterations: int = 50,
                     else f"{scenario.program}:{scenario.attack}")
             if scenario.faults:
                 kind += "+faults"
+            if scenario.timesync:
+                kind += "+timesync"
             emit(f"[{iteration + 1}/{iterations}] ok   {kind} "
                  f"acct={scenario.accounting} hz={scenario.hz}")
             continue

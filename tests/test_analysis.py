@@ -76,7 +76,7 @@ class TestFigureRegistry:
     def test_all_registered(self):
         assert sorted(FIGURES) == [
             "faultsweep", "fig10", "fig11", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9", "fleet", "smp", "vmsched"]
+            "fig8", "fig9", "fleet", "smp", "timesync", "vmsched"]
 
     def test_unknown_figure(self):
         with pytest.raises(KeyError):

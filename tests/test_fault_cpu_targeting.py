@@ -1,0 +1,119 @@
+"""CPU-targeted fault plans and the watchdog's coverage gap.
+
+Satellite contracts of the time-plane PR: ``FaultPlan`` grows optional
+``tick_cpu``/``tsc_cpu`` targeting fields whose ``None`` default keeps
+every pre-SMP plan byte-identical, and the clocksource watchdog — which
+watches CPU 0's TSC only — demonstrably misses a fault aimed at another
+CPU while reporting *which* CPU tripped it when it does fire.
+"""
+
+import pytest
+
+from repro.config import default_config
+from repro.errors import ConfigError, SimulationError
+from repro.faults import FaultPlan, sweep_plan
+from repro.hw.machine import Machine
+from repro.runner import ExperimentSpec, run_spec, spec_key
+
+CFG = default_config()
+
+
+def _busyloop_spec(jiffies=40, nproc=1, faults=None, **kw):
+    total = CFG.cpu_freq_hz * jiffies * CFG.tick_ns // 1_000_000_000
+    cfg = default_config(nproc=nproc) if nproc != 1 else None
+    return ExperimentSpec(program="busyloop",
+                          program_kwargs={"total_cycles": int(total),
+                                          "chunk": 10_000_000},
+                          cfg=cfg, faults=faults, **kw)
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: the plan fields
+# ---------------------------------------------------------------------------
+
+class TestCpuTargetedPlans:
+    def test_default_none_keeps_the_wire_doc_byte_identical(self):
+        # Pre-targeting plans carry no tick_cpu/tsc_cpu keys: replays,
+        # cache keys and digests of old fault plans must not move.
+        plan = FaultPlan(tick_loss_prob=0.2, tsc_drift_ppm=5_000)
+        doc = plan.to_dict()
+        assert "tick_cpu" not in doc
+        assert "tsc_cpu" not in doc
+        assert FaultPlan.from_dict(doc) == plan
+
+    def test_default_none_keeps_the_cache_key(self):
+        untargeted = {"tick_loss_prob": 0.2}
+        explicit = {"tick_loss_prob": 0.2, "tick_cpu": None}
+        assert spec_key(_busyloop_spec(faults=untargeted)) == \
+            spec_key(_busyloop_spec(faults=explicit))
+
+    def test_targeted_plan_roundtrips(self):
+        plan = FaultPlan(tick_loss_prob=0.2, tick_cpu=1,
+                         tsc_drift_ppm=5_000, tsc_cpu=2)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert "tick@cpu1" in plan.describe()
+        assert "tsc@cpu2" in plan.describe()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tick_cpu": -1},
+        {"tick_cpu": 1.5},
+        {"tsc_cpu": "0"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(tick_loss_prob=0.1, **kwargs)
+
+    def test_target_beyond_nproc_fails_loudly(self):
+        with pytest.raises(SimulationError, match="nproc"):
+            Machine(default_config(nproc=2),
+                    faults={"tick_loss_prob": 0.2, "tick_cpu": 2})
+
+    def test_targeted_tick_faults_hit_the_named_timer(self):
+        machine = Machine(default_config(nproc=4),
+                          faults={"tick_loss_prob": 0.2, "tick_cpu": 2})
+        assert machine.timers[2].fault is not None
+        assert all(machine.timers[i].fault is None for i in (0, 1, 3))
+
+    def test_targeted_tsc_faults_hit_the_named_cpu(self):
+        machine = Machine(default_config(nproc=4),
+                          faults={"tsc_drift_ppm": 5_000, "tsc_cpu": 1})
+        assert machine.cpus[1].tsc_fault is not None
+        assert all(machine.cpus[i].tsc_fault is None for i in (0, 2, 3))
+
+    def test_untargeted_plan_defaults_to_cpu0(self):
+        machine = Machine(default_config(nproc=4),
+                          faults={"tick_loss_prob": 0.2,
+                                  "tsc_drift_ppm": 5_000})
+        assert machine.timers[0].fault is not None
+        assert machine.cpus[0].tsc_fault is not None
+
+    def test_fault_stats_read_the_targeted_timer(self):
+        res = run_spec(_busyloop_spec(
+            nproc=2, faults={"tick_loss_prob": 0.3, "tick_cpu": 1,
+                             "watchdog": False}))
+        assert res.stats["fault_ticks_lost"] > 0
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: the watchdog's CPU0 blind spot
+# ---------------------------------------------------------------------------
+
+class TestWatchdogCoverageGap:
+    HEAVY = {"tsc_drift_ppm": 200_000, "watchdog": True}
+
+    def test_cpu0_fault_trips_the_watchdog_and_names_the_cpu(self):
+        res = run_spec(_busyloop_spec(
+            nproc=4, faults=dict(self.HEAVY, tsc_cpu=0)))
+        assert res.stats["watchdog_unstable"] == 1
+        assert res.stats["watchdog_unstable_cpu"] == 0
+
+    def test_cpu1_fault_slips_past_the_cpu0_watchdog(self):
+        # The watchdog samples CPU 0's TSC only — a drifting TSC on
+        # CPU 1 is the same corruption, completely unobserved.  This is
+        # the documented coverage gap, pinned so a future per-CPU
+        # watchdog flips it deliberately.
+        res = run_spec(_busyloop_spec(
+            nproc=4, faults=dict(self.HEAVY, tsc_cpu=1)))
+        assert res.stats["watchdog_unstable"] == 0
+        assert "watchdog_unstable_cpu" not in res.stats
+        assert res.stats["watchdog_intervals_untrusted"] == 0

@@ -33,20 +33,20 @@ SCALE = 0.05
 
 #: spec_key() of five pinned specs.  Identity hashes cover repro_version,
 #: so these are re-stamped at every version bump
-#: (1.4.0 -> 1.5.0 -> 1.6.0 -> 1.7.0) after verifying they matched the
-#: pre-SMP tree at equal version; the version-free checks below (key
-#: neutrality, result/fuzz/trace digests) are the pre-SMP goldens
-#: verbatim.  The vm spec is key-only (hypervisor runs are covered by
-#: their own suite); the other four also pin the full result document
-#: below.
+#: (1.4.0 -> 1.5.0 -> 1.6.0 -> 1.7.0 -> 1.8.0) after verifying they
+#: matched the pre-SMP tree at equal version; the version-free checks
+#: below (key neutrality, result/fuzz/trace digests) are the pre-SMP
+#: goldens verbatim.  The vm spec is key-only (hypervisor runs are
+#: covered by their own suite); the other four also pin the full result
+#: document below.
 GOLDEN_SPEC_KEYS = {
-    "O:none": "8e658503b004badb23c4621922b7696a3ef1e00af1c02b3decf28c44522e06ca",
-    "W:none": "f7ee5fae77d18954179767e769bd9877fd6bbf98424ecc73bd4a50eb49f66485",
-    "O:shell": "b4d1226fb07d3e6020719c8c75fa793dd060c3aad120a841f9b9675652f74730",
+    "O:none": "bb22bcf14bc0ea1b7156ab6d1376da92989d92b799f95937628767c08edcb0ad",
+    "W:none": "a9fd1f7ec9fd5663ec8b3e5aeb2c208853d2918b55e46d57fae292984f338ef9",
+    "O:shell": "9bef52f24836fc2a285d8943cc0215b433e6dd6a59ff2130186c35fda429a870",
     "W:scheduling":
-        "b840d73eef38970b58feadcb0b22cc07718c86678141a004d65b17d6ce9b5228",
+        "914f1f234d80500ac76b14152e6d9865cecdd319b2da6539bc541eff4a80bbc7",
     "vm:W:none":
-        "433669cf7c2c72f862558574d1d9e135cc187767ca36038813798e7c9b9b80d8",
+        "20dc7e5b8f6baa8cdf8cba2c651f1d0bee1830554d27b952f00a8d0cc05dc2c8",
 }
 
 #: sha256 over json.dumps(result.to_dict(), sort_keys, compact) — every
@@ -123,15 +123,19 @@ def test_results_bit_identical_to_pre_smp_seed(name):
 def test_fuzz_scenario_bit_identical_to_pre_smp_seed():
     """Pinned-seed fuzz scenarios replay bit-identically.
 
-    The SMP dimension is drawn *last* in generate_scenario, so every
-    field that existed pre-SMP is identical for a given master seed; at
-    nproc=1 the encoding (and hence the digest) carries no nproc key.
+    Ride-along dimensions (SMP's nproc, then timesync) are drawn *after*
+    every pre-SMP field in generate_scenario, so those fields are
+    identical for a given master seed; at nproc=1 with no time plane the
+    encoding (and hence the digest) carries neither key.
     """
     scenario = generate_scenario(random.Random(777))
     if scenario.nproc != 1:  # the ride-along draw may pick 2 or 4
         scenario = replace(scenario, nproc=1)
+    if scenario.timesync is not None:  # ditto the timesync ride-along
+        scenario = replace(scenario, timesync=None)
     doc = scenario.to_dict()
     assert "nproc" not in doc
+    assert "timesync" not in doc
     assert doc == {
         "seed": 1336257386,
         "hz": 100,
