@@ -44,7 +44,7 @@ from .programs.ops import (
     Provenance,
     Syscall,
 )
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 # Imported after __version__: repro.verify pulls in the runner, whose spec
 # hashing reads the version back from this module.

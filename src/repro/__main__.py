@@ -45,7 +45,17 @@ Commands:
   identities through the batch runner and stream the population-weighted
   results into mergeable sketches (billing-error percentiles, trust-grade
   mix, steal-audit detection/false-positive rates); peak memory is
-  independent of the host count (see docs/fleet.md);
+  independent of the host count (see docs/fleet.md); ``--shards N``
+  splits the hosts into contiguous ranges run concurrently, and
+  ``--endpoints`` runs them on remote serve daemons with retry/failover
+  and a coverage-graded merged report (see docs/chaos.md);
+* ``chaos [--intensity F] [--shards N] [--quick] [--json P]`` — the
+  fault-injection gauntlet: boot chaotic serve daemons (injected store
+  errors, worker crashes, HTTP faults) with one endpoint dead, run a
+  sharded fleet sweep against them, and check live that every fault is
+  absorbed or declared, nothing double-bills, surviving shards stay
+  bit-identical to chaos-free runs, and the merged report grades its
+  own coverage (see docs/chaos.md);
 * ``gallery`` — run every attack against one victim (summary table);
 * ``calibrate`` — measure the simulated primitive costs;
 * ``comparison`` — print the §V-C attack matrix and the §VI-B defense
@@ -652,7 +662,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import serve_forever
 
     serve_forever(ServeConfig(host=args.host, port=args.port, db=args.db,
-                              jobs=args.jobs))
+                              jobs=args.jobs,
+                              busy_timeout_ms=args.busy_timeout_ms,
+                              drain_timeout_s=args.drain_timeout_s))
     return 0
 
 
@@ -679,13 +691,30 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"sync-attack mix: {args.sync_prevalence:.0%} of bare-metal "
               f"hosts steered to {args.sync_offset_ns}ns offset")
     start = _time.perf_counter()
-    aggregator = run_fleet(
-        fleet, jobs=args.jobs,
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
-        timeout_s=args.timeout_s, retries=args.retries,
-        progress=None if args.quiet else ConsoleProgress())
+    if args.endpoints:
+        from .fleet import shard_fleet
+
+        endpoints = [e.strip() for e in args.endpoints.split(",")
+                     if e.strip()]
+        print(f"sharding across {len(endpoints)} serve endpoint(s)"
+              + (f" as {args.shards} shards" if args.shards else ""))
+        report = shard_fleet(fleet, endpoints, shards=args.shards)
+    elif args.shards and args.shards > 1:
+        from .fleet import shard_fleet_local
+
+        print(f"sharding locally into {args.shards} host ranges")
+        report = shard_fleet_local(
+            fleet, args.shards, jobs=args.jobs,
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            timeout_s=args.timeout_s, retries=args.retries)
+    else:
+        aggregator = run_fleet(
+            fleet, jobs=args.jobs,
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            timeout_s=args.timeout_s, retries=args.retries,
+            progress=None if args.quiet else ConsoleProgress())
+        report = aggregator.report()
     wall_s = _time.perf_counter() - start
-    report = aggregator.report()
 
     audit = report["audit"]
     print(f"\npopulation {report['population']} guests collapsed to "
@@ -715,12 +744,49 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{summary['p50']:>8.3f} {summary['p90']:>8.3f} "
               f"{summary['p99']:>8.3f}")
 
+    coverage = report.get("coverage")
+    if coverage is not None:
+        print(f"\ncoverage: {coverage['hosts_covered']}/"
+              f"{coverage['hosts_total']} hosts "
+              f"({coverage['shards_ok']}/{coverage['shards_total']} shards "
+              f"ok, {coverage['faults_absorbed']} faults absorbed) — "
+              f"grade {coverage['grade']}")
+        for entry in coverage["shards"]:
+            if entry["status"] != "ok":
+                print(f"  shard {entry['shard']} "
+                      f"hosts {entry['hosts'][0]}-{entry['hosts'][1]} "
+                      f"FAILED: {entry['error']}")
+
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.json}")
-    return 0 if report["failed_runs"] == 0 else 1
+    ok = report["failed_runs"] == 0 and (
+        coverage is None or coverage["grade"] != "PARTIAL")
+    return 0 if ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+
+    from .chaos.gauntlet import run_gauntlet
+
+    db_dir = args.db_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"repro chaos gauntlet (intensity {args.intensity}, "
+          f"{args.shards} shards, stores in {db_dir})")
+    report = run_gauntlet(db_dir, intensity=args.intensity,
+                          shards=args.shards, seed=args.seed,
+                          quick=args.quick)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    n_ok = sum(1 for c in report["checks"] if c["passed"])
+    print(f"\n{n_ok}/{len(report['checks'])} checks passed")
+    return 0 if report["passed"] else 1
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -932,6 +998,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="selftest workload scale (default 0.1)")
     serve.add_argument("--json", metavar="PATH", default=None,
                        help="write the selftest report to PATH")
+    serve.add_argument("--busy-timeout-ms", type=int, default=5_000,
+                       help="SQLite busy timeout — how long a locked "
+                            "store is retried before erroring "
+                            "(default 5000)")
+    serve.add_argument("--drain-timeout-s", type=float, default=30.0,
+                       help="seconds SIGTERM shutdown waits for in-flight "
+                            "jobs before abandoning them (default 30)")
     serve.set_defaults(func=_cmd_serve)
 
     fleet = sub.add_parser(
@@ -960,12 +1033,44 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--sync-offset-ns", type=int, default=5_000_000,
                        help="clock offset sync-attacked hosts are steered "
                             "to, in ns (default 5ms)")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="split the hosts into N contiguous ranges and "
+                            "run them concurrently; the merged report is "
+                            "bit-identical to the serial one "
+                            "(docs/chaos.md)")
+    fleet.add_argument("--endpoints", default=None, metavar="URLS",
+                       help="comma-separated repro-serve base URLs to run "
+                            "the shards on; a shard that stays dark is "
+                            "declared in the report's coverage section "
+                            "instead of failing the sweep")
     fleet.add_argument("--json", metavar="PATH", default=None,
                        help="write the full aggregate report to PATH")
     fleet.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
     add_runner_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection gauntlet: chaotic serve shards, "
+                      "one dead, degraded-but-bounded report")
+    chaos.add_argument("--intensity", type=float, default=0.4,
+                       help="chaos intensity in [0, 1]: scales store/"
+                            "worker/HTTP fault probabilities together "
+                            "(default 0.4)")
+    chaos.add_argument("--shards", type=int, default=3,
+                       help="fleet shards / serve endpoints; the last one "
+                            "is hard-down (default 3)")
+    chaos.add_argument("--seed", type=int, default=2010,
+                       help="chaos-plan seed: same seed, same fault "
+                            "schedule (default 2010)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="smaller fleet and deadlines (CI smoke mode)")
+    chaos.add_argument("--db-dir", default=None,
+                       help="directory for the per-shard usage stores "
+                            "(default: a fresh temp dir)")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="write the gauntlet report to PATH")
+    chaos.set_defaults(func=_cmd_chaos)
 
     gallery = sub.add_parser("gallery", help="run every attack once")
     gallery.add_argument("--scale", type=float, default=1.0)

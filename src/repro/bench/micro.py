@@ -15,7 +15,12 @@ it shows up as a slow figure run:
   path for an enabled and a disabled category (the suppressed path is the
   one experiments pay millions of times);
 * ``cache.roundtrip`` — one ResultCache put + get of a real (tiny)
-  experiment result per op.
+  experiment result per op;
+* ``chaos.backoff`` — one absorbed retryable fault per op through
+  ``retry_call`` with a no-op sleep (the chaos plane's retry overhead);
+* ``serve.store_contention`` — one store write transaction per op while
+  a rival connection hammers the same file (the busy_timeout path two
+  serve daemons sharing a store exercise).
 """
 
 from __future__ import annotations
@@ -490,6 +495,86 @@ def _bench_serve_submit(quick: bool) -> BenchSpec:
                      note="1 HTTP submit billed from the ledger per op")
 
 
+# ---------------------------------------------------------------------------
+# chaos plane: retry/backoff and contended store writes
+# ---------------------------------------------------------------------------
+
+def _bench_chaos_backoff(quick: bool) -> BenchSpec:
+    import random
+    import sqlite3
+
+    from ..chaos import BackoffPolicy, retry_call
+
+    # Every op absorbs exactly one retryable fault: one failed call, one
+    # jittered backoff computation (sleep is a no-op — the schedule math
+    # and retry plumbing are what is being priced), one successful call.
+    policy = BackoffPolicy(retries=2, base_ms=1.0, multiplier=2.0,
+                           max_ms=8.0, jitter_fraction=0.1)
+    rng = random.Random(1)
+    ops = 20_000 if quick else 100_000
+
+    def fn(n: int) -> None:
+        flip = {"fail": False}
+
+        def flaky() -> None:
+            flip["fail"] = not flip["fail"]
+            if flip["fail"]:
+                raise sqlite3.OperationalError("database is locked")
+
+        for _ in range(n):
+            retry_call(flaky, policy, rng=rng, sleep=lambda _s: None)
+
+    return BenchSpec(name="chaos.backoff", kind="micro", ops=ops, fn=fn,
+                     note="one absorbed fault (retry + jittered backoff "
+                          "schedule) per op, no-op sleep")
+
+
+def _bench_store_contention(quick: bool) -> BenchSpec:
+    import os
+    import threading
+
+    from ..serve import UsageStore
+
+    # Two connections to one store file, as two serve daemons sharing a
+    # database would be: a rival thread hammers write transactions while
+    # the timed loop lands its own — each op is one BEGIN IMMEDIATE
+    # transaction that may have to ride out the rival's lock via the
+    # store's busy_timeout budget.
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    path = os.path.join(tmpdir, "usage.db")
+    store = UsageStore(path)
+    tenant_id = store.register_tenant("bench")["tenant_id"]
+    rival = UsageStore(path)
+    stop = threading.Event()
+
+    def hammer() -> None:
+        quota = 10 ** 9
+        while not stop.is_set():
+            quota += 1
+            rival.set_quota(tenant_id, quota)
+
+    thread = threading.Thread(target=hammer, daemon=True,
+                              name="bench-rival-writer")
+    thread.start()
+    ops = 200 if quick else 1_000
+
+    def fn(n: int) -> None:
+        try:
+            for i in range(n):
+                store.set_quota(tenant_id, 10 ** 6 + i)
+        finally:
+            stop.set()
+            thread.join()
+            rival.close()
+            store.close()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return BenchSpec(name="serve.store_contention", kind="micro", ops=ops,
+                     fn=fn,
+                     note="one write txn against a rival writer on the "
+                          "same store file per op")
+
+
 #: name → builder(quick) pairs, dependency-light first.  The names are
 #: static so :func:`repro.bench.harness.run_suite` can filter *before*
 #: constructing a benchmark (construction does the setup work — building
@@ -518,6 +603,8 @@ MICRO_BUILDERS = [
     ("fleet.expand", _bench_fleet_expand),
     ("fleet.aggregate", _bench_fleet_aggregate),
     ("serve.submit_roundtrip", _bench_serve_submit),
+    ("chaos.backoff", _bench_chaos_backoff),
+    ("serve.store_contention", _bench_store_contention),
     ("virt.vcpu_switch", _bench_vcpu_switch),
     ("virt.tick", _bench_virt_tick),
     ("engine.slice_loop", _bench_engine),

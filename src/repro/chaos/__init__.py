@@ -1,0 +1,51 @@
+"""Service-plane chaos engineering for the metering daemon.
+
+``repro.chaos`` injects *infrastructure* faults — SQLite contention and
+latency, worker crashes and hangs, HTTP 5xx/resets/slowdowns, dark
+shards — into the serving plane, and ships the resilience machinery
+(bounded seeded backoff, circuit breaker, per-request deadlines) that
+keeps billing exact underneath them.  The ``repro chaos`` gauntlet
+(:mod:`repro.chaos.gauntlet`) runs a sharded fleet through all of it and
+asserts the trustworthiness invariants live.  See ``docs/chaos.md``.
+
+The gauntlet module is imported lazily (it pulls in the serve and fleet
+stacks); everything else here is dependency-light.
+"""
+
+from .inject import (
+    FAULTED_STORE_METHODS,
+    ChaosInjector,
+    ChaosStoreProxy,
+    WorkerCrash,
+)
+from .plan import ChaosPlan, gauntlet_plan, normalize_chaos
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    RESILIENT_METHODS,
+    BackoffPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientStore,
+    retry_call,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "FAULTED_STORE_METHODS",
+    "RESILIENT_METHODS",
+    "BackoffPolicy",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosStoreProxy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ResilientStore",
+    "WorkerCrash",
+    "gauntlet_plan",
+    "normalize_chaos",
+    "retry_call",
+]

@@ -240,6 +240,12 @@ class ServeConfig:
     #: Absolute floor of that margin, ns — absorbs tick quantisation on
     #: short runs.
     audit_tolerance_floor_ns: int = 5_000_000
+    #: How long SQLite waits on a locked database before raising, ms.
+    #: Lets two serve processes share one store file (docs/chaos.md).
+    busy_timeout_ms: int = 5_000
+    #: Seconds SIGTERM/SIGINT shutdown waits for in-flight jobs to finish
+    #: before abandoning them (they stay retryable in the store).
+    drain_timeout_s: float = 30.0
 
     def validate(self) -> None:
         if not self.host:
@@ -253,6 +259,10 @@ class ServeConfig:
         if (self.audit_tolerance_fraction < 0
                 or self.audit_tolerance_floor_ns < 0):
             raise ConfigError("audit tolerances must be non-negative")
+        if self.busy_timeout_ms < 0:
+            raise ConfigError("busy_timeout_ms must be non-negative")
+        if self.drain_timeout_s < 0:
+            raise ConfigError("drain_timeout_s must be non-negative")
 
 
 def default_config(**changes) -> MachineConfig:

@@ -8,9 +8,34 @@ the population-weighted results into mergeable sketches so the report for
 10k hosts costs the memory of 10.  See ``docs/fleet.md``.
 """
 
-from .aggregate import FLEET_REPORT_SCHEMA, FleetAggregator
-from .expand import FleetUnit, UnitGroup, distinct_units, expand_fleet
+from .aggregate import (
+    FLEET_REPORT_SCHEMA,
+    FLEET_STATE_SCHEMA,
+    FleetAggregator,
+)
+from .expand import (
+    FleetUnit,
+    UnitGroup,
+    check_host_range,
+    distinct_units,
+    expand_fleet,
+)
 from .runner import run_fleet
+from .shard import (
+    FLEET_COVERAGE_SCHEMA,
+    GRADE_DEGRADED,
+    GRADE_PARTIAL,
+    GRADE_TRUSTED,
+    REPORT_GRADES,
+    ShardClient,
+    ShardError,
+    ShardOutcome,
+    ShardRequestError,
+    merged_report,
+    shard_fleet,
+    shard_fleet_local,
+    shard_ranges,
+)
 from .sketch import SKETCH_SCHEMA, HistogramSketch
 from .spec import (
     FLEET_SCHEMA,
@@ -22,19 +47,34 @@ from .spec import (
 )
 
 __all__ = [
+    "FLEET_COVERAGE_SCHEMA",
     "FLEET_REPORT_SCHEMA",
     "FLEET_SCHEMA",
+    "FLEET_STATE_SCHEMA",
+    "GRADE_DEGRADED",
+    "GRADE_PARTIAL",
+    "GRADE_TRUSTED",
+    "REPORT_GRADES",
     "SKETCH_SCHEMA",
     "FleetAggregator",
     "FleetSpec",
     "FleetSpecError",
     "FleetUnit",
     "HistogramSketch",
+    "ShardClient",
+    "ShardError",
+    "ShardOutcome",
+    "ShardRequestError",
     "UnitGroup",
+    "check_host_range",
     "distinct_units",
     "expand_fleet",
     "fleet_from_dict",
     "fleet_identity",
     "fleet_key",
+    "merged_report",
     "run_fleet",
+    "shard_fleet",
+    "shard_fleet_local",
+    "shard_ranges",
 ]

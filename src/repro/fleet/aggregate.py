@@ -17,15 +17,17 @@ report bit for bit.  The fleet determinism test pins exactly that.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..errors import ReproError
 from ..metering.billing import TrustReport
 from ..metering.steal import audit_result
-from .expand import UnitGroup
+from .expand import UnitGroup, check_host_range
 from .sketch import HistogramSketch
-from .spec import FleetSpec, fleet_key
+from .spec import FleetSpec, fleet_from_dict, fleet_key
 
 FLEET_REPORT_SCHEMA = "repro-fleet-report-v1"
+FLEET_STATE_SCHEMA = "repro-fleet-state-v1"
 
 #: Billing-error grid: ``(billed - ran) / ran`` per guest.  Honest guests
 #: sit near 0; a tick-dodging co-resident burning fraction ``b`` of every
@@ -46,8 +48,19 @@ def _error_sketch() -> HistogramSketch:
 class FleetAggregator:
     """Fold weighted run outcomes into a constant-size fleet summary."""
 
-    def __init__(self, fleet: FleetSpec) -> None:
+    def __init__(self, fleet: FleetSpec,
+                 host_range: Optional[Tuple[int, int]] = None) -> None:
         self.fleet = fleet
+        self.host_range = check_host_range(fleet, host_range)
+        #: Guest slots this aggregate actually covers.  The whole fleet
+        #: when unsharded; the shard's span when restricted; the sum of
+        #: merged spans after :meth:`merge` — the denominator a degraded
+        #: report declares.
+        if self.host_range is None:
+            self.population_covered = fleet.population
+        else:
+            lo, hi = self.host_range
+            self.population_covered = (hi - lo) * fleet.guests
         self.distinct_runs = 0
         self.failed_runs = 0
         self.failed_weight = 0
@@ -105,6 +118,14 @@ class FleetAggregator:
 
     def merge(self, other: "FleetAggregator") -> None:
         """Fold a shard's partial aggregate in (commutative, exact)."""
+        if other.fleet.to_dict() != self.fleet.to_dict():
+            raise ReproError("cannot merge aggregates of different fleets")
+        if self.host_range is not None or other.host_range is not None:
+            # Sharded merge: coverage is additive over (assumed
+            # disjoint) spans; the merged aggregate keeps no single
+            # contiguous range.
+            self.population_covered += other.population_covered
+            self.host_range = None
         self.distinct_runs += other.distinct_runs
         self.failed_runs += other.failed_runs
         self.failed_weight += other.failed_weight
@@ -150,10 +171,16 @@ class FleetAggregator:
         """The whole sweep as one deterministic JSON document.  No wall
         times, no host lists — a pure function of the fleet spec and the
         simulator, which is what makes ``--jobs 1`` and ``--jobs 8``
-        reports comparable with ``==``."""
-        audited_weight = (self.fleet.population
+        reports comparable with ``==``.
+
+        A fully-covered aggregate emits exactly the pre-sharding key set
+        (byte-identity with unsharded reports); a partial one declares
+        its coverage with ``population_covered`` and audits only what it
+        actually saw.
+        """
+        audited_weight = (self.population_covered
                           - self.failed_weight)
-        return {
+        doc = {
             "schema": FLEET_REPORT_SCHEMA,
             "fleet": self.fleet.to_dict(),
             "fleet_key": fleet_key(self.fleet),
@@ -180,3 +207,68 @@ class FleetAggregator:
                                                   self.honest_weight),
             },
         }
+        if self.population_covered != self.fleet.population:
+            doc["population_covered"] = self.population_covered
+        return doc
+
+    # -- exact shard transport -----------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """The aggregate's *complete* internal state as plain JSON.
+
+        Unlike :meth:`report` (a rendered summary), this is lossless:
+        :meth:`from_state` rebuilds an aggregator that merges and reports
+        exactly like the original — the wire format a shard ships its
+        partial aggregate home in (``repro-fleet-state-v1``).
+        """
+        return {
+            "schema": FLEET_STATE_SCHEMA,
+            "fleet": self.fleet.to_dict(),
+            "host_range": list(self.host_range)
+            if self.host_range is not None else None,
+            "population_covered": self.population_covered,
+            "distinct_runs": self.distinct_runs,
+            "failed_runs": self.failed_runs,
+            "failed_weight": self.failed_weight,
+            "cached_runs": self.cached_runs,
+            "billed_total_ns": self.billed_total_ns,
+            "ran_total_ns": self.ran_total_ns,
+            "overbilled_total_ns": self.overbilled_total_ns,
+            "error": {name: self.error[name].to_dict()
+                      for name in _POPULATIONS},
+            "trust": dict(self.trust),
+            "verdicts": dict(self.verdicts),
+            "attacked_weight": self.attacked_weight,
+            "honest_weight": self.honest_weight,
+            "flagged_attacked_weight": self.flagged_attacked_weight,
+            "flagged_honest_weight": self.flagged_honest_weight,
+        }
+
+    @classmethod
+    def from_state(cls, doc: Mapping[str, Any]) -> "FleetAggregator":
+        """Inverse of :meth:`to_state` (exact round trip)."""
+        if doc.get("schema") != FLEET_STATE_SCHEMA:
+            raise ReproError(f"not a fleet state document: schema "
+                             f"{doc.get('schema')!r}")
+        fleet = fleet_from_dict(doc["fleet"])
+        host_range = doc.get("host_range")
+        agg = cls(fleet, host_range=tuple(host_range)
+                  if host_range is not None else None)
+        agg.population_covered = int(doc["population_covered"])
+        agg.distinct_runs = int(doc["distinct_runs"])
+        agg.failed_runs = int(doc["failed_runs"])
+        agg.failed_weight = int(doc["failed_weight"])
+        agg.cached_runs = int(doc["cached_runs"])
+        agg.billed_total_ns = int(doc["billed_total_ns"])
+        agg.ran_total_ns = int(doc["ran_total_ns"])
+        agg.overbilled_total_ns = int(doc["overbilled_total_ns"])
+        agg.error = {name: HistogramSketch.from_dict(doc["error"][name])
+                     for name in _POPULATIONS}
+        agg.trust = {grade: int(n) for grade, n in doc["trust"].items()}
+        agg.verdicts = {verdict: int(n)
+                        for verdict, n in doc["verdicts"].items()}
+        agg.attacked_weight = int(doc["attacked_weight"])
+        agg.honest_weight = int(doc["honest_weight"])
+        agg.flagged_attacked_weight = int(doc["flagged_attacked_weight"])
+        agg.flagged_honest_weight = int(doc["flagged_honest_weight"])
+        return agg

@@ -19,10 +19,35 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from ..runner.specs import ExperimentSpec, spec_key
 from .spec import FleetSpec
+
+
+def check_host_range(fleet: FleetSpec,
+                     host_range: Optional[Tuple[int, int]]
+                     ) -> Optional[Tuple[int, int]]:
+    """Validate a ``[lo, hi)`` host restriction against the fleet.
+
+    ``None`` means the whole fleet and is passed through untouched — the
+    unsharded paths never see a range at all, which is what keeps them
+    byte-identical to the pre-sharding code.  An empty range (``lo ==
+    hi``) is legal: it is the zero-coverage seed a shard merge starts
+    from.
+    """
+    if host_range is None:
+        return None
+    try:
+        lo, hi = int(host_range[0]), int(host_range[1])
+    except (TypeError, ValueError, IndexError):
+        raise ReproError(f"host_range must be a [lo, hi) pair, "
+                         f"got {host_range!r}") from None
+    if not 0 <= lo <= hi <= fleet.hosts:
+        raise ReproError(f"host_range {[lo, hi]} out of bounds for a "
+                         f"{fleet.hosts}-host fleet")
+    return (lo, hi)
 
 #: Process-level attack mounted on attacked bare-metal hosts (the paper's
 #: §IV-B1 priority/fork scheduling attack); forks scale with the workload.
@@ -74,8 +99,15 @@ def _sync_active(fleet: FleetSpec) -> bool:
                for offset, weight in fleet.sync_mix)
 
 
-def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
+def expand_fleet(fleet: FleetSpec,
+                 host_range: Optional[Tuple[int, int]] = None
+                 ) -> Iterator[FleetUnit]:
     """Yield every guest slot of the population, in (host, guest) order.
+
+    ``host_range`` restricts the walk to hosts ``[lo, hi)``.  Per-host
+    draws come from each host's *own* seeded stream, so a restricted
+    expansion yields exactly the same units those hosts produce in the
+    full walk — shards of one fleet are prefix-stable by construction.
 
     A generator on purpose: expansion is O(1) memory regardless of the
     host count.  Draw order per host is fixed (attacked, kind, nproc,
@@ -94,8 +126,10 @@ def expand_fleet(fleet: FleetSpec) -> Iterator[FleetUnit]:
     workload_params = paper_workload_params(fleet.scale)
     forks = max(1, int(BARE_ATTACK_FORKS * fleet.scale))
     sync_active = _sync_active(fleet)
+    host_range = check_host_range(fleet, host_range)
+    lo, hi = host_range if host_range is not None else (0, fleet.hosts)
 
-    for host in range(fleet.hosts):
+    for host in range(lo, hi):
         rng = _host_rng(fleet, host)
         attacked = rng.random() < fleet.prevalence
         kind = "vm" if rng.random() < fleet.vm_fraction else "bare"
@@ -146,17 +180,20 @@ class UnitGroup:
     weight: int      # guest slots drawing this identity
 
 
-def distinct_units(fleet: FleetSpec) -> List[UnitGroup]:
+def distinct_units(fleet: FleetSpec,
+                   host_range: Optional[Tuple[int, int]] = None
+                   ) -> List[UnitGroup]:
     """Fold the expansion stream into distinct-identity groups.
 
     First-seen order, so the downstream run/aggregate order is a pure
-    function of the fleet spec.  The representative keeps the first
-    unit's host/guest coordinates; its label is rewritten to carry the
-    group's weight instead, since it now stands for many slots.
+    function of the fleet spec (and host range, when sharded).  The
+    representative keeps the first unit's host/guest coordinates; its
+    label is rewritten to carry the group's weight instead, since it now
+    stands for many slots.
     """
     groups: Dict[str, List[Any]] = {}
     order: List[str] = []
-    for unit in expand_fleet(fleet):
+    for unit in expand_fleet(fleet, host_range=host_range):
         key = spec_key(unit.spec)
         entry = groups.get(key)
         if entry is None:

@@ -13,7 +13,7 @@ peak memory is O(distinct identities + chunk), independent of ``hosts``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..runner.cache import ResultCache
 from ..runner.pool import BatchRunner
@@ -34,17 +34,22 @@ def run_fleet(fleet: FleetSpec,
               retries: int = 0,
               progress: Optional[object] = None,
               chunk_size: int = DEFAULT_CHUNK,
-              runner: Optional[BatchRunner] = None) -> FleetAggregator:
+              runner: Optional[BatchRunner] = None,
+              host_range: Optional[Tuple[int, int]] = None
+              ) -> FleetAggregator:
     """Run the whole fleet and return its loaded aggregator.
 
     The caller renders ``.report()`` — kept separate so the serve layer
     can also bill from the aggregate totals.  Passing ``runner`` (the
     figures do) overrides the other runner knobs wholesale.
+    ``host_range`` runs one shard (hosts ``[lo, hi)``) and returns a
+    partial aggregator whose :meth:`~FleetAggregator.to_state` another
+    process can merge — the cross-machine sharding path (docs/chaos.md).
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
-    groups = distinct_units(fleet)
-    aggregator = FleetAggregator(fleet)
+    groups = distinct_units(fleet, host_range=host_range)
+    aggregator = FleetAggregator(fleet, host_range=host_range)
     if runner is None:
         runner = BatchRunner(jobs=jobs, cache=cache, timeout_s=timeout_s,
                              retries=retries, progress=progress)

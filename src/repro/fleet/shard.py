@@ -1,0 +1,423 @@
+"""Cross-machine sharding of one fleet sweep, with failover and
+degraded-but-bounded reports.
+
+:func:`shard_ranges` partitions a fleet's hosts into contiguous
+``[lo, hi)`` spans.  Because every host draws from its own seeded RNG
+stream, a shard expands to exactly the units those hosts produce in the
+full walk — so running the spans anywhere (in-process threads or remote
+``repro serve`` daemons) and merging the partial
+:class:`~repro.fleet.aggregate.FleetAggregator` states reproduces the
+serial totals exactly.
+
+The interesting case is when a shard *doesn't* come home.  The paper's
+posture — degrade and declare rather than silently misreport — applies
+to the report itself: :func:`merged_report` folds whatever shards
+completed, declares ``hosts_covered``/``population_covered``, lists
+per-shard status, and grades the whole report:
+
+* ``TRUSTED`` — full coverage, not a single fault absorbed on the way;
+* ``DEGRADED`` — full coverage, but only because retries/failover
+  absorbed faults (the numbers are exact; the path was not clean);
+* ``PARTIAL`` — one or more shards stayed dark past their retry budget;
+  totals cover only the declared population.
+
+:class:`ShardClient` drives remote shards over the serve API with
+bounded per-request retries (:func:`~repro.chaos.resilience.retry_call`),
+endpoint failover, idempotent submission keyed by
+``fleet_key(fleet, host_range)`` and job-level crash retry
+(``POST /v1/jobs/{id}/retry``) — every recovery path the chaos gauntlet
+exercises under injected faults.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..chaos.resilience import BackoffPolicy, retry_call
+from .aggregate import FLEET_REPORT_SCHEMA, FleetAggregator
+from .runner import run_fleet
+from .spec import FleetSpec, fleet_key
+
+FLEET_COVERAGE_SCHEMA = "repro-fleet-coverage-v1"
+
+#: Report grades, best to worst (mirrors invoice trust grades).
+GRADE_TRUSTED = "TRUSTED"
+GRADE_DEGRADED = "DEGRADED"
+GRADE_PARTIAL = "PARTIAL"
+REPORT_GRADES = (GRADE_TRUSTED, GRADE_DEGRADED, GRADE_PARTIAL)
+
+#: Default tenant name the shard client registers on each endpoint.
+SHARD_TENANT = "fleet-shards"
+
+
+class ShardError(ReproError):
+    """A shard could not be completed within its retry budget."""
+
+
+class ShardRequestError(ReproError):
+    """One HTTP request to a shard endpoint failed.
+
+    ``retryable`` distinguishes transient transport/5xx failures (worth
+    another attempt) from protocol-level rejections (4xx: retrying the
+    same request can only fail the same way).
+    """
+
+    def __init__(self, message: str, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class RetryableShardError(ShardRequestError):
+    """Marker subclass: what :func:`retry_call` retries for the client."""
+
+
+def shard_ranges(hosts: int, shards: int) -> List[Tuple[int, int]]:
+    """Partition ``hosts`` into ``shards`` contiguous ``[lo, hi)`` spans.
+
+    Balanced to within one host and prefix-stable: shard ``i`` of ``N``
+    is ``[floor(i*hosts/N), floor((i+1)*hosts/N))``, a pure function of
+    (hosts, shards) every participant computes identically.
+    """
+    if hosts < 1:
+        raise ReproError(f"hosts must be >= 1, got {hosts}")
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    if shards > hosts:
+        raise ReproError(f"cannot split {hosts} hosts into {shards} "
+                         f"shards (at most one shard per host)")
+    return [(i * hosts // shards, (i + 1) * hosts // shards)
+            for i in range(shards)]
+
+
+class ShardOutcome:
+    """What happened to one shard: its span, status and (if ok) state."""
+
+    def __init__(self, index: int, host_range: Tuple[int, int]) -> None:
+        self.index = index
+        self.host_range = host_range
+        self.status = "failed"          # "ok" | "failed"
+        self.attempts = 0
+        self.endpoint: Optional[str] = None
+        self.error: Optional[str] = None
+        self.faults_absorbed = 0
+        self.state: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.index,
+            "hosts": [self.host_range[0], self.host_range[1]],
+            "status": self.status,
+            "attempts": self.attempts,
+            "endpoint": self.endpoint,
+            "error": self.error,
+            "faults_absorbed": self.faults_absorbed,
+        }
+
+
+# -- remote shard client ---------------------------------------------------
+
+
+def _http_json(method: str, url: str, body: Optional[Dict[str, Any]],
+               timeout_s: float) -> Dict[str, Any]:
+    """One JSON round trip; raises :class:`ShardRequestError` on any
+    failure, marked retryable for transport faults and 5xx."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            raw = response.read()
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = exc.read().decode("utf-8", "replace")[:200]
+        except Exception:
+            pass
+        retryable = exc.code >= 500
+        cls = RetryableShardError if retryable else ShardRequestError
+        raise cls(f"{method} {url} -> {exc.code}: {detail}",
+                  retryable=retryable) from None
+    except (urllib.error.URLError, ConnectionError, socket.timeout,
+            http.client.HTTPException, OSError) as exc:
+        raise RetryableShardError(
+            f"{method} {url} failed: {type(exc).__name__}: {exc}") from None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # A truncated/reset response lands here: retryable by definition.
+        raise RetryableShardError(
+            f"{method} {url} returned undecodable body: {exc}") from None
+
+
+class ShardClient:
+    """Run fleet shards against ``repro serve`` endpoints.
+
+    One shard = one serve fleet job restricted to a host range.  Each
+    HTTP request runs under the backoff policy; a failed job is re-driven
+    through the server's retry route; if an endpoint stays dark the
+    client fails over to the other endpoints (unless pinned).  All
+    recovery is *bounded*: when the budget runs out the shard is reported
+    failed and the merged report declares the gap instead of hiding it.
+    """
+
+    def __init__(self, endpoints: Sequence[str],
+                 policy: Optional[BackoffPolicy] = None,
+                 tenant: str = SHARD_TENANT,
+                 request_timeout_s: float = 30.0,
+                 deadline_s: float = 120.0,
+                 poll_interval_s: float = 0.05,
+                 failover: bool = True,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not endpoints:
+            raise ReproError("shard client needs at least one endpoint")
+        self.endpoints = [str(e).rstrip("/") for e in endpoints]
+        self.policy = policy or BackoffPolicy()
+        self.tenant = tenant
+        self.request_timeout_s = request_timeout_s
+        self.deadline_s = deadline_s
+        self.poll_interval_s = poll_interval_s
+        self.failover = failover
+        self._sleep = sleep
+        self._tenant_ids: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- one bounded-retry request ------------------------------------------
+
+    def _request(self, outcome: ShardOutcome, method: str, url: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        def attempt() -> Dict[str, Any]:
+            return _http_json(method, url, body, self.request_timeout_s)
+
+        def absorbed(attempt_no: int, exc: BaseException) -> None:
+            outcome.faults_absorbed += 1
+
+        return retry_call(attempt, self.policy,
+                          retry_on=(RetryableShardError,),
+                          sleep=self._sleep, on_retry=absorbed)
+
+    def _tenant_id(self, outcome: ShardOutcome, endpoint: str) -> str:
+        with self._lock:
+            cached = self._tenant_ids.get(endpoint)
+        if cached is not None:
+            return cached
+        # Registration is not idempotent on the server, so look first,
+        # and treat a "already registered" 400 as a lost race to re-look.
+        doc = self._request(outcome, "GET", f"{endpoint}/v1/tenants")
+        tid = next((t["tenant_id"] for t in doc.get("tenants", [])
+                    if t["name"] == self.tenant), None)
+        if tid is None:
+            try:
+                created = self._request(outcome, "POST",
+                                        f"{endpoint}/v1/tenants",
+                                        {"name": self.tenant})
+                tid = created["tenant_id"]
+            except ShardRequestError as exc:
+                if "already registered" not in str(exc):
+                    raise
+                doc = self._request(outcome, "GET",
+                                    f"{endpoint}/v1/tenants")
+                tid = next(t["tenant_id"] for t in doc.get("tenants", [])
+                           if t["name"] == self.tenant)
+        with self._lock:
+            self._tenant_ids[endpoint] = tid
+        return tid
+
+    # -- one shard ----------------------------------------------------------
+
+    def _run_on_endpoint(self, outcome: ShardOutcome, endpoint: str,
+                         fleet: FleetSpec, deadline: float
+                         ) -> Dict[str, Any]:
+        lo, hi = outcome.host_range
+        key = fleet_key(fleet, host_range=outcome.host_range)
+        tid = self._tenant_id(outcome, endpoint)
+        job = self._request(
+            outcome, "POST", f"{endpoint}/v1/tenants/{tid}/fleet",
+            {"fleet": fleet.to_dict(), "host_range": [lo, hi],
+             "wait": False, "idempotency_key": f"shard:{key[:16]}:{lo}-{hi}"})
+        job_id = job["job_id"]
+        job_retries = 0
+        while True:
+            if time.monotonic() > deadline:
+                raise ShardError(f"shard {outcome.index} missed its "
+                                 f"{self.deadline_s:g}s deadline on "
+                                 f"{endpoint}")
+            job = self._request(outcome, "GET",
+                                f"{endpoint}/v1/jobs/{job_id}")
+            state = job["state"]
+            if state == "completed":
+                result = job.get("result") or {}
+                state_doc = result.get("fleet_state")
+                if state_doc is None:
+                    raise ShardError(f"shard {outcome.index}: job "
+                                     f"{job_id} completed without a "
+                                     f"fleet_state")
+                return state_doc
+            if state == "failed":
+                # A worker crash (injected or real) left the job failed;
+                # re-dispatch through the idempotent billing path.
+                if job_retries >= self.policy.retries:
+                    raise ShardError(
+                        f"shard {outcome.index}: job {job_id} still "
+                        f"failed after {job_retries} retries: "
+                        f"{job.get('error')}")
+                job_retries += 1
+                outcome.faults_absorbed += 1
+                self._request(outcome, "POST",
+                              f"{endpoint}/v1/jobs/{job_id}/retry",
+                              {"wait": False})
+            elif state == "rejected":
+                raise ShardError(f"shard {outcome.index}: job {job_id} "
+                                 f"rejected: {job.get('error')}")
+            self._sleep(self.poll_interval_s)
+
+    def run_shard(self, fleet: FleetSpec, index: int,
+                  host_range: Tuple[int, int]) -> ShardOutcome:
+        """Drive one shard to completion (or bounded failure)."""
+        outcome = ShardOutcome(index, host_range)
+        deadline = time.monotonic() + self.deadline_s
+        preferred = self.endpoints[index % len(self.endpoints)]
+        candidates = [preferred]
+        if self.failover:
+            candidates += [e for e in self.endpoints if e != preferred]
+        last_error: Optional[BaseException] = None
+        for endpoint in candidates:
+            outcome.attempts += 1
+            if endpoint != preferred:
+                outcome.faults_absorbed += 1  # failover absorbed a fault
+            try:
+                outcome.state = self._run_on_endpoint(
+                    outcome, endpoint, fleet, deadline)
+                outcome.status = "ok"
+                outcome.endpoint = endpoint
+                outcome.error = None
+                return outcome
+            except (ShardError, ShardRequestError) as exc:
+                last_error = exc
+                outcome.endpoint = endpoint
+                outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.status = "failed"
+        if last_error is None:  # pragma: no cover - defensive
+            outcome.error = "no endpoint attempted"
+        return outcome
+
+
+# -- merging and grading ---------------------------------------------------
+
+
+def merged_report(fleet: FleetSpec, outcomes: Sequence[ShardOutcome],
+                  shards: int) -> Dict[str, Any]:
+    """Merge completed shards and grade the result.
+
+    Always returns a ``repro-fleet-report-v1`` document: full-coverage
+    merges carry the exact serial totals; partial ones declare what they
+    cover under the ``coverage`` section and audit only that population.
+    """
+    merged = FleetAggregator(fleet, host_range=(0, 0))
+    hosts_covered = 0
+    faults_absorbed = 0
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        if outcome.status != "ok" or outcome.state is None:
+            # A dark shard's faults were not absorbed — they are
+            # *declared*, via its status entry and the coverage gap.
+            continue
+        faults_absorbed += outcome.faults_absorbed
+        merged.merge(FleetAggregator.from_state(outcome.state))
+        hosts_covered += outcome.host_range[1] - outcome.host_range[0]
+    report = merged.report()
+    shards_ok = sum(1 for o in outcomes if o.status == "ok")
+    if hosts_covered < fleet.hosts:
+        grade = GRADE_PARTIAL
+    elif faults_absorbed > 0:
+        grade = GRADE_DEGRADED
+    else:
+        grade = GRADE_TRUSTED
+    report["coverage"] = {
+        "schema": FLEET_COVERAGE_SCHEMA,
+        "grade": grade,
+        "shards_total": shards,
+        "shards_ok": shards_ok,
+        "shards_failed": len(outcomes) - shards_ok,
+        "hosts_total": fleet.hosts,
+        "hosts_covered": hosts_covered,
+        "population": fleet.population,
+        "population_covered": merged.population_covered,
+        "faults_absorbed": faults_absorbed,
+        "shards": [o.to_dict() for o in outcomes],
+    }
+    return report
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def shard_fleet_local(fleet: FleetSpec, shards: int, jobs: int = 1,
+                      **run_kwargs: Any) -> Dict[str, Any]:
+    """Shard a fleet across in-process threads (``repro fleet --shards``).
+
+    No HTTP, no faults to absorb: each shard runs
+    :func:`~repro.fleet.runner.run_fleet` over its host span concurrently
+    and the merge is exact — the merged totals equal the serial run's.
+    """
+    ranges = shard_ranges(fleet.hosts, shards)
+    outcomes = [ShardOutcome(i, r) for i, r in enumerate(ranges)]
+
+    def run_one(outcome: ShardOutcome) -> None:
+        outcome.attempts = 1
+        try:
+            agg = run_fleet(fleet, jobs=jobs,
+                            host_range=outcome.host_range, **run_kwargs)
+            outcome.state = agg.to_state()
+            outcome.status = "ok"
+            outcome.endpoint = "local"
+        except Exception as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+
+    threads = [threading.Thread(target=run_one, args=(o,),
+                                name=f"repro-fleet-shard-{o.index}")
+               for o in outcomes]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return merged_report(fleet, outcomes, shards)
+
+
+def shard_fleet(fleet: FleetSpec, endpoints: Sequence[str],
+                shards: Optional[int] = None,
+                client: Optional[ShardClient] = None,
+                **client_kwargs: Any) -> Dict[str, Any]:
+    """Shard a fleet across remote serve endpoints and merge the states.
+
+    Shards run concurrently (one thread per shard — the real work happens
+    on the servers); a shard that stays dark past the client's retry
+    budget is declared in the report's coverage section instead of
+    failing the whole sweep.
+    """
+    if shards is None:
+        shards = len(endpoints)
+    ranges = shard_ranges(fleet.hosts, shards)
+    if client is None:
+        client = ShardClient(endpoints, **client_kwargs)
+    outcomes: List[Optional[ShardOutcome]] = [None] * len(ranges)
+
+    def run_one(index: int, host_range: Tuple[int, int]) -> None:
+        outcomes[index] = client.run_shard(fleet, index, host_range)
+
+    threads = [threading.Thread(target=run_one, args=(i, r),
+                                name=f"repro-fleet-shard-{i}")
+               for i, r in enumerate(ranges)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    done = [o for o in outcomes if o is not None]
+    return merged_report(fleet, done, shards)

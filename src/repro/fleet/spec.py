@@ -201,8 +201,17 @@ def fleet_identity(fleet: FleetSpec) -> Dict[str, Any]:
     return doc
 
 
-def fleet_key(fleet: FleetSpec) -> str:
-    """Stable content hash of the fleet spec (serve-layer ledger identity)."""
-    doc = json.dumps(fleet_identity(fleet), sort_keys=True,
-                     separators=(",", ":"))
+def fleet_key(fleet: FleetSpec, host_range=None) -> str:
+    """Stable content hash of the fleet spec (serve-layer ledger identity).
+
+    ``host_range`` (a ``[lo, hi)`` pair) keys one *shard* of the fleet:
+    shards of the same fleet get distinct ledger identities, so a shard
+    job can never be ledger-served another shard's partial aggregate.
+    ``None`` — the whole fleet — hashes the identity document untouched,
+    byte-identical to the pre-sharding key.
+    """
+    identity = fleet_identity(fleet)
+    if host_range is not None:
+        identity["host_range"] = [int(host_range[0]), int(host_range[1])]
+    doc = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(doc.encode("utf-8")).hexdigest()

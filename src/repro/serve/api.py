@@ -11,6 +11,8 @@ Routes (all responses JSON unless noted):
 method    path                                body / result
 ========  ==================================  =====================================
 GET       ``/healthz``                        liveness + version
+GET       ``/readyz``                         readiness (200, or 503 while
+                                              draining / store down)
 GET       ``/metrics``                        Prometheus text format (0.0.4)
 POST      ``/v1/tenants``                     ``{name, plan?, quota_ns?}`` → tenant
 GET       ``/v1/tenants``                     all tenants
@@ -24,6 +26,9 @@ POST      ``/v1/tenants/{tid}/fleet``         ``{fleet, wait?, idempotency_key?,
                                               over_quota?}`` → fleet job
                                               (docs/fleet.md; poll when async)
 GET       ``/v1/jobs/{jid}``                  job document (poll for async jobs)
+POST      ``/v1/jobs/{jid}/retry``            re-dispatch a failed/crashed job
+                                              (idempotent billing: never
+                                              double-bills)
 GET       ``/v1/jobs/{jid}/invoice``          the bill
 GET       ``/v1/jobs/{jid}/trust``            clocksource trust report
 GET       ``/v1/jobs/{jid}/audit``            tenant-side steal/overbilling audit
@@ -33,10 +38,13 @@ GET       ``/v1/jobs/{jid}/fleet``            a fleet job's aggregate report
 
 from __future__ import annotations
 
+import contextlib
 import json
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import ServeConfig
@@ -53,6 +61,16 @@ MAX_BODY_BYTES = 1 << 20
 
 def _json_bytes(doc: Any) -> bytes:
     return (json.dumps(doc, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+def _timeout_from(body: Dict[str, Any]) -> Optional[float]:
+    """Parse an optional per-request ``timeout_s`` deadline."""
+    timeout_s = body.get("timeout_s")
+    if timeout_s is None:
+        return None
+    if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
+        raise ServiceError("timeout_s must be a positive number")
+    return float(timeout_s)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -110,8 +128,32 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
 
+    def _reply_truncated(self) -> None:
+        """Injected connection reset: claim a full body, send half, drop
+        the connection — the client sees a short read mid-JSON."""
+        body = _json_bytes({"error": "chaos: connection reset"})
+        self.send_response(200)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body) * 2))
+        self.end_headers()
+        self.wfile.write(body[:len(body) // 2])
+        self.close_connection = True
+        self.server.service.metrics.observe_http(self.command, 200)
+
     def _dispatch(self, method: str) -> None:
         service = self.server.service
+        chaos = self.server.chaos
+        if chaos is not None:
+            fault = chaos.http_fault()
+            if fault is not None:
+                kind, delay_ms = fault
+                if kind == "error":
+                    self._reply_error(503, "chaos: injected server error")
+                    return
+                if kind == "reset":
+                    self._reply_truncated()
+                    return
+                time.sleep(delay_ms / 1000.0)  # kind == "slow"
         try:
             handled = self._handle(method, self._route(), service)
         except QuotaExceeded as exc:
@@ -133,6 +175,10 @@ class _Handler(BaseHTTPRequestHandler):
             from .. import __version__
             self._reply_json(200, {"ok": True, "version": __version__,
                                    "store": service.store.path})
+            return True
+        if method == "GET" and route == ("readyz",):
+            ready = service.readiness()
+            self._reply_json(200 if ready["ready"] else 503, ready)
             return True
         if method == "GET" and route == ("metrics",):
             self._reply(200, service.metrics_text().encode("utf-8"),
@@ -190,7 +236,8 @@ class _Handler(BaseHTTPRequestHandler):
                     tenant_id, spec_doc,
                     idempotency_key=body.get("idempotency_key"),
                     wait=bool(body.get("wait", True)),
-                    over_quota=body.get("over_quota", "reject"))
+                    over_quota=body.get("over_quota", "reject"),
+                    timeout_s=_timeout_from(body))
                 self._reply_json(200, job)
                 return True
             if method == "POST" and tail == ("fleet",):
@@ -200,18 +247,36 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ServiceError(
                         "fleet submission needs a 'fleet' object "
                         "(see docs/fleet.md)")
+                host_range = body.get("host_range")
+                if host_range is not None and (
+                        not isinstance(host_range, (list, tuple))
+                        or len(host_range) != 2):
+                    raise ServiceError(
+                        "host_range must be a [lo, hi) pair of host "
+                        "indices")
                 job = service.submit_fleet(
                     tenant_id, fleet_doc,
                     idempotency_key=body.get("idempotency_key"),
                     wait=bool(body.get("wait", True)),
-                    over_quota=body.get("over_quota", "reject"))
+                    over_quota=body.get("over_quota", "reject"),
+                    timeout_s=_timeout_from(body),
+                    host_range=host_range)
                 self._reply_json(200, job)
                 return True
             return False
 
-        if route[1:2] == ("jobs",) and len(route) >= 3 and method == "GET":
+        if route[1:2] == ("jobs",) and len(route) >= 3:
             job_id = route[2]
             tail = route[3:]
+            if method == "POST" and tail == ("retry",):
+                body = self._read_body()
+                job = service.retry_job(
+                    job_id, wait=bool(body.get("wait", True)),
+                    timeout_s=_timeout_from(body))
+                self._reply_json(200, job)
+                return True
+            if method != "GET":
+                return False
             if tail == ():
                 self._reply_json(200, service.job_doc(job_id))
                 return True
@@ -236,9 +301,11 @@ class ReproServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, service: MeteringService, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False) -> None:
+                 port: int = 0, verbose: bool = False,
+                 chaos: Optional[Any] = None) -> None:
         self.service = service
         self.verbose = verbose
+        self.chaos = chaos
         super().__init__((host, port), _Handler)
 
     @property
@@ -263,26 +330,70 @@ class ReproServer(ThreadingHTTPServer):
         self.server_close()
         self.service.close()
 
+    def graceful_close(self, drain_timeout_s: Optional[float] = None) -> bool:
+        """Stop accepting, drain in-flight jobs, then close the store.
+
+        Returns True when every in-flight job finished inside the drain
+        deadline; False means the pool was abandoned with work cancelled.
+        """
+        self.shutdown()
+        self.server_close()
+        return self.service.shutdown(drain_timeout_s)
+
 
 def serve_forever(cfg: Optional["ServeConfig"] = None,
-                  verbose: bool = True) -> None:
-    """Entry point for ``repro serve``: block until interrupted."""
+                  verbose: bool = True,
+                  ready: Optional[Callable[["ReproServer"], None]] = None,
+                  ) -> None:
+    """Entry point for ``repro serve``: block until interrupted.
+
+    Installs SIGTERM/SIGINT handlers (main thread only) that stop the
+    accept loop and drain in-flight jobs before the store closes, so a
+    supervisor's stop signal never strands a half-billed job.  The
+    optional ``ready`` callback fires with the bound server before the
+    accept loop starts — tests use it to learn the ephemeral port.
+    """
     from ..config import ServeConfig
 
     cfg = cfg or ServeConfig()
     cfg.validate()
-    store = UsageStore(cfg.db)
+    store = UsageStore(cfg.db, busy_timeout_ms=cfg.busy_timeout_ms)
     service = MeteringService(
         store, jobs=cfg.jobs,
         audit_tolerance_fraction=cfg.audit_tolerance_fraction,
         audit_floor_ns=cfg.audit_tolerance_floor_ns)
     server = ReproServer(service, host=cfg.host, port=cfg.port,
                          verbose=verbose)
+
+    stop_signals: Dict[str, int] = {}
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum: int, frame: Any) -> None:
+            name = signal.Signals(signum).name
+            stop_signals[name] = stop_signals.get(name, 0) + 1
+            # shutdown() blocks until the accept loop exits; calling it
+            # from the loop's own thread would deadlock, so hop threads.
+            threading.Thread(target=server.shutdown,
+                             name="repro-serve-stop", daemon=True).start()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _on_signal)
+
     print(f"repro serve listening on {server.address} (store: {cfg.db}, "
           f"{cfg.jobs} worker{'s' if cfg.jobs != 1 else ''})")
     try:
+        if ready is not None:
+            ready(server)
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("shutting down")
+        pass
     finally:
-        server.close()
+        for sig, handler in previous.items():
+            with contextlib.suppress(ValueError):
+                signal.signal(sig, handler)
+        if stop_signals:
+            print(f"received {'/'.join(sorted(stop_signals))}, "
+                  f"draining (up to {cfg.drain_timeout_s:g}s)")
+        drained = server.graceful_close(cfg.drain_timeout_s)
+        if not drained:
+            print("drain deadline elapsed; unfinished jobs were cancelled")

@@ -135,6 +135,35 @@ class MetricsRegistry:
                "Durable commits (fsyncs) the usage store performed.",
                [_sample("repro_serve_store_fsyncs_total", {},
                         store.fsyncs)])
+        family("repro_serve_deadline_exceeded_total", "counter",
+               "Jobs whose waiter's deadline elapsed while they ran "
+               "(durable job-row marker, survives restarts).",
+               [_sample("repro_serve_deadline_exceeded_total", {},
+                        store.deadline_exceeded_count())])
+        # Resilience counters: zero and inert without a resilient store
+        # wrapper; live when a chaos plan installed one.
+        family("repro_serve_store_retries_total", "counter",
+               "Store operations re-issued after a transient SQLite "
+               "error by the resilient wrapper.",
+               [_sample("repro_serve_store_retries_total", {},
+                        getattr(store, "retries_total", 0))])
+        breaker = getattr(store, "breaker", None)
+        family("repro_serve_breaker_open", "gauge",
+               "1 while the store circuit breaker refuses calls.",
+               [_sample("repro_serve_breaker_open", {},
+                        1 if breaker is not None and breaker.is_open
+                        else 0)])
+        injector = getattr(store, "chaos_injector", None)
+        if injector is not None:
+            counts = injector.injected_by_site()
+            family("repro_serve_chaos_injected_total", "counter",
+                   "Faults the chaos injector deliberately fired, by "
+                   "site and kind.",
+                   [_sample("repro_serve_chaos_injected_total",
+                            {"fault": fault}, n)
+                    for fault, n in sorted(counts.items())]
+                   or [_sample("repro_serve_chaos_injected_total",
+                               {"fault": ""}, 0)])
         family("repro_serve_http_requests_total", "counter",
                "HTTP requests served, by method and status code.",
                [_sample("repro_serve_http_requests_total",

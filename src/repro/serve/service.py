@@ -20,10 +20,12 @@ execution path on a thread worker pool:
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..metering.billing import (
@@ -121,7 +123,8 @@ class MeteringService:
                  audit_tolerance_fraction: float = 0.1,
                  audit_floor_ns: int = 5_000_000,
                  run: Callable[..., ExperimentResult] = run_spec,
-                 fleet_jobs: int = 1) -> None:
+                 fleet_jobs: int = 1,
+                 chaos: Optional[Any] = None) -> None:
         self.store = store
         self.metrics = MetricsRegistry(store)
         self.audit_tolerance_fraction = audit_tolerance_fraction
@@ -129,6 +132,15 @@ class MeteringService:
         #: Worker processes per fleet job (1 = serial; the aggregate is
         #: bit-identical either way).
         self.fleet_jobs = max(1, fleet_jobs)
+        #: Optional :class:`~repro.chaos.inject.ChaosInjector` firing
+        #: worker faults at the top of each job attempt.  None (the
+        #: default, and always the case with an empty chaos plan) adds
+        #: zero work to the execution path.
+        self._chaos = chaos
+        #: Set while a graceful shutdown is in progress: /readyz flips to
+        #: 503 so load balancers stop routing here, while in-flight jobs
+        #: finish billing.
+        self.draining = False
         self._run = run
         self._pool = ThreadPoolExecutor(max_workers=max(1, jobs),
                                         thread_name_prefix="repro-serve")
@@ -209,28 +221,50 @@ class MeteringService:
     def submit_fleet(self, tenant_id: str, fleet_doc: Dict[str, Any],
                      idempotency_key: Optional[str] = None,
                      wait: bool = True, over_quota: str = "reject",
-                     timeout_s: Optional[float] = None) -> Dict[str, Any]:
+                     timeout_s: Optional[float] = None,
+                     host_range: Optional[Any] = None) -> Dict[str, Any]:
         """Submit a whole fleet sweep (see docs/fleet.md) as one job.
 
         The job's identity is the fleet spec's content hash, so a repeated
         fleet submission is served from the ledger like any repeated spec;
         the population's total billed nanoseconds count against the
         tenant's quota exactly like a single run's.
+
+        ``host_range`` (a ``[lo, hi)`` pair) submits one *shard* of the
+        fleet: only those hosts run, the job's ledger identity includes
+        the range (shards never ledger-serve each other), and the result
+        document carries the exact partial-aggregate state for the shard
+        client to merge (see docs/chaos.md).
         """
-        from ..fleet import FleetSpecError, fleet_from_dict, fleet_key
+        from ..errors import ReproError as _ReproError
+        from ..fleet import (
+            FleetSpecError,
+            check_host_range,
+            fleet_from_dict,
+            fleet_key,
+        )
 
         try:
             fleet = fleet_from_dict(fleet_doc)
-        except FleetSpecError as exc:
+            host_range = check_host_range(
+                fleet, tuple(host_range) if host_range is not None
+                else None)
+        except (FleetSpecError, _ReproError) as exc:
             raise ServiceError(f"bad fleet spec: {exc}") from None
+        suffix = (f":h{host_range[0]}-{host_range[1]}"
+                  if host_range is not None else "")
         spec_doc = {
             "label": (f"fleet:{fleet.hosts}x{fleet.guests}"
-                      f":p={fleet.prevalence}:s={fleet.seed}"),
+                      f":p={fleet.prevalence}:s={fleet.seed}{suffix}"),
             "fleet": fleet.to_dict(),
         }
-        return self._admit(tenant_id, fleet_key(fleet), spec_doc,
-                           idempotency_key=idempotency_key, wait=wait,
-                           over_quota=over_quota, timeout_s=timeout_s)
+        if host_range is not None:
+            spec_doc["host_range"] = [host_range[0], host_range[1]]
+        return self._admit(tenant_id,
+                           fleet_key(fleet, host_range=host_range),
+                           spec_doc, idempotency_key=idempotency_key,
+                           wait=wait, over_quota=over_quota,
+                           timeout_s=timeout_s)
 
     def _admit(self, tenant_id: str, key: str, spec_doc: Dict[str, Any],
                idempotency_key: Optional[str], wait: bool,
@@ -286,8 +320,13 @@ class MeteringService:
         try:
             future.result(timeout=timeout_s)
         except FutureTimeout:
-            # Still executing — the caller polls the job document.
-            pass
+            # Still executing — the caller polls the job document.  Leave
+            # a durable marker so the poller can tell "slow but alive"
+            # from "lost": without it a blown deadline is invisible in
+            # every record the system keeps.  Best-effort on purpose —
+            # the marker must never turn a slow job into a failed one.
+            with contextlib.suppress(Exception):
+                self.store.mark_deadline_exceeded(job_id)
         except InjectedCrash:
             # Crash simulation: the job is left exactly as the crash left
             # it; the caller inspects the job document.
@@ -330,6 +369,11 @@ class MeteringService:
     def _execute(self, job_id: str) -> None:
         self.metrics.job_started()
         try:
+            if self._chaos is not None:
+                # Injected worker crash/hang — *before* any store write,
+                # so a crashed attempt is a clean retry candidate.  The
+                # billing transaction is idempotent either way.
+                self._chaos.worker_fault()
             job = self.store.job(job_id)
             ledger_doc = self.store.find_result_by_spec(job["spec_key"])
             if ledger_doc is not None:
@@ -338,7 +382,8 @@ class MeteringService:
                 return
             self.store.set_job_state(job_id, "running")
             if "fleet" in job["spec"]:
-                result_doc = self._run_fleet_job(job["spec"]["fleet"])
+                result_doc = self._run_fleet_job(
+                    job["spec"]["fleet"], job["spec"].get("host_range"))
             else:
                 spec = spec_from_dict(job["spec"])
                 result_doc = self._run(spec).to_dict()
@@ -354,7 +399,8 @@ class MeteringService:
             self.store.release_reservation(job_id)
             self.metrics.job_finished()
 
-    def _run_fleet_job(self, fleet_doc: Dict[str, Any]) -> Dict[str, Any]:
+    def _run_fleet_job(self, fleet_doc: Dict[str, Any],
+                       host_range: Optional[Any] = None) -> Dict[str, Any]:
         """Run a fleet sweep and shape its aggregate as a result document.
 
         The document is :meth:`ExperimentResult.to_dict`-compatible —
@@ -363,15 +409,24 @@ class MeteringService:
         watchdog counters — so billing, invoices, trust reports and the
         tenant audit all work on fleet jobs unchanged.  The full streaming
         aggregate rides along under ``fleet_report``.
+
+        A *shard* job (``host_range`` set) additionally ships the exact
+        partial-aggregate state under ``fleet_state`` so the shard client
+        can merge it losslessly; unsharded fleet jobs carry no such key —
+        their result documents stay byte-identical to pre-sharding ones.
         """
         from ..fleet import fleet_from_dict, run_fleet
 
         fleet = fleet_from_dict(fleet_doc)
-        report = run_fleet(fleet, jobs=self.fleet_jobs).report()
+        hr: Optional[Tuple[int, int]] = (
+            (int(host_range[0]), int(host_range[1]))
+            if host_range is not None else None)
+        aggregator = run_fleet(fleet, jobs=self.fleet_jobs, host_range=hr)
+        report = aggregator.report()
         stats = {wire: report["trust_mix"][grade]
                  for grade, wire in _FLEET_TRUST_KEYS
                  if report["trust_mix"][grade]}
-        return {
+        doc = {
             "program": "fleet",
             "attack": "population",
             "usage": {"utime_ns": report["billed_total_ns"], "stime_ns": 0},
@@ -382,6 +437,9 @@ class MeteringService:
             "stats": stats,
             "fleet_report": report,
         }
+        if hr is not None:
+            doc["fleet_state"] = aggregator.to_state()
+        return doc
 
     def _bill(self, job_id: str, job: Dict[str, Any],
               result_doc: Dict[str, Any], cached: bool) -> None:
@@ -493,14 +551,74 @@ class MeteringService:
     def metrics_text(self) -> str:
         return self.metrics.render()
 
+    def readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` document: can this process *usefully* take
+        traffic right now?  Liveness (``/healthz``) says the process is
+        up; readiness also checks that the store answers and that no
+        graceful drain is in progress, and surfaces the circuit-breaker
+        state when a resilient store wrapper is installed."""
+        store_ok = True
+        store_error = None
+        try:
+            self.store.ledger_count()
+        except Exception as exc:
+            store_ok = False
+            store_error = f"{type(exc).__name__}: {exc}"
+        breaker = getattr(self.store, "breaker", None)
+        with self._lock:
+            inflight = sum(1 for f in self._futures.values()
+                           if not f.done())
+        doc: Dict[str, Any] = {
+            "ready": store_ok and not self.draining,
+            "draining": self.draining,
+            "store_ok": store_ok,
+            "jobs_inflight": inflight,
+        }
+        if store_error is not None:
+            doc["store_error"] = store_error
+        if breaker is not None:
+            doc["breaker"] = breaker.state
+        return doc
+
     # -- lifecycle ---------------------------------------------------------
 
-    def drain(self, timeout_s: Optional[float] = None) -> None:
-        """Wait for every dispatched job to reach a terminal state."""
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait for every dispatched job to reach a terminal state.
+
+        ``timeout_s`` is an *overall* deadline across all in-flight jobs
+        (None waits indefinitely).  Returns True when everything reached
+        a terminal state, False when the deadline expired with work still
+        running — the caller decides whether that is a shutdown error.
+        """
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
         with self._lock:
             futures = dict(self._futures)
+        drained = True
         for job_id, future in futures.items():
-            self._wait(future, timeout_s, job_id)
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            self._wait(future, remaining, job_id)
+            if not future.done():
+                drained = False
+        return drained
+
+    def shutdown(self, drain_timeout_s: Optional[float] = None) -> bool:
+        """Graceful stop: flag draining, drain with a deadline, close.
+
+        Jobs still running when the deadline passes are abandoned to the
+        executor (their billing transaction is idempotent, so a restart
+        retries them safely); the store is closed regardless so the WAL
+        is checkpointed.  Returns :meth:`drain`'s verdict.
+        """
+        self.draining = True
+        drained = self.drain(timeout_s=drain_timeout_s)
+        # cancel_futures drops queued-but-unstarted work; running jobs
+        # past the deadline are not joined (wait=False) — by design.
+        self._pool.shutdown(wait=drained, cancel_futures=not drained)
+        self.store.close()
+        return drained
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

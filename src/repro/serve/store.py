@@ -77,6 +77,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     cached          INTEGER NOT NULL DEFAULT 0,
     error           TEXT,
     result_json     TEXT,
+    deadline_exceeded INTEGER NOT NULL DEFAULT 0,
     UNIQUE (tenant_id, idempotency_key)
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_tenant ON jobs(tenant_id);
@@ -143,8 +144,19 @@ class UsageStore:
     :attr:`fsyncs` for the ``/metrics`` exposition).
     """
 
-    def __init__(self, path: str) -> None:
+    #: Default lock-wait budget.  Shard workers and external auditors
+    #: open the same file from other processes; without a busy timeout a
+    #: writer holding the file for one commit makes every concurrent
+    #: touch raise "database is locked" *immediately* instead of waiting
+    #: out the (millisecond-scale) contention.
+    DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+    def __init__(self, path: str,
+                 busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS) -> None:
         self.path = str(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        if self.busy_timeout_ms < 0:
+            raise StoreError("busy_timeout_ms must be >= 0")
         self._lock = threading.RLock()
         self._crash_hooks: Dict[str, Callable[[], None]] = {}
         #: In-flight quota reservations (job_id -> tenant_id).  Purely
@@ -162,10 +174,26 @@ class UsageStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=FULL")
         self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
         with self._transaction("init"):
             for statement in _SCHEMA.strip().split(";\n"):
                 if statement.strip():
                     self._conn.execute(statement)
+            self._migrate()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` skips tables that already exist,
+        so columns added after a store shipped need an explicit ALTER.
+        Runs inside the init transaction.
+        """
+        columns = {row[1] for row in
+                   self._conn.execute("PRAGMA table_info(jobs)")}
+        if "deadline_exceeded" not in columns:
+            self._conn.execute(
+                "ALTER TABLE jobs ADD COLUMN deadline_exceeded "
+                "INTEGER NOT NULL DEFAULT 0")
 
     # -- crash injection ---------------------------------------------------
 
@@ -359,7 +387,8 @@ class UsageStore:
         with self._lock:
             row = self._conn.execute(
                 "SELECT job_id, tenant_id, idempotency_key, spec_key, "
-                "spec_json, state, cached, error, result_json "
+                "spec_json, state, cached, error, result_json, "
+                "deadline_exceeded "
                 "FROM jobs WHERE job_id = ?", (job_id,)).fetchone()
         if row is None:
             raise KeyError(job_id)
@@ -373,7 +402,29 @@ class UsageStore:
             "cached": bool(row[6]),
             "error": row[7],
             "result": json.loads(row[8]) if row[8] is not None else None,
+            "deadline_exceeded": bool(row[9]),
         }
+
+    def mark_deadline_exceeded(self, job_id: str) -> None:
+        """Record that a waiter's deadline elapsed while this job ran.
+
+        Durable on the job row (not a process counter), so a poller can
+        distinguish "slow but alive" from "lost" even across a daemon
+        restart.  The marker survives completion: a job that finishes
+        *after* blowing a deadline keeps the mark as an SLO paper trail.
+        """
+        with self._lock:
+            self.job(job_id)  # KeyError on unknown job
+            with self._transaction("job"):
+                self._conn.execute(
+                    "UPDATE jobs SET deadline_exceeded = 1 "
+                    "WHERE job_id = ?", (job_id,))
+
+    def deadline_exceeded_count(self) -> int:
+        with self._lock:
+            return int(self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE deadline_exceeded = 1"
+            ).fetchone()[0])
 
     def jobs_for_tenant(self, tenant_id: str,
                         state: Optional[str] = None) -> List[Dict[str, Any]]:

@@ -8,9 +8,12 @@ Two layers of machine-checked trust in the simulator itself:
   to elapsed time, oracle and billing views reconcile at exit, ...);
 * :mod:`repro.verify.fuzz` — a seeded scenario fuzzer and differential
   harness cross-checking serial vs batch execution, scheduler-invariant
-  ground truth, and the checker's own detection soundness.
+  ground truth, and the checker's own detection soundness;
+* :mod:`repro.verify.chaos` — arithmetic checks on degraded fleet
+  reports (declared coverage, grade and totals must reconcile).
 """
 
+from .chaos import check_chaos_report
 from .invariants import (
     InvariantChecker,
     InvariantViolation,
@@ -36,6 +39,7 @@ from .fuzz import (
 )
 
 __all__ = [
+    "check_chaos_report",
     "InvariantChecker",
     "InvariantViolation",
     "Violation",

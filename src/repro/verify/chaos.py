@@ -1,0 +1,148 @@
+"""Arithmetic checks on degraded fleet reports.
+
+A merged shard report is allowed to cover *less* than the whole fleet —
+that is the chaos plane's whole point — but what it declares must be
+internally consistent: covered hosts are the sum of the shards that came
+home, the covered population is exactly those hosts times the guests per
+host, the audited weight never exceeds what was covered, and the grade
+follows mechanically from coverage and absorbed faults.  The gauntlet
+and the shard tests hold every report they produce to these identities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from ..fleet.aggregate import FLEET_REPORT_SCHEMA
+from ..fleet.shard import (
+    FLEET_COVERAGE_SCHEMA,
+    GRADE_DEGRADED,
+    GRADE_PARTIAL,
+    GRADE_TRUSTED,
+    REPORT_GRADES,
+)
+
+__all__ = ["check_chaos_report"]
+
+
+def check_chaos_report(report: Mapping[str, Any]) -> List[str]:
+    """Verify a merged shard report's coverage arithmetic.
+
+    Returns a list of human-readable problems; empty means the report's
+    declared coverage, grade and totals are mutually consistent.
+    """
+    problems: List[str] = []
+
+    def bad(message: str) -> None:
+        problems.append(message)
+
+    if report.get("schema") != FLEET_REPORT_SCHEMA:
+        bad(f"report schema is {report.get('schema')!r}, "
+            f"expected {FLEET_REPORT_SCHEMA!r}")
+        return problems
+    coverage = report.get("coverage")
+    if not isinstance(coverage, Mapping):
+        bad("report carries no coverage section")
+        return problems
+    if coverage.get("schema") != FLEET_COVERAGE_SCHEMA:
+        bad(f"coverage schema is {coverage.get('schema')!r}, "
+            f"expected {FLEET_COVERAGE_SCHEMA!r}")
+
+    grade = coverage.get("grade")
+    if grade not in REPORT_GRADES:
+        bad(f"unknown report grade {grade!r}")
+
+    fleet: Dict[str, Any] = dict(report.get("fleet", {}))
+    hosts_total = coverage.get("hosts_total")
+    if hosts_total != fleet.get("hosts"):
+        bad(f"hosts_total {hosts_total!r} does not match the fleet spec's "
+            f"hosts {fleet.get('hosts')!r}")
+
+    shards = coverage.get("shards", [])
+    ok_shards = [s for s in shards if s.get("status") == "ok"]
+    failed_shards = [s for s in shards if s.get("status") == "failed"]
+    if len(ok_shards) + len(failed_shards) != len(shards):
+        bad("shard statuses other than ok/failed present")
+    if coverage.get("shards_ok") != len(ok_shards):
+        bad(f"shards_ok {coverage.get('shards_ok')!r} does not match the "
+            f"{len(ok_shards)} ok entries in the shard list")
+    if coverage.get("shards_failed") != len(failed_shards):
+        bad(f"shards_failed {coverage.get('shards_failed')!r} does not "
+            f"match the {len(failed_shards)} failed entries")
+    if coverage.get("shards_total") != len(shards):
+        bad(f"shards_total {coverage.get('shards_total')!r} does not "
+            f"match the {len(shards)} shard entries")
+
+    # The declared spans must partition [0, hosts_total) contiguously.
+    spans = sorted((tuple(s.get("hosts", ())) for s in shards))
+    expected_lo = 0
+    for lo, hi in spans:
+        if lo != expected_lo:
+            bad(f"shard spans leave a gap/overlap at host {expected_lo} "
+                f"(next span starts at {lo})")
+            break
+        expected_lo = hi
+    else:
+        if spans and isinstance(hosts_total, int) \
+                and expected_lo != hosts_total:
+            bad(f"shard spans end at host {expected_lo}, "
+                f"not hosts_total {hosts_total}")
+
+    hosts_covered = coverage.get("hosts_covered")
+    covered_from_shards = sum(s["hosts"][1] - s["hosts"][0]
+                              for s in ok_shards)
+    if hosts_covered != covered_from_shards:
+        bad(f"hosts_covered {hosts_covered!r} does not equal the "
+            f"{covered_from_shards} hosts of the ok shards")
+
+    population = coverage.get("population")
+    if population != report.get("population"):
+        bad(f"coverage population {population!r} disagrees with the "
+            f"report's {report.get('population')!r}")
+    population_covered = coverage.get("population_covered")
+    guests = fleet.get("guests")
+    if isinstance(hosts_covered, int) and isinstance(guests, int) \
+            and population_covered != hosts_covered * guests:
+        bad(f"population_covered {population_covered!r} is not "
+            f"hosts_covered * guests = {hosts_covered * guests}")
+
+    # Top-level population_covered appears exactly when coverage < total
+    # (full-coverage reports stay byte-identical to unsharded ones).
+    if population_covered == population:
+        if "population_covered" in report:
+            bad("full-coverage report carries a redundant top-level "
+                "population_covered key")
+    else:
+        if report.get("population_covered") != population_covered:
+            bad(f"top-level population_covered "
+                f"{report.get('population_covered')!r} disagrees with "
+                f"coverage's {population_covered!r}")
+
+    audited = report.get("audited_weight")
+    if isinstance(population_covered, int) \
+            and audited != population_covered - report.get("failed_weight", 0):
+        bad(f"audited_weight {audited!r} is not population_covered - "
+            f"failed_weight")
+
+    faults = coverage.get("faults_absorbed")
+    faults_from_shards = sum(int(s.get("faults_absorbed", 0))
+                             for s in ok_shards)
+    if faults != faults_from_shards:
+        bad(f"faults_absorbed {faults!r} does not equal the "
+            f"{faults_from_shards} absorbed by ok shards")
+
+    # Grade follows mechanically from coverage and absorbed faults.
+    if isinstance(hosts_covered, int) and isinstance(hosts_total, int):
+        if hosts_covered < hosts_total:
+            expected = GRADE_PARTIAL
+        elif faults_from_shards > 0:
+            expected = GRADE_DEGRADED
+        else:
+            expected = GRADE_TRUSTED
+        if grade != expected:
+            bad(f"grade {grade!r} inconsistent with coverage "
+                f"({hosts_covered}/{hosts_total} hosts, "
+                f"{faults_from_shards} faults absorbed): "
+                f"expected {expected}")
+
+    return problems

@@ -106,7 +106,7 @@ class TestVersionMetadata:
     def test_version_string(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_public_all_resolves(self):
         import repro

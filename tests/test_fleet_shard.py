@@ -1,0 +1,313 @@
+"""Sharded fleet sweeps: host ranges, exact state transport, the shard
+client, and degraded-but-bounded merged reports.
+
+The contract: a fleet's per-host RNG streams make host-range expansion
+*prefix-stable*, so any partition of ``[0, hosts)`` expands to exactly
+the serial walk's units; partial aggregates ship losslessly through
+``to_state``/``from_state``; merging every shard reproduces the serial
+population statistics byte for byte; and when a shard stays dark the
+merged report *declares* the gap (coverage section, PARTIAL grade)
+instead of silently misreporting — the paper's degrade-and-declare
+posture applied to the reporting plane itself.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet import (
+    FleetAggregator,
+    FleetSpec,
+    check_host_range,
+    distinct_units,
+    expand_fleet,
+    fleet_key,
+    merged_report,
+    run_fleet,
+    shard_fleet,
+    shard_fleet_local,
+    shard_ranges,
+)
+from repro.fleet.shard import ShardOutcome
+from repro.verify import check_chaos_report
+
+#: Small enough for CI, rich enough to cover vm/bare and attacked/honest.
+SMALL = dict(hosts=6, guests=1, prevalence=0.4, seed=7, scale=0.02)
+
+#: Report keys that count simulations *executed* (partition-dependent),
+#: as opposed to population statistics (partition-invariant).
+EXECUTION_TELEMETRY = ("distinct_runs", "failed_runs")
+
+
+def canon(doc):
+    return json.dumps(doc, sort_keys=True)
+
+
+def stats_only(report):
+    return {k: v for k, v in report.items() if k not in EXECUTION_TELEMETRY}
+
+
+class TestShardRanges:
+    def test_partitions_exactly_and_balanced(self):
+        ranges = shard_ranges(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 10)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        spans = [hi - lo for lo, hi in ranges]
+        assert max(spans) - min(spans) <= 1
+
+    def test_one_shard_is_the_whole_fleet(self):
+        assert shard_ranges(7, 1) == [(0, 7)]
+
+    @pytest.mark.parametrize("hosts,shards", [(0, 1), (5, 0), (3, 4)])
+    def test_bad_partitions_rejected(self, hosts, shards):
+        with pytest.raises(ReproError):
+            shard_ranges(hosts, shards)
+
+
+class TestHostRangeExpansion:
+    def test_check_host_range_validates(self):
+        fleet = FleetSpec(**SMALL)
+        assert check_host_range(fleet, None) is None
+        assert check_host_range(fleet, (0, fleet.hosts)) == (0, fleet.hosts)
+        for bad in [(-1, 2), (2, 1), (0, fleet.hosts + 1)]:
+            with pytest.raises(ReproError):
+                check_host_range(fleet, bad)
+
+    def test_partitioned_expansion_concatenates_to_the_serial_walk(self):
+        fleet = FleetSpec(**SMALL)
+        serial = [(u.host, u.guest, u.spec.label)
+                  for u in expand_fleet(fleet)]
+        pieces = []
+        for lo, hi in shard_ranges(fleet.hosts, 3):
+            pieces.extend((u.host, u.guest, u.spec.label)
+                          for u in expand_fleet(fleet, host_range=(lo, hi)))
+        assert pieces == serial
+
+    def test_span_weights_sum_to_the_span_population(self):
+        fleet = FleetSpec(**SMALL)
+        for lo, hi in shard_ranges(fleet.hosts, 2):
+            groups = distinct_units(fleet, host_range=(lo, hi))
+            assert sum(g.weight for g in groups) \
+                == (hi - lo) * fleet.guests
+
+
+class TestStateTransport:
+    def test_to_state_from_state_is_an_exact_round_trip(self):
+        fleet = FleetSpec(**SMALL)
+        agg = run_fleet(fleet, host_range=(0, 3))
+        rebuilt = FleetAggregator.from_state(agg.to_state())
+        assert canon(rebuilt.to_state()) == canon(agg.to_state())
+        assert canon(rebuilt.report()) == canon(agg.report())
+
+    def test_from_state_rejects_wrong_schema(self):
+        with pytest.raises(ReproError, match="schema"):
+            FleetAggregator.from_state({"schema": "bogus"})
+
+    def test_merging_all_shards_reproduces_serial_statistics(self):
+        fleet = FleetSpec(**SMALL)
+        merged = FleetAggregator(fleet, host_range=(0, 0))
+        for lo, hi in shard_ranges(fleet.hosts, 3):
+            shard = run_fleet(fleet, host_range=(lo, hi))
+            merged.merge(FleetAggregator.from_state(shard.to_state()))
+        assert merged.population_covered == fleet.population
+        serial = run_fleet(fleet).report()
+        assert canon(stats_only(merged.report())) \
+            == canon(stats_only(serial))
+
+    def test_partial_coverage_is_declared_in_the_report(self):
+        fleet = FleetSpec(**SMALL)
+        agg = run_fleet(fleet, host_range=(0, 3))
+        report = agg.report()
+        assert report["population_covered"] == 3 * fleet.guests
+        assert report["audited_weight"] <= report["population_covered"]
+        # A fully-covered report carries no such key (byte identity).
+        assert "population_covered" not in run_fleet(fleet).report()
+
+    def test_merge_refuses_a_different_fleet(self):
+        a = FleetAggregator(FleetSpec(**SMALL), host_range=(0, 2))
+        b = FleetAggregator(FleetSpec(**{**SMALL, "seed": 9}),
+                            host_range=(2, 4))
+        with pytest.raises(ReproError, match="different fleets"):
+            a.merge(b)
+
+
+class TestShardIdentity:
+    def test_host_range_extends_the_fleet_key(self):
+        fleet = FleetSpec(**SMALL)
+        assert fleet_key(fleet) == fleet_key(fleet, host_range=None)
+        keys = {fleet_key(fleet, host_range=r)
+                for r in shard_ranges(fleet.hosts, 3)}
+        assert len(keys) == 3
+        assert fleet_key(fleet) not in keys
+
+
+class TestLocalSharding:
+    def test_local_shards_merge_to_the_serial_statistics(self):
+        fleet = FleetSpec(**SMALL)
+        serial = run_fleet(fleet).report()
+        report = shard_fleet_local(fleet, 3)
+        coverage = report.pop("coverage")
+        assert coverage["grade"] == "TRUSTED"
+        assert coverage["hosts_covered"] == fleet.hosts
+        assert coverage["faults_absorbed"] == 0
+        assert "population_covered" not in report
+        assert canon(stats_only(report)) == canon(stats_only(serial))
+
+    def test_full_coverage_report_verifies(self):
+        report = shard_fleet_local(FleetSpec(**SMALL), 2)
+        assert check_chaos_report(report) == []
+
+
+class TestMergedReportGrading:
+    def run_outcomes(self, fleet, shards, fail=()):
+        outcomes = []
+        for index, (lo, hi) in enumerate(shard_ranges(fleet.hosts, shards)):
+            outcome = ShardOutcome(index, (lo, hi))
+            outcome.attempts = 1
+            if index in fail:
+                outcome.error = "ShardError: endpoint stayed dark"
+            else:
+                outcome.state = run_fleet(
+                    fleet, host_range=(lo, hi)).to_state()
+                outcome.status = "ok"
+            outcomes.append(outcome)
+        return outcomes
+
+    def test_dark_shard_produces_a_partial_graded_report(self):
+        fleet = FleetSpec(**SMALL)
+        outcomes = self.run_outcomes(fleet, 3, fail={2})
+        report = merged_report(fleet, outcomes, 3)
+        coverage = report["coverage"]
+        dark_span = outcomes[2].host_range
+        assert coverage["grade"] == "PARTIAL"
+        assert coverage["hosts_covered"] \
+            == fleet.hosts - (dark_span[1] - dark_span[0])
+        assert coverage["shards_failed"] == 1
+        assert report["population_covered"] \
+            == coverage["hosts_covered"] * fleet.guests
+        assert check_chaos_report(report) == []
+
+    def test_absorbed_faults_downgrade_trusted_to_degraded(self):
+        fleet = FleetSpec(**SMALL)
+        outcomes = self.run_outcomes(fleet, 2)
+        outcomes[0].faults_absorbed = 3
+        report = merged_report(fleet, outcomes, 2)
+        assert report["coverage"]["grade"] == "DEGRADED"
+        assert report["coverage"]["faults_absorbed"] == 3
+        assert "population_covered" not in report  # coverage is full
+        assert check_chaos_report(report) == []
+
+    def test_dark_shard_faults_are_declared_not_absorbed(self):
+        fleet = FleetSpec(**SMALL)
+        outcomes = self.run_outcomes(fleet, 2, fail={1})
+        outcomes[1].faults_absorbed = 7  # burned on the way to failing
+        report = merged_report(fleet, outcomes, 2)
+        assert report["coverage"]["faults_absorbed"] == 0
+        assert report["coverage"]["shards"][1]["faults_absorbed"] == 7
+        assert check_chaos_report(report) == []
+
+
+class TestCheckChaosReport:
+    def test_flags_tampered_coverage(self):
+        fleet = FleetSpec(**SMALL)
+        report = shard_fleet_local(fleet, 2)
+        good = json.loads(canon(report))
+        bad = json.loads(canon(report))
+        bad["coverage"]["hosts_covered"] -= 1
+        assert check_chaos_report(good) == []
+        problems = check_chaos_report(bad)
+        assert problems and any("hosts_covered" in p for p in problems)
+
+    def test_flags_wrong_grade(self):
+        fleet = FleetSpec(**SMALL)
+        report = json.loads(canon(shard_fleet_local(fleet, 2)))
+        report["coverage"]["grade"] = "PARTIAL"
+        assert any("grade" in p for p in check_chaos_report(report))
+
+    def test_rejects_non_report_documents(self):
+        assert check_chaos_report({"schema": "bogus"})
+        assert check_chaos_report(
+            {"schema": "repro-fleet-report-v1"})  # no coverage section
+
+
+class TestRemoteSharding:
+    @pytest.fixture()
+    def servers(self, tmp_path):
+        from repro.serve import MeteringService, ReproServer, UsageStore
+
+        booted = []
+        for i in range(2):
+            store = UsageStore(str(tmp_path / f"s{i}.db"))
+            server = ReproServer(MeteringService(store, jobs=2))
+            server.start_background()
+            booted.append(server)
+        yield booted
+        for server in booted:
+            server.close()
+
+    def test_remote_shards_match_the_serial_statistics(self, servers):
+        fleet = FleetSpec(**SMALL)
+        report = shard_fleet(fleet, [s.address for s in servers],
+                             poll_interval_s=0.02)
+        coverage = report.pop("coverage")
+        assert coverage["grade"] == "TRUSTED"
+        assert coverage["shards_ok"] == 2
+        serial = run_fleet(fleet).report()
+        assert canon(stats_only(report)) == canon(stats_only(serial))
+
+    def test_failover_covers_a_dead_endpoint_and_downgrades(self, servers):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        dead = f"http://127.0.0.1:{sock.getsockname()[1]}"
+        sock.close()
+
+        fleet = FleetSpec(**SMALL)
+        report = shard_fleet(
+            fleet, [dead, servers[0].address],
+            poll_interval_s=0.02, request_timeout_s=5.0)
+        coverage = report["coverage"]
+        assert coverage["grade"] == "DEGRADED"
+        assert coverage["hosts_covered"] == fleet.hosts
+        assert coverage["faults_absorbed"] > 0
+        assert check_chaos_report(report) == []
+        serial = run_fleet(fleet).report()
+        body = {k: v for k, v in report.items() if k != "coverage"}
+        assert canon(stats_only(body)) == canon(stats_only(serial))
+
+    def test_no_failover_declares_the_dark_shard(self, servers):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        dead = f"http://127.0.0.1:{sock.getsockname()[1]}"
+        sock.close()
+
+        fleet = FleetSpec(**SMALL)
+        report = shard_fleet(fleet, [servers[0].address, dead],
+                             failover=False, poll_interval_s=0.02,
+                             request_timeout_s=5.0)
+        coverage = report["coverage"]
+        assert coverage["grade"] == "PARTIAL"
+        assert coverage["shards_failed"] == 1
+        assert report["population_covered"] < report["population"]
+        assert check_chaos_report(report) == []
+
+
+class TestLocalShardingConcurrency:
+    def test_threads_really_run_concurrently_and_exactly_once(self):
+        fleet = FleetSpec(**SMALL)
+        seen = []
+        lock = threading.Lock()
+        original = run_fleet
+
+        report = shard_fleet_local(fleet, 3)
+        for entry in report["coverage"]["shards"]:
+            with lock:
+                seen.append(entry["hosts"])
+        assert sorted(tuple(s) for s in seen) \
+            == shard_ranges(fleet.hosts, 3)
+        assert original is run_fleet

@@ -23,7 +23,8 @@ SCALE = 0.05
 TENANT_KEYS = {"tenant_id", "name", "plan", "quota_ns", "billed_ns",
                "jobs"}
 JOB_KEYS = {"job_id", "tenant_id", "idempotency_key", "spec_key", "spec",
-            "state", "cached", "error", "result", "invoice"}
+            "state", "cached", "error", "result", "invoice",
+            "deadline_exceeded"}
 INVOICE_KEYS = {"schema", "job", "plan", "utime_ns", "stime_ns",
                 "billed_ns", "billable_bounds_ns", "amount_microdollars",
                 "trust"}
@@ -247,6 +248,9 @@ class TestMetricsExposition:
             "repro_serve_ledger_entries_total",
             "repro_serve_quota_rejections_total",
             "repro_serve_store_fsyncs_total",
+            "repro_serve_deadline_exceeded_total",
+            "repro_serve_store_retries_total",
+            "repro_serve_breaker_open",
             "repro_serve_http_requests_total",
         ]
 

@@ -33,20 +33,20 @@ SCALE = 0.05
 
 #: spec_key() of five pinned specs.  Identity hashes cover repro_version,
 #: so these are re-stamped at every version bump
-#: (1.4.0 -> 1.5.0 -> 1.6.0 -> 1.7.0 -> 1.8.0) after verifying they
+#: (1.4.0 -> 1.5.0 -> ... -> 1.8.0 -> 1.9.0) after verifying they
 #: matched the pre-SMP tree at equal version; the version-free checks
 #: below (key neutrality, result/fuzz/trace digests) are the pre-SMP
 #: goldens verbatim.  The vm spec is key-only (hypervisor runs are
 #: covered by their own suite); the other four also pin the full result
 #: document below.
 GOLDEN_SPEC_KEYS = {
-    "O:none": "bb22bcf14bc0ea1b7156ab6d1376da92989d92b799f95937628767c08edcb0ad",
-    "W:none": "a9fd1f7ec9fd5663ec8b3e5aeb2c208853d2918b55e46d57fae292984f338ef9",
-    "O:shell": "9bef52f24836fc2a285d8943cc0215b433e6dd6a59ff2130186c35fda429a870",
+    "O:none": "bcf1f6853804cab45ca25a6d70d8d5e04e3df752a9be346b6ce31301efc6d1a3",
+    "W:none": "6aaee4f28b9b56543bf7e7f71f19204e6d03beecf91c33eafbfdb566fd536b20",
+    "O:shell": "aa993b5fab2db5833b78fc7135807790a190815ebfce5465fdde12eb490305de",
     "W:scheduling":
-        "914f1f234d80500ac76b14152e6d9865cecdd319b2da6539bc541eff4a80bbc7",
+        "8111cb618f143ef6ed1daf087137e9b4524a8155d7dd2442ccddc77de724d2c8",
     "vm:W:none":
-        "20dc7e5b8f6baa8cdf8cba2c651f1d0bee1830554d27b952f00a8d0cc05dc2c8",
+        "62e281f1ec803639c41398d63a9d3e0c844e7e5f6363d17acfe0ecb8845e6bad",
 }
 
 #: sha256 over json.dumps(result.to_dict(), sort_keys, compact) — every
